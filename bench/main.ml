@@ -1,0 +1,169 @@
+(* Benchmark & reproduction harness.
+
+   Running this executable does two things:
+
+   1. prints every table and figure of the paper's evaluation (the E1-E21
+      reproduction suite from nf_analysis.Experiments) — the "rows and
+      series the paper reports";
+   2. times the computation behind each artifact with Bechamel, one
+      Test.make per table/figure, plus the substrate kernels they rest on
+      (BFS, canonical labeling, enumeration, stability intervals, Nash
+      orientation search).
+
+   Environment:
+     NETFORM_BENCH_N     players for the exhaustive experiments (default 6)
+     NETFORM_BENCH_SKIP_EXPERIMENTS=1   timing runs only *)
+
+open Bechamel
+open Toolkit
+
+let bench_n =
+  match Sys.getenv_opt "NETFORM_BENCH_N" with
+  | Some s -> (try max 4 (min 7 (int_of_string s)) with _ -> 6)
+  | None -> 6
+
+(* ---------------- part 1: reproduce the paper ---------------- *)
+
+let print_experiments () =
+  Printf.printf "netform reproduction suite (n=%d)\n" bench_n;
+  Printf.printf "=================================\n\n%!";
+  let results = Nf_analysis.Experiments.run_all ~n:bench_n () in
+  print_string (Nf_analysis.Experiments.render_all results);
+  let failed = List.filter (fun r -> not r.Nf_analysis.Experiments.ok) results in
+  if failed = [] then Printf.printf "\nall experiment self-checks passed\n%!"
+  else
+    Printf.printf "\nFAILED self-checks: %s\n%!"
+      (String.concat ", " (List.map (fun r -> r.Nf_analysis.Experiments.id) failed))
+
+(* ---------------- part 2: timing ---------------- *)
+
+module Families = Nf_named.Families
+module Gallery = Nf_named.Gallery
+module Rat = Nf_util.Rat
+open Netform
+
+(* per-table/figure kernels (smaller sizes: timing, not reproduction) *)
+let experiment_tests =
+  [
+    Test.make ~name:"fig1_gallery_stable_sets" (Staged.stage (fun () ->
+        List.map
+          (fun g -> Bcg.stable_alpha_set g)
+          [ Gallery.petersen; Gallery.octahedron; Gallery.clebsch ]));
+    Test.make ~name:"fig2_fig3_sweep_n5" (Staged.stage (fun () ->
+        Nf_analysis.Equilibria.clear_cache ();
+        Nf_analysis.Figures.sweep ~n:5 ()));
+    Test.make ~name:"lemma4_exhaustive_n5" (Staged.stage (fun () ->
+        Nf_analysis.Experiments.e4_lemma4 ~n:5 ()));
+    Test.make ~name:"lemma5_exhaustive_n5" (Staged.stage (fun () ->
+        Nf_analysis.Experiments.e5_lemma5 ~n:5 ()));
+    Test.make ~name:"lemma6_cycle_windows" (Staged.stage (fun () ->
+        Nf_analysis.Experiments.e6_lemma6_cycles ~max_n:12 ()));
+    Test.make ~name:"prop3_moore_windows" (Staged.stage (fun () ->
+        (Bcg.stable_alpha_set Gallery.petersen, Bcg.stable_alpha_set Gallery.mcgee)));
+    Test.make ~name:"prop4_worst_poa_n6" (Staged.stage (fun () ->
+        let annotated = Nf_analysis.Equilibria.bcg_annotated 6 in
+        List.map
+          (fun alpha ->
+            List.filter (fun (_, set) -> Nf_util.Interval.mem alpha set) annotated)
+          Nf_analysis.Sweep.paper_grid));
+    Test.make ~name:"prop5_tree_nash_sets_n7" (Staged.stage (fun () ->
+        List.map Ucg.nash_alpha_set (Nf_enum.Trees.unlabeled_trees 7)));
+    Test.make ~name:"foot5_cycle_nash_sets" (Staged.stage (fun () ->
+        List.map (fun n -> Ucg.nash_alpha_set (Families.cycle n)) [ 5; 6; 7 ]));
+    Test.make ~name:"foot7_petersen_nash_set" (Staged.stage (fun () ->
+        Ucg.nash_alpha_set Gallery.petersen));
+    Test.make ~name:"desargues_link_convexity" (Staged.stage (fun () ->
+        Convexity.link_convexity_gap Gallery.desargues));
+    Test.make ~name:"eq5_bound_check_n5" (Staged.stage (fun () ->
+        Nf_analysis.Experiments.e13_eq5_bound ~n:5 ()));
+    Test.make ~name:"transfers_stable_set_petersen" (Staged.stage (fun () ->
+        Transfers.stable_alpha_set Gallery.petersen));
+    Test.make ~name:"prop2_witness_gallery" (Staged.stage (fun () ->
+        List.map (fun (_, g) -> Convexity.witness_alpha g) Gallery.all));
+    Test.make ~name:"meta_digraph_n4" (Staged.stage (fun () ->
+        Nf_dynamics.Meta.analyze ~alpha:(Rat.of_int 2) ~n:4));
+    Test.make ~name:"shape_census_n6" (Staged.stage (fun () ->
+        Nf_analysis.Shapes.census
+          (Nf_analysis.Equilibria.bcg_stable_graphs ~n:6 ~alpha:(Rat.of_int 2))));
+    Test.make ~name:"distance_utilities_windows" (Staged.stage (fun () ->
+        List.map
+          (fun p -> Distance_utility.stable_alpha_set p Gallery.petersen)
+          [ Distance_utility.linear; Distance_utility.quadratic;
+            Distance_utility.hop_capped 2 ]));
+    Test.make ~name:"bcg_scaling_annotate_n6" (Staged.stage (fun () ->
+        Nf_analysis.Equilibria.clear_cache ();
+        Nf_analysis.Equilibria.bcg_annotated 6));
+    Test.make ~name:"sampled_n10_one_row" (Staged.stage (fun () ->
+        let rng = Nf_util.Prng.create 7 in
+        Nf_dynamics.Bcg_dynamics.sample_stable ~alpha:(Rat.of_int 4) ~rng ~n:10 ~attempts:20));
+    Test.make ~name:"proper_n4_one_epsilon" (Staged.stage (fun () ->
+        Proper.analyze Cost.Bcg ~alpha:2.0
+          ~target:(Strategy.of_graph_bcg (Families.star 4))
+          ~epsilons:[ 0.05 ] ()));
+    Test.make ~name:"stochastic_stability_n4" (Staged.stage (fun () ->
+        Nf_dynamics.Stochastic.analyze ~alpha:(Rat.of_int 2) ~n:4));
+  ]
+
+(* substrate kernels *)
+let kernel_tests =
+  let rng = Nf_util.Prng.create 99 in
+  let random_graph = Nf_graph.Random_graph.connected_gnp rng 40 0.1 in
+  [
+    Test.make ~name:"bfs_distance_sum_n40" (Staged.stage (fun () ->
+        Nf_graph.Bfs.distance_sum random_graph 0));
+    Test.make ~name:"apsp_wiener_hoffman_singleton" (Staged.stage (fun () ->
+        Nf_graph.Apsp.wiener Gallery.hoffman_singleton));
+    Test.make ~name:"girth_mcgee" (Staged.stage (fun () -> Nf_graph.Girth.girth Gallery.mcgee));
+    Test.make ~name:"canonical_form_petersen" (Staged.stage (fun () ->
+        Nf_iso.Canon.canonical_form Gallery.petersen));
+    Test.make ~name:"canonical_form_random_n12" (Staged.stage (fun () ->
+        let g = Nf_graph.Random_graph.gnp (Nf_util.Prng.create 3) 12 0.4 in
+        Nf_iso.Canon.canonical_form g));
+    Test.make ~name:"enumerate_unlabeled_n6" (Staged.stage (fun () ->
+        Nf_enum.Unlabeled.clear_cache ();
+        Nf_enum.Unlabeled.count_all 6));
+    Test.make ~name:"stable_alpha_set_petersen" (Staged.stage (fun () ->
+        Bcg.stable_alpha_set Gallery.petersen));
+    Test.make ~name:"is_pairwise_stable_clebsch" (Staged.stage (fun () ->
+        Bcg.is_pairwise_stable ~alpha:(Rat.of_int 2) Gallery.clebsch));
+    Test.make ~name:"nash_alpha_set_c7" (Staged.stage (fun () ->
+        Ucg.nash_alpha_set (Families.cycle 7)));
+    Test.make ~name:"ucg_best_response_star10" (Staged.stage (fun () ->
+        Ucg.best_response ~alpha:(Rat.of_int 2) (Families.star 10) 1
+          ~owned:Nf_util.Bitset.empty));
+    Test.make ~name:"bcg_dynamics_run_n8" (Staged.stage (fun () ->
+        let rng = Nf_util.Prng.create 5 in
+        Nf_dynamics.Bcg_dynamics.run ~alpha:(Rat.of_int 2) ~rng
+          (Nf_graph.Random_graph.connected_gnp rng 8 0.3)));
+    Test.make ~name:"graph6_roundtrip_n30" (Staged.stage (fun () ->
+        let g = Nf_graph.Random_graph.gnp (Nf_util.Prng.create 11) 30 0.3 in
+        Nf_graph.Graph6.decode (Nf_graph.Graph6.encode g)));
+  ]
+
+let run_benchmarks () =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false () in
+  let grouped =
+    Test.make_grouped ~name:"netform"
+      [
+        Test.make_grouped ~name:"experiments" experiment_tests;
+        Test.make_grouped ~name:"kernels" kernel_tests;
+      ]
+  in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Printf.printf "\nbenchmarks (monotonic clock, ns/run)\n";
+  Printf.printf "------------------------------------\n";
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some [ estimate ] -> Printf.printf "%-55s %14.0f ns/run\n" name estimate
+      | Some _ | None -> Printf.printf "%-55s (no estimate)\n" name)
+    rows
+
+let () =
+  if Sys.getenv_opt "NETFORM_BENCH_SKIP_EXPERIMENTS" = None then print_experiments ();
+  run_benchmarks ()

@@ -1,0 +1,254 @@
+(* netform: command-line front end for the bilateral/unilateral connection
+   game library.
+
+   Subcommands:
+     stability    exact BCG stable window / UCG Nash set for a graph
+     named        list the built-in graph gallery with invariants
+     enumerate    equilibrium counts over all connected topologies
+     sweep        Figures 2 & 3 (tables + ASCII plots + optional CSV)
+     dynamics     run improving-path / best-response dynamics
+     annotate     export the equilibrium atlas (graph6 + exact regions)
+     experiments  run the full E1-E20 reproduction suite *)
+
+open Cmdliner
+module Graph = Nf_graph.Graph
+module Rat = Nf_util.Rat
+open Netform
+
+let setup_logs () =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ())
+
+(* ---------------- shared argument parsing ---------------- *)
+
+let named_graphs = Nf_analysis.Parse.named_graphs
+
+let graph_conv =
+  let parse s = Result.map_error (fun m -> `Msg m) (Nf_analysis.Parse.graph_of_spec s) in
+  let print ppf g = Format.pp_print_string ppf (Nf_graph.Graph6.encode g) in
+  Arg.conv (parse, print)
+
+let alpha_conv =
+  let parse s = Result.map_error (fun m -> `Msg m) (Nf_analysis.Parse.alpha_of_string s) in
+  Arg.conv (parse, fun ppf a -> Format.pp_print_string ppf (Rat.to_string a))
+
+let graph_arg =
+  Arg.(
+    required
+    & pos 0 (some graph_conv) None
+    & info [] ~docv:"GRAPH" ~doc:"A gallery name (see $(b,netform named)) or a graph6 string.")
+
+let n_arg default =
+  Arg.(value & opt int default & info [ "n" ] ~docv:"N" ~doc:"Number of players.")
+
+(* ---------------- stability ---------------- *)
+
+let stability graph =
+  setup_logs ();
+  Printf.printf "graph: %s\n" (Nf_graph.Pp.summary graph);
+  Printf.printf "BCG pairwise-stable alpha set: %s\n"
+    (Nf_util.Interval.to_string (Bcg.stable_alpha_set graph));
+  Printf.printf "  paper interval (alpha_min, alpha_max]: %s\n"
+    (Nf_util.Interval.to_string (Bcg.stability_interval graph));
+  Printf.printf "  link convex: %b\n" (Convexity.is_link_convex graph);
+  let n = Graph.order graph in
+  if n <= 12 && Graph.size graph <= 20 then
+    Printf.printf "UCG Nash alpha set: %s\n"
+      (Nf_util.Interval.Union.to_string (Ucg.nash_alpha_set graph))
+  else Printf.printf "UCG Nash alpha set: (skipped: graph too large for orientation search)\n";
+  0
+
+let stability_cmd =
+  Cmd.v
+    (Cmd.info "stability" ~doc:"Exact stability/Nash link-cost regions of a graph")
+    Term.(const stability $ graph_arg)
+
+(* ---------------- named ---------------- *)
+
+let named () =
+  setup_logs ();
+  List.iter
+    (fun (name, g) -> Printf.printf "%-18s %s\n" name (Nf_graph.Pp.summary g))
+    named_graphs;
+  0
+
+let named_cmd =
+  Cmd.v (Cmd.info "named" ~doc:"List built-in graphs") Term.(const named $ const ())
+
+(* ---------------- enumerate ---------------- *)
+
+let enumerate n alpha =
+  setup_logs ();
+  let bcg = Nf_analysis.Equilibria.bcg_stable_graphs ~n ~alpha in
+  Printf.printf "connected isomorphism classes on %d vertices: %d\n" n
+    (Nf_enum.Unlabeled.count_connected n);
+  Printf.printf "BCG pairwise stable at alpha=%s: %d\n" (Rat.to_string alpha)
+    (List.length bcg);
+  let bcg_summary = Poa.summarize Cost.Bcg ~alpha:(Rat.to_float alpha) bcg in
+  Format.printf "  %a@." Poa.pp_summary bcg_summary;
+  if n <= 7 then begin
+    let ucg = Nf_analysis.Equilibria.ucg_nash_graphs ~n ~alpha in
+    Printf.printf "UCG Nash graphs at alpha=%s: %d\n" (Rat.to_string alpha) (List.length ucg);
+    let ucg_summary = Poa.summarize Cost.Ucg ~alpha:(Rat.to_float alpha) ucg in
+    Format.printf "  %a@." Poa.pp_summary ucg_summary
+  end
+  else Printf.printf "UCG: skipped for n > 7 (orientation search cost)\n";
+  0
+
+let alpha_opt =
+  Arg.(
+    value
+    & opt alpha_conv (Rat.of_int 2)
+    & info [ "a"; "alpha" ] ~docv:"ALPHA" ~doc:"Link cost (integer, dyadic or p/q).")
+
+let enumerate_cmd =
+  Cmd.v
+    (Cmd.info "enumerate" ~doc:"Count equilibrium topologies exhaustively")
+    Term.(const enumerate $ n_arg 6 $ alpha_opt)
+
+(* ---------------- sweep ---------------- *)
+
+let sweep n csv =
+  setup_logs ();
+  let points = Nf_analysis.Figures.sweep ~n () in
+  print_string (Nf_analysis.Figures.figure2_table points);
+  print_newline ();
+  print_string (Nf_analysis.Figures.figure2_plot points);
+  print_newline ();
+  print_string (Nf_analysis.Figures.figure3_table points);
+  print_newline ();
+  print_string (Nf_analysis.Figures.figure3_plot points);
+  (match csv with
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Nf_analysis.Figures.to_csv points);
+    close_out oc;
+    Printf.printf "\nwrote %s\n" path
+  | None -> ());
+  0
+
+let csv_opt =
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc:"Write CSV data.")
+
+let sweep_cmd =
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Reproduce Figures 2 and 3 (average PoA / links vs link cost)")
+    Term.(const sweep $ n_arg 6 $ csv_opt)
+
+(* ---------------- dynamics ---------------- *)
+
+let dynamics game_str n alpha seed steps =
+  setup_logs ();
+  let rng = Nf_util.Prng.create seed in
+  (match String.lowercase_ascii game_str with
+  | "bcg" ->
+    let start = Nf_graph.Random_graph.connected_gnp rng n 0.3 in
+    Printf.printf "start: %s\n" (Graph.to_string start);
+    let outcome = Nf_dynamics.Bcg_dynamics.run ~alpha ~rng ~max_steps:steps start in
+    List.iter
+      (fun move ->
+        match move with
+        | Nf_dynamics.Bcg_dynamics.Add (i, j) -> Printf.printf "  + link %d-%d\n" i j
+        | Nf_dynamics.Bcg_dynamics.Delete (i, j) -> Printf.printf "  - link %d-%d (severed by %d)\n" i j i)
+      outcome.Nf_dynamics.Bcg_dynamics.trace;
+    Printf.printf "final (%s after %d moves): %s\n"
+      (if outcome.Nf_dynamics.Bcg_dynamics.converged then "pairwise stable" else "step cap hit")
+      outcome.Nf_dynamics.Bcg_dynamics.steps
+      (Graph.to_string outcome.Nf_dynamics.Bcg_dynamics.final)
+  | "ucg" ->
+    let outcome = Nf_dynamics.Ucg_dynamics.run_random ~alpha ~rng (Nf_dynamics.Ucg_dynamics.empty n) in
+    Printf.printf "from the empty profile, %d best-response rounds (%s):\n"
+      outcome.Nf_dynamics.Ucg_dynamics.rounds
+      (if outcome.Nf_dynamics.Ucg_dynamics.converged then "Nash" else "cycling; cap hit");
+    Printf.printf "final: %s\n"
+      (Graph.to_string outcome.Nf_dynamics.Ucg_dynamics.final.Nf_dynamics.Ucg_dynamics.graph)
+  | other -> Printf.printf "unknown game %S: use bcg or ucg\n" other);
+  0
+
+let dynamics_cmd =
+  let game = Arg.(value & pos 0 string "bcg" & info [] ~docv:"GAME" ~doc:"bcg or ucg") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED") in
+  let steps = Arg.(value & opt int 10000 & info [ "max-steps" ] ~docv:"K") in
+  Cmd.v
+    (Cmd.info "dynamics" ~doc:"Run improving-path (BCG) or best-response (UCG) dynamics")
+    Term.(const dynamics $ game $ n_arg 8 $ alpha_opt $ seed $ steps)
+
+(* ---------------- annotate ---------------- *)
+
+let annotate n out with_ucg =
+  setup_logs ();
+  let with_ucg = Option.value ~default:(n <= 7) with_ucg in
+  Logs.info (fun m -> m "annotating %d connected classes on %d vertices (ucg=%b)"
+                (Nf_enum.Unlabeled.count_connected n) n with_ucg);
+  let entries = Nf_analysis.Dataset.build ~with_ucg n in
+  (match out with
+  | Some path ->
+    Nf_analysis.Dataset.save ~path entries;
+    Printf.printf "wrote %d annotated classes to %s\n" (List.length entries) path
+  | None -> print_string (Nf_analysis.Dataset.to_csv entries));
+  0
+
+let annotate_cmd =
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output CSV.")
+  in
+  let with_ucg =
+    Arg.(
+      value
+      & opt (some bool) None
+      & info [ "ucg" ] ~docv:"BOOL" ~doc:"Include UCG Nash sets (default: n <= 7).")
+  in
+  Cmd.v
+    (Cmd.info "annotate"
+       ~doc:"Export the equilibrium atlas: every connected class with its exact regions")
+    Term.(const annotate $ n_arg 6 $ out $ with_ucg)
+
+(* ---------------- experiments ---------------- *)
+
+let experiments n only out =
+  setup_logs ();
+  let results = Nf_analysis.Experiments.run_all ~n () in
+  let results =
+    match only with
+    | None -> results
+    | Some id ->
+      List.filter
+        (fun r -> String.lowercase_ascii r.Nf_analysis.Experiments.id = String.lowercase_ascii id)
+        results
+  in
+  print_string (Nf_analysis.Experiments.render_all results);
+  (match out with
+  | Some dir ->
+    let points = Nf_analysis.Figures.sweep ~n () in
+    let written = Nf_analysis.Report.write_all ~dir ~results ~points () in
+    Printf.printf "\nwrote %d artifacts under %s\n" (List.length written) dir
+  | None -> ());
+  if List.for_all (fun r -> r.Nf_analysis.Experiments.ok) results then 0 else 1
+
+let only_opt =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "only" ] ~docv:"ID" ~doc:"Run a single experiment (e.g. E6).")
+
+let out_dir_opt =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ] ~docv:"DIR" ~doc:"Write per-experiment artifacts into a directory.")
+
+let experiments_cmd =
+  Cmd.v
+    (Cmd.info "experiments" ~doc:"Run the full paper-reproduction suite (E1-E20)")
+    Term.(const experiments $ n_arg 6 $ only_opt $ out_dir_opt)
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "netform" ~version:"1.0.0"
+       ~doc:"Bilateral vs unilateral network formation (Corbo & Parkes, PODC 2005)")
+    [
+      stability_cmd; named_cmd; enumerate_cmd; sweep_cmd; dynamics_cmd; annotate_cmd;
+      experiments_cmd;
+    ]
+
+let () = exit (Cmd.eval' main_cmd)

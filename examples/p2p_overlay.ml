@@ -1,0 +1,78 @@
+(* P2P overlay formation under churn: the unilateral game as a protocol.
+
+   In an unstructured overlay a peer opens connections unilaterally (the
+   other side merely accepts the TCP connection) and pays the maintenance
+   cost itself — Fabrikant et al.'s unilateral connection game.  This
+   example runs best-response "maintenance ticks" while peers churn
+   (leave and rejoin with no links) and reports how the overlay heals,
+   what shape it settles into at different connection costs, and how far
+   from optimal it ends up.
+
+   Run with: dune exec examples/p2p_overlay.exe *)
+
+module Graph = Nf_graph.Graph
+module Rat = Nf_util.Rat
+module Prng = Nf_util.Prng
+module Dyn = Nf_dynamics.Ucg_dynamics
+open Netform
+
+let n = 10
+let churn_events = 12
+
+let shape g =
+  if Graph.is_complete g then "full mesh"
+  else if Nf_graph.Props.is_star g then "star"
+  else if Nf_graph.Props.is_tree g then "tree"
+  else
+    Printf.sprintf "m=%d diam=%s" (Graph.size g)
+      (Nf_util.Ext_int.to_string (Nf_graph.Apsp.diameter g))
+
+(* one churn event: a random peer drops out (loses all links, its
+   purchases and others' purchases towards it) and rejoins cold *)
+let churn rng state =
+  let victim = Prng.int rng n in
+  let graph =
+    Nf_util.Bitset.fold
+      (fun j acc -> Graph.remove_edge acc victim j)
+      (Graph.neighbors state.Dyn.graph victim)
+      state.Dyn.graph
+  in
+  let owned = Array.map (Nf_util.Bitset.remove victim) state.Dyn.owned in
+  owned.(victim) <- Nf_util.Bitset.empty;
+  ({ Dyn.graph; owned }, victim)
+
+let run_scenario alpha =
+  let rng = Prng.create 7 in
+  Printf.printf "\nconnection cost alpha = %s\n" (Rat.to_string alpha);
+  let state = ref (Dyn.empty n) in
+  (* bootstrap: everyone best-responds from nothing *)
+  let boot = Dyn.run_random ~alpha ~rng !state in
+  state := boot.Dyn.final;
+  Printf.printf "  bootstrap: %d rounds -> %s\n" boot.Dyn.rounds (shape !state.Dyn.graph);
+  let healed = ref 0 in
+  for _ = 1 to churn_events do
+    let after_churn, victim = churn rng !state in
+    let outcome = Dyn.run_random ~alpha ~rng after_churn in
+    state := outcome.Dyn.final;
+    if Nf_graph.Connectivity.is_connected !state.Dyn.graph then incr healed
+    else Printf.printf "  ! overlay stayed partitioned after peer %d churned\n" victim
+  done;
+  let g = !state.Dyn.graph in
+  Printf.printf "  after %d churn events: healed %d/%d, final %s\n" churn_events !healed
+    churn_events (shape g);
+  Printf.printf "  nash=%b  PoA=%.4f  avg path len=%.2f\n"
+    (Dyn.is_nash ~alpha !state)
+    (Poa.price_of_anarchy Cost.Ucg ~alpha:(Rat.to_float alpha) g)
+    (Nf_graph.Apsp.average_distance g)
+
+let () =
+  Printf.printf "Unstructured P2P overlay, %d peers, churn + best-response maintenance\n" n;
+  Printf.printf "=====================================================================\n";
+  List.iter
+    (fun (num, den) -> run_scenario (Rat.make num den))
+    [ (1, 2); (3, 2); (4, 1); (12, 1) ];
+  Printf.printf
+    "\nTakeaway: below alpha=1 peers mesh fully; past it the overlay collapses\n\
+     into hub-and-spoke shapes.  Best-response maintenance re-connects the\n\
+     overlay after every churn event — the selfish protocol is self-healing,\n\
+     at a bounded price of anarchy (Figure 2 of the paper quantifies it).\n"

@@ -1,0 +1,138 @@
+module Graph = Nf_graph.Graph
+module Interval = Nf_util.Interval
+module Rat = Nf_util.Rat
+
+type entry = {
+  graph : Graph.t;
+  bcg_stable : Interval.t;
+  ucg_nash : Interval.Union.t option;
+}
+
+let build ?with_ucg n =
+  let with_ucg = Option.value ~default:(n <= 7) with_ucg in
+  let bcg = Equilibria.bcg_annotated n in
+  if with_ucg then
+    (* both annotations enumerate the same class list in the same order *)
+    List.map2
+      (fun (g, stable) (g', nash) ->
+        assert (Graph.equal g g');
+        { graph = g; bcg_stable = stable; ucg_nash = Some nash })
+      bcg (Equilibria.ucg_annotated n)
+  else List.map (fun (g, stable) -> { graph = g; bcg_stable = stable; ucg_nash = None }) bcg
+
+(* --- interval syntax ---------------------------------------------------- *)
+
+let rat_to_string r =
+  if Rat.is_integer r then string_of_int (Rat.num r)
+  else Printf.sprintf "%d/%d" (Rat.num r) (Rat.den r)
+
+let endpoint_to_string = function
+  | Interval.Neg_inf -> "-inf"
+  | Interval.Pos_inf -> "inf"
+  | Interval.Finite r -> rat_to_string r
+
+let interval_to_string i =
+  match Interval.bounds i with
+  | None -> "empty"
+  | Some (lo, lo_closed, hi, hi_closed) ->
+    Printf.sprintf "%c%s;%s%c"
+      (if lo_closed then '[' else '(')
+      (endpoint_to_string lo) (endpoint_to_string hi)
+      (if hi_closed then ']' else ')')
+
+let rat_of_string s =
+  match String.index_opt s '/' with
+  | Some k ->
+    Rat.make
+      (int_of_string (String.sub s 0 k))
+      (int_of_string (String.sub s (k + 1) (String.length s - k - 1)))
+  | None -> Rat.of_int (int_of_string s)
+
+let endpoint_of_string = function
+  | "-inf" -> Interval.Neg_inf
+  | "inf" | "+inf" -> Interval.Pos_inf
+  | s -> Interval.Finite (rat_of_string s)
+
+let interval_of_string s =
+  if s = "empty" then Interval.empty
+  else begin
+    let len = String.length s in
+    if len < 5 then invalid_arg "Dataset.interval_of_string: too short";
+    let lo_closed =
+      match s.[0] with
+      | '[' -> true
+      | '(' -> false
+      | _ -> invalid_arg "Dataset.interval_of_string: bad opening bracket"
+    in
+    let hi_closed =
+      match s.[len - 1] with
+      | ']' -> true
+      | ')' -> false
+      | _ -> invalid_arg "Dataset.interval_of_string: bad closing bracket"
+    in
+    let body = String.sub s 1 (len - 2) in
+    match String.split_on_char ';' body with
+    | [ lo; hi ] ->
+      Interval.make ~lo:(endpoint_of_string lo) ~lo_closed ~hi:(endpoint_of_string hi)
+        ~hi_closed
+    | _ -> invalid_arg "Dataset.interval_of_string: expected two endpoints"
+  end
+
+let union_to_string u =
+  match Interval.Union.to_list u with
+  | [] -> "empty"
+  | pieces -> String.concat "|" (List.map interval_to_string pieces)
+
+let union_of_string s =
+  if s = "empty" then Interval.Union.empty
+  else Interval.Union.of_list (List.map interval_of_string (String.split_on_char '|' s))
+
+(* --- CSV ---------------------------------------------------------------- *)
+
+let header = "graph6,n,m,bcg_stable,ucg_nash"
+
+let to_csv entries =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%d,%d,%s,%s\n"
+           (Nf_graph.Graph6.encode e.graph)
+           (Graph.order e.graph) (Graph.size e.graph)
+           (interval_to_string e.bcg_stable)
+           (match e.ucg_nash with
+           | Some u -> union_to_string u
+           | None -> "-")))
+    entries;
+  Buffer.contents buf
+
+let of_csv text =
+  match String.split_on_char '\n' (String.trim text) with
+  | [] -> invalid_arg "Dataset.of_csv: empty"
+  | first :: rows ->
+    if first <> header then invalid_arg "Dataset.of_csv: bad header";
+    List.map
+      (fun row ->
+        match String.split_on_char ',' row with
+        | [ g6; _n; _m; stable; nash ] ->
+          {
+            graph = Nf_graph.Graph6.decode g6;
+            bcg_stable = interval_of_string stable;
+            ucg_nash = (if nash = "-" then None else Some (union_of_string nash));
+          }
+        | _ -> invalid_arg "Dataset.of_csv: bad row")
+      (List.filter (fun r -> String.trim r <> "") rows)
+
+let save ~path entries =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_csv entries))
+
+let load ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_csv (really_input_string ic (in_channel_length ic)))

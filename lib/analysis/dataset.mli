@@ -1,0 +1,36 @@
+(** Persistence for annotated equilibrium datasets.
+
+    The expensive artifact of the empirical study is the per-class
+    annotation — every connected isomorphism class with its exact BCG
+    stable interval and UCG Nash α-set.  This module serializes that
+    dataset to a line-oriented CSV (graph6 for the graph, interval syntax
+    for the regions) so downstream users can consume the equilibrium
+    atlas without OCaml, and reloads it for round-tripping. *)
+
+type entry = {
+  graph : Nf_graph.Graph.t;
+  bcg_stable : Nf_util.Interval.t;
+  ucg_nash : Nf_util.Interval.Union.t option;
+      (** [None] when the UCG annotation was skipped (large [n]) *)
+}
+
+val build : ?with_ucg:bool -> int -> entry list
+(** Annotate all connected classes on [n] vertices ([with_ucg] defaults to
+    [n <= 7]). *)
+
+val to_csv : entry list -> string
+(** Header + one line per class:
+    [graph6,n,m,bcg_stable,ucg_nash] with regions in interval syntax. *)
+
+val of_csv : string -> entry list
+(** Inverse of {!to_csv}.  @raise Invalid_argument on malformed input. *)
+
+val save : path:string -> entry list -> unit
+val load : path:string -> entry list
+
+val interval_to_string : Nf_util.Interval.t -> string
+(** Serialization syntax for one interval: [empty], or
+    [lo_bracket lo ";" hi hi_bracket] with [inf] endpoints, e.g.
+    ["[1;5]"], ["(0;1]"], ["[1;inf)"]. *)
+
+val interval_of_string : string -> Nf_util.Interval.t

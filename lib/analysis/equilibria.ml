@@ -1,0 +1,54 @@
+module Graph = Nf_graph.Graph
+module Interval = Nf_util.Interval
+open Netform
+
+let bcg_cache : (int, (Graph.t * Interval.t) list) Hashtbl.t = Hashtbl.create 8
+let ucg_cache : (int, (Graph.t * Interval.Union.t) list) Hashtbl.t = Hashtbl.create 8
+let transfers_cache : (int, (Graph.t * Interval.t) list) Hashtbl.t = Hashtbl.create 8
+
+let clear_cache () =
+  Hashtbl.reset bcg_cache;
+  Hashtbl.reset ucg_cache;
+  Hashtbl.reset transfers_cache
+
+let memoize cache n compute =
+  match Hashtbl.find_opt cache n with
+  | Some annotated -> annotated
+  | None ->
+    let annotated = compute () in
+    Hashtbl.add cache n annotated;
+    annotated
+
+let bcg_annotated n =
+  memoize bcg_cache n (fun () ->
+      List.map
+        (fun g -> (g, Bcg.stable_alpha_set g))
+        (Nf_enum.Unlabeled.connected_graphs n))
+
+let ucg_annotated n =
+  memoize ucg_cache n (fun () ->
+      List.map (fun g -> (g, Ucg.nash_alpha_set g)) (Nf_enum.Unlabeled.connected_graphs n))
+
+let bcg_stable_graphs ~n ~alpha =
+  List.filter_map
+    (fun (g, set) -> if Interval.mem alpha set then Some g else None)
+    (bcg_annotated n)
+
+let ucg_nash_graphs ~n ~alpha =
+  List.filter_map
+    (fun (g, set) -> if Interval.Union.mem alpha set then Some g else None)
+    (ucg_annotated n)
+
+let transfers_annotated n =
+  memoize transfers_cache n (fun () ->
+      List.map
+        (fun g -> (g, Transfers.stable_alpha_set g))
+        (Nf_enum.Unlabeled.connected_graphs n))
+
+let transfers_stable_graphs ~n ~alpha =
+  List.filter_map
+    (fun (g, set) -> if Interval.mem alpha set then Some g else None)
+    (transfers_annotated n)
+
+let bcg_ever_stable n =
+  List.filter (fun (_, set) -> not (Interval.is_empty set)) (bcg_annotated n)

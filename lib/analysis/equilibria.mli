@@ -1,0 +1,29 @@
+(** Exhaustive equilibrium sets over all connected topologies on [n]
+    vertices — the paper's §5 workload.
+
+    Each isomorphism class is annotated once with its exact BCG stable
+    α-set and (separately, because it is much more expensive) its exact
+    UCG Nash α-set; per-α queries are then interval-membership lookups.
+    Annotations are memoized per [n]. *)
+
+val bcg_annotated : int -> (Nf_graph.Graph.t * Nf_util.Interval.t) list
+(** All connected isomorphism classes with their pairwise-stable α-sets.
+    Practical for [n ≤ 8]. *)
+
+val ucg_annotated : int -> (Nf_graph.Graph.t * Nf_util.Interval.Union.t) list
+(** All connected isomorphism classes with their Nash α-sets.  The
+    orientation search grows with density; practical for [n ≤ 7]. *)
+
+val bcg_stable_graphs : n:int -> alpha:Nf_util.Rat.t -> Nf_graph.Graph.t list
+val ucg_nash_graphs : n:int -> alpha:Nf_util.Rat.t -> Nf_graph.Graph.t list
+
+val bcg_ever_stable : int -> (Nf_graph.Graph.t * Nf_util.Interval.t) list
+(** The classes whose stable set is nonempty, with the set. *)
+
+val transfers_annotated : int -> (Nf_graph.Graph.t * Nf_util.Interval.t) list
+(** As {!bcg_annotated} for pairwise stability with transfers
+    ({!Netform.Transfers}). *)
+
+val transfers_stable_graphs : n:int -> alpha:Nf_util.Rat.t -> Nf_graph.Graph.t list
+
+val clear_cache : unit -> unit

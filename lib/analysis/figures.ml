@@ -1,0 +1,103 @@
+module Rat = Nf_util.Rat
+open Netform
+
+type point = {
+  total_link_cost : Rat.t;
+  ucg : Poa.summary;
+  bcg : Poa.summary;
+}
+
+let sweep ~n ?(grid = Sweep.paper_grid) () =
+  List.map
+    (fun c ->
+      let alpha_ucg = c
+      and alpha_bcg = Rat.div c (Rat.of_int 2) in
+      let ucg_graphs = Equilibria.ucg_nash_graphs ~n ~alpha:alpha_ucg in
+      let bcg_graphs = Equilibria.bcg_stable_graphs ~n ~alpha:alpha_bcg in
+      {
+        total_link_cost = c;
+        ucg = Poa.summarize Cost.Ucg ~alpha:(Rat.to_float alpha_ucg) ucg_graphs;
+        bcg = Poa.summarize Cost.Bcg ~alpha:(Rat.to_float alpha_bcg) bcg_graphs;
+      })
+    grid
+
+let fmt_or_dash v = if Float.is_nan v then "-" else Printf.sprintf "%.4f" v
+
+let figure2_table points =
+  let table =
+    Nf_util.Table.create
+      [ "link cost c"; "#UCG eq"; "avg PoA UCG"; "#BCG eq"; "avg PoA BCG"; "worst UCG"; "worst BCG" ]
+  in
+  List.iter
+    (fun p ->
+      Nf_util.Table.add_row table
+        [
+          Rat.to_string p.total_link_cost;
+          string_of_int p.ucg.Poa.count;
+          fmt_or_dash p.ucg.Poa.average;
+          string_of_int p.bcg.Poa.count;
+          fmt_or_dash p.bcg.Poa.average;
+          fmt_or_dash p.ucg.Poa.worst;
+          fmt_or_dash p.bcg.Poa.worst;
+        ])
+    points;
+  Nf_util.Table.render table
+
+let figure3_table points =
+  let table =
+    Nf_util.Table.create [ "link cost c"; "#UCG eq"; "avg links UCG"; "#BCG eq"; "avg links BCG" ]
+  in
+  List.iter
+    (fun p ->
+      Nf_util.Table.add_row table
+        [
+          Rat.to_string p.total_link_cost;
+          string_of_int p.ucg.Poa.count;
+          fmt_or_dash p.ucg.Poa.average_links;
+          string_of_int p.bcg.Poa.count;
+          fmt_or_dash p.bcg.Poa.average_links;
+        ])
+    points;
+  Nf_util.Table.render table
+
+let series_of points extract =
+  List.filter_map
+    (fun p ->
+      let y = extract p in
+      if Float.is_nan y then None
+      else Some (Float.log (Rat.to_float p.total_link_cost) /. Float.log 2.0, y))
+    points
+
+let figure2_plot points =
+  Nf_util.Ascii_plot.render ~x_label:"log2(total link cost)" ~y_label:"average PoA"
+    ~title:"Figure 2: average price of anarchy of equilibrium networks"
+    [
+      { Nf_util.Ascii_plot.label = "UCG (Nash graphs)"; marker = 'u';
+        points = series_of points (fun p -> p.ucg.Poa.average) };
+      { Nf_util.Ascii_plot.label = "BCG (pairwise stable)"; marker = 'b';
+        points = series_of points (fun p -> p.bcg.Poa.average) };
+    ]
+
+let figure3_plot points =
+  Nf_util.Ascii_plot.render ~x_label:"log2(total link cost)" ~y_label:"average #links"
+    ~title:"Figure 3: average number of links in equilibrium networks"
+    [
+      { Nf_util.Ascii_plot.label = "UCG (Nash graphs)"; marker = 'u';
+        points = series_of points (fun p -> p.ucg.Poa.average_links) };
+      { Nf_util.Ascii_plot.label = "BCG (pairwise stable)"; marker = 'b';
+        points = series_of points (fun p -> p.bcg.Poa.average_links) };
+    ]
+
+let to_csv points =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "total_link_cost,ucg_count,ucg_avg_poa,ucg_worst_poa,ucg_avg_links,bcg_count,bcg_avg_poa,bcg_worst_poa,bcg_avg_links\n";
+  List.iter
+    (fun p ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%d,%f,%f,%f,%d,%f,%f,%f\n"
+           (Rat.to_string p.total_link_cost)
+           p.ucg.Poa.count p.ucg.Poa.average p.ucg.Poa.worst p.ucg.Poa.average_links
+           p.bcg.Poa.count p.bcg.Poa.average p.bcg.Poa.worst p.bcg.Poa.average_links))
+    points;
+  Buffer.contents buf

@@ -1,0 +1,30 @@
+(** The paper's Figure 2 (average price of anarchy vs link cost) and
+    Figure 3 (average number of links vs link cost).
+
+    The paper plots the UCG at [log α] and the BCG at [log 2α], i.e. it
+    aligns the two games at equal {e total} cost per link.  We reproduce
+    that alignment: each grid point [c] is the total link cost; the UCG is
+    evaluated at [α = c] and the BCG at [α = c/2]. *)
+
+type point = {
+  total_link_cost : Nf_util.Rat.t;  (** the grid value [c] *)
+  ucg : Netform.Poa.summary;  (** over all UCG Nash graphs at [α = c] *)
+  bcg : Netform.Poa.summary;  (** over all BCG stable graphs at [α = c/2] *)
+}
+
+val sweep : n:int -> ?grid:Nf_util.Rat.t list -> unit -> point list
+(** Exhaustive equilibrium sweep on [n] players over the grid (default
+    {!Sweep.paper_grid}). *)
+
+val figure2_table : point list -> string
+(** α, equilibrium counts, and average PoA per game, as an aligned
+    table. *)
+
+val figure3_table : point list -> string
+val figure2_plot : point list -> string
+(** ASCII rendering: average PoA vs [log₂] of the total link cost. *)
+
+val figure3_plot : point list -> string
+
+val to_csv : point list -> string
+(** Machine-readable dump of the full sweep. *)

@@ -1,0 +1,42 @@
+module Rat = Nf_util.Rat
+
+let named_graphs =
+  Nf_named.Gallery.all
+  @ [
+      ("k4", Nf_named.Families.complete 4);
+      ("k5", Nf_named.Families.complete 5);
+      ("k7", Nf_named.Families.complete 7);
+      ("c4", Nf_named.Families.cycle 4);
+      ("c5", Nf_named.Families.cycle 5);
+      ("c8", Nf_named.Families.cycle 8);
+      ("c12", Nf_named.Families.cycle 12);
+      ("star6", Nf_named.Families.star 6);
+      ("star10", Nf_named.Families.star 10);
+      ("path6", Nf_named.Families.path 6);
+      ("wheel7", Nf_named.Families.wheel 7);
+      ("q3", Nf_named.Families.hypercube 3);
+      ("q4", Nf_named.Families.hypercube 4);
+      ("k33", Nf_named.Families.complete_bipartite 3 3);
+    ]
+
+let alpha_of_string s =
+  let s = String.trim s in
+  try
+    match String.index_opt s '/' with
+    | Some k ->
+      Ok
+        (Rat.make
+           (int_of_string (String.sub s 0 k))
+           (int_of_string (String.sub s (k + 1) (String.length s - k - 1))))
+    | None -> Ok (Sweep.dyadic (float_of_string s))
+  with _ -> Error (Printf.sprintf "bad link cost %S (use e.g. 2, 0.5 or 7/2)" s)
+
+let graph_of_spec spec =
+  match List.assoc_opt (String.lowercase_ascii spec) named_graphs with
+  | Some g -> Ok g
+  | None -> (
+    try Ok (Nf_graph.Graph6.decode spec)
+    with Invalid_argument msg ->
+      Error
+        (Printf.sprintf "unknown graph %S (not a gallery name, and graph6 failed: %s)" spec
+           msg))

@@ -1,0 +1,12 @@
+(** Parsers shared by the CLI and tests.
+
+    Link costs accept integers ("2"), dyadic decimals ("0.75"), and exact
+    fractions ("7/2"); graphs accept gallery names (case-insensitive) and
+    graph6 strings. *)
+
+val alpha_of_string : string -> (Nf_util.Rat.t, string) result
+val graph_of_spec : string -> (Nf_graph.Graph.t, string) result
+
+val named_graphs : (string * Nf_graph.Graph.t) list
+(** The gallery plus convenience instances of the parametric families
+    (k5, c8, star10, q4, ...). *)

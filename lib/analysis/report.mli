@@ -1,0 +1,21 @@
+(** Writing experiment artifacts to disk.
+
+    One text file per experiment plus machine-readable CSVs for the two
+    plotted figures and the equilibrium atlas — the layout a paper-repro
+    run leaves behind for inspection. *)
+
+val write_all :
+  dir:string ->
+  results:Experiments.result list ->
+  points:Figures.point list ->
+  unit ->
+  string list
+(** Creates [dir] if needed and writes:
+    - [E<k>_<slug>.txt] per experiment,
+    - [figure2_figure3.csv] from the sweep points,
+    - [summary.txt] with one status line per experiment.
+    Returns the paths written. *)
+
+val slug_of_title : string -> string
+(** Lowercased, alphanumeric-and-dashes rendering of an experiment
+    title. *)

@@ -1,0 +1,54 @@
+module Graph = Nf_graph.Graph
+module Props = Nf_graph.Props
+
+type shape =
+  | Complete
+  | Star
+  | Path
+  | Cycle
+  | Tree
+  | Diameter_two
+  | Regular of int
+  | Other
+
+let classify g =
+  if Graph.is_complete g then Complete
+  else if Props.is_star g then Star
+  else if Props.is_path g then Path
+  else if Props.is_cycle g then Cycle
+  else if Props.is_tree g then Tree
+  else if Props.has_diameter_at_most g 2 then Diameter_two
+  else
+    match Props.regularity g with
+    | Some k -> Regular k
+    | None -> Other
+
+let shape_name = function
+  | Complete -> "complete"
+  | Star -> "star"
+  | Path -> "path"
+  | Cycle -> "cycle"
+  | Tree -> "tree"
+  | Diameter_two -> "diam<=2"
+  | Regular k -> Printf.sprintf "%d-regular" k
+  | Other -> "other"
+
+type census = (shape * int) list
+
+let census graphs =
+  let table = Hashtbl.create 8 in
+  List.iter
+    (fun g ->
+      let s = classify g in
+      Hashtbl.replace table s (1 + Option.value ~default:0 (Hashtbl.find_opt table s)))
+    graphs;
+  let entries = Hashtbl.fold (fun s c acc -> (s, c) :: acc) table [] in
+  List.sort (fun (s1, c1) (s2, c2) -> compare (c2, s1) (c1, s2)) entries
+
+let census_to_string entries =
+  if entries = [] then "(none)"
+  else
+    String.concat " "
+      (List.map (fun (s, c) -> Printf.sprintf "%s:%d" (shape_name s) c) entries)
+
+let all_trees graphs = List.for_all Props.is_tree graphs

@@ -1,0 +1,32 @@
+(** Structural census of equilibrium topologies.
+
+    Section 5 of the paper explains the Figure 2 hump through the *shapes*
+    admitted at each link cost — dense diameter-2 graphs at the low end,
+    over-connected intermediates, and only trees once [α > n²].  This
+    module classifies a set of graphs into the shape classes that
+    discussion uses. *)
+
+type shape =
+  | Complete
+  | Star
+  | Path
+  | Cycle
+  | Tree  (** a tree that is neither a star nor a path *)
+  | Diameter_two  (** diameter ≤ 2, not complete and not a star *)
+  | Regular of int  (** k-regular, none of the above *)
+  | Other
+
+val classify : Nf_graph.Graph.t -> shape
+(** The most specific class that applies (tested in the order above). *)
+
+val shape_name : shape -> string
+
+type census = (shape * int) list
+(** Shape → multiplicity, most frequent first; omits empty classes. *)
+
+val census : Nf_graph.Graph.t list -> census
+val census_to_string : census -> string
+(** e.g. ["tree:5 star:1 other:2"]. *)
+
+val all_trees : Nf_graph.Graph.t list -> bool
+(** Every graph is a tree (stars and paths count). *)

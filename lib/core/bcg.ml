@@ -1,0 +1,161 @@
+module Graph = Nf_graph.Graph
+module Bfs = Nf_graph.Bfs
+module Ext_int = Nf_util.Ext_int
+module Rat = Nf_util.Rat
+module Interval = Nf_util.Interval
+
+let addition_benefit g i j =
+  if Graph.has_edge g i j then invalid_arg "Bcg.addition_benefit: edge present";
+  let before = Bfs.distance_sum g i
+  and after = Bfs.distance_sum (Graph.add_edge g i j) i in
+  match before, after with
+  | Ext_int.Fin b, Ext_int.Fin a -> Ext_int.Fin (b - a)
+  | Ext_int.Inf, Ext_int.Fin _ -> Ext_int.Inf
+  | Ext_int.Inf, Ext_int.Inf -> Ext_int.Fin 0
+  | Ext_int.Fin _, Ext_int.Inf -> assert false (* adding cannot disconnect *)
+
+let severance_loss g i j =
+  if not (Graph.has_edge g i j) then invalid_arg "Bcg.severance_loss: not an edge";
+  let before = Bfs.distance_sum g i
+  and after = Bfs.distance_sum (Graph.remove_edge g i j) i in
+  match before, after with
+  | Ext_int.Fin b, Ext_int.Fin a -> Ext_int.Fin (a - b)
+  | Ext_int.Fin _, Ext_int.Inf -> Ext_int.Inf (* bridge *)
+  | Ext_int.Inf, _ ->
+    (* i's cost is infinite with or without the edge: indifferent, and the
+       weak deletion inequality of Definition 3 always holds *)
+    Ext_int.Inf
+
+(* [min(benefit_i, benefit_j)] — the willingness of the less interested
+   endpoint, which is what consent requires. *)
+let pair_benefit g i j = Ext_int.min (addition_benefit g i j) (addition_benefit g j i)
+
+let alpha_min g =
+  let worst = ref (Ext_int.Fin 0) in
+  Graph.iter_non_edges g (fun i j -> worst := Ext_int.max !worst (pair_benefit g i j));
+  !worst
+
+let alpha_max g =
+  let best = ref Ext_int.Inf in
+  Graph.iter_edges g (fun i j ->
+      best := Ext_int.min !best (severance_loss g i j);
+      best := Ext_int.min !best (severance_loss g j i));
+  !best
+
+let endpoint_of_ext = function
+  | Ext_int.Fin k -> Interval.Finite (Rat.of_int k)
+  | Ext_int.Inf -> Interval.Pos_inf
+
+let positive = Interval.open_closed Rat.zero Interval.Pos_inf
+
+let stability_interval g =
+  Interval.inter positive
+    (Interval.make ~lo:(endpoint_of_ext (alpha_min g)) ~lo_closed:false
+       ~hi:(endpoint_of_ext (alpha_max g)) ~hi_closed:true)
+
+let stable_alpha_set g =
+  let lo = alpha_min g in
+  (* The left end is attained exactly when every missing edge whose
+     less-interested benefit equals α_min is a tie (both endpoints equally
+     interested): at α = benefit the strict "ci < ci" premise of
+     Definition 3 fails on both sides. *)
+  let lo_closed =
+    match lo with
+    | Ext_int.Inf -> false
+    | Ext_int.Fin _ ->
+      let closed = ref true in
+      Graph.iter_non_edges g (fun i j ->
+          if Ext_int.equal (pair_benefit g i j) lo then
+            if not (Ext_int.equal (addition_benefit g i j) (addition_benefit g j i))
+            then closed := false);
+      !closed
+  in
+  Interval.inter positive
+    (Interval.make ~lo:(endpoint_of_ext lo) ~lo_closed ~hi:(endpoint_of_ext (alpha_max g))
+       ~hi_closed:true)
+
+(* α compared against an integer-or-infinite threshold, exactly. *)
+let rat_lt alpha = function
+  | Ext_int.Inf -> true
+  | Ext_int.Fin k -> Rat.(alpha < of_int k)
+
+let rat_le alpha = function
+  | Ext_int.Inf -> true
+  | Ext_int.Fin k -> Rat.(alpha <= of_int k)
+
+let is_pairwise_stable ~alpha g =
+  let deletions_ok = rat_le alpha (alpha_max g) in
+  deletions_ok
+  &&
+  let ok = ref true in
+  Graph.iter_non_edges g (fun i j ->
+      let bi = addition_benefit g i j
+      and bj = addition_benefit g j i in
+      (* unstable when one endpoint strictly gains (α < b) and the other
+         does not strictly lose (α ≤ b) *)
+      if (rat_lt alpha bi && rat_le alpha bj) || (rat_lt alpha bj && rat_le alpha bi)
+      then ok := false);
+  !ok
+
+let is_pairwise_stable_f ~alpha g =
+  (* dyadic floats convert exactly; reject anything that does not *)
+  let denom = 4096 in
+  let scaled = alpha *. float_of_int denom in
+  if Float.is_integer scaled then
+    is_pairwise_stable ~alpha:(Rat.make (int_of_float scaled) denom) g
+  else invalid_arg "Bcg.is_pairwise_stable_f: alpha not dyadic with denominator <= 4096"
+
+(* distance increase to player i from severing the whole neighbor set B *)
+let group_severance_loss g i nbrs =
+  let without = Nf_util.Bitset.fold (fun j acc -> Graph.remove_edge acc i j) nbrs g in
+  match Bfs.distance_sum g i, Bfs.distance_sum without i with
+  | Ext_int.Fin b, Ext_int.Fin a -> Ext_int.Fin (a - b)
+  | Ext_int.Fin _, Ext_int.Inf -> Ext_int.Inf
+  | Ext_int.Inf, _ -> Ext_int.Inf
+
+let is_pairwise_nash ~alpha g =
+  (* Nash part: no player gains by dropping any subset of its links (a
+     unilateral deviation can only sever in the BCG — announcing new links
+     without consent just costs α per announcement). *)
+  let n = Graph.order g in
+  let nash_ok = ref true in
+  for i = 0 to n - 1 do
+    Nf_util.Subset.iter_subsets (Graph.neighbors g i) (fun nbrs ->
+        if not (Nf_util.Bitset.is_empty nbrs) then begin
+          let k = Nf_util.Bitset.cardinal nbrs in
+          (* improving iff ΔD < α·k *)
+          match group_severance_loss g i nbrs with
+          | Ext_int.Inf -> ()
+          | Ext_int.Fin delta ->
+            if Rat.(of_int delta < mul (of_int k) alpha) then nash_ok := false
+        end)
+  done;
+  !nash_ok
+  &&
+  (* pairwise part: identical to the addition half of pairwise stability *)
+  let ok = ref true in
+  Graph.iter_non_edges g (fun i j ->
+      let bi = addition_benefit g i j
+      and bj = addition_benefit g j i in
+      if (rat_lt alpha bi && rat_le alpha bj) || (rat_lt alpha bj && rat_le alpha bi)
+      then ok := false);
+  !ok
+
+let improving_addition ~alpha g =
+  let found = ref None in
+  Graph.iter_non_edges g (fun i j ->
+      if !found = None then begin
+        let bi = addition_benefit g i j
+        and bj = addition_benefit g j i in
+        if (rat_lt alpha bi && rat_le alpha bj) || (rat_lt alpha bj && rat_le alpha bi)
+        then found := Some (i, j)
+      end);
+  !found
+
+let improving_deletion ~alpha g =
+  let found = ref None in
+  Graph.iter_edges g (fun i j ->
+      if !found = None then
+        if not (rat_le alpha (severance_loss g i j)) then found := Some (i, j)
+        else if not (rat_le alpha (severance_loss g j i)) then found := Some (j, i));
+  !found

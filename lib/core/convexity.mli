@@ -1,0 +1,45 @@
+(** Convexity notions from the paper: cost convexity (Definition 4 /
+    Lemma 1) and link convexity (Definition 6 / Lemma 2).
+
+    Link convexity is the paper's workhorse sufficient condition: a link
+    convex graph is pairwise stable for some link cost (the gap between
+    the best addition and the worst severance is nonempty). *)
+
+val deletion_distance_increase :
+  Nf_graph.Graph.t -> int -> Nf_util.Bitset.t -> Nf_util.Ext_int.t
+(** [deletion_distance_increase g i nbrs] is the increase in [Σd(i,·)]
+    when [i] severs all its links to [nbrs] at once ([nbrs ⊆ neighbors i]).
+    @raise Invalid_argument when [nbrs] contains a non-neighbor. *)
+
+val is_cost_convex_at : Nf_graph.Graph.t -> int -> bool
+(** Lemma 1's statement for one player: for every subset [B] of [i]'s
+    links, the joint severance increase is at least the sum of the
+    single-link increases.  (Checks [2^deg(i)] subsets.) *)
+
+val is_cost_convex : Nf_graph.Graph.t -> bool
+(** {!is_cost_convex_at} for every player.  Lemma 1 proves this always
+    holds; the test suite uses this checker to verify the lemma on
+    enumerated and random graphs. *)
+
+val max_addition_gain : Nf_graph.Graph.t -> Nf_util.Ext_int.t option
+(** Largest single-endpoint distance saving over all ordered missing
+    links; [None] for the complete graph. *)
+
+val min_severance_loss : Nf_graph.Graph.t -> Nf_util.Ext_int.t option
+(** Smallest single-endpoint distance increase over all ordered existing
+    links; [None] for the empty graph. *)
+
+val is_link_convex : Nf_graph.Graph.t -> bool
+(** Definition 6: every possible addition saves (strictly) less than every
+    possible severance costs.  Vacuously true for complete graphs. *)
+
+val link_convexity_gap : Nf_graph.Graph.t -> (Nf_util.Ext_int.t * Nf_util.Ext_int.t) option
+(** [(max addition gain, min severance loss)] when both sides exist — the
+    two ends of inequality (3). *)
+
+val witness_alpha : Nf_graph.Graph.t -> Nf_util.Rat.t option
+(** Proposition 2's constructive content: for a link convex graph, a link
+    cost inside the gap of inequality (3) at which the graph is pairwise
+    stable (hence pairwise Nash, hence achievable as a proper
+    equilibrium).  [None] when the graph is not link convex.  The test
+    suite asserts [Bcg.is_pairwise_stable ~alpha:(witness) g]. *)

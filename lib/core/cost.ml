@@ -1,0 +1,33 @@
+module Graph = Nf_graph.Graph
+module Bfs = Nf_graph.Bfs
+module Apsp = Nf_graph.Apsp
+module Ext_int = Nf_util.Ext_int
+
+type game =
+  | Bcg
+  | Ucg
+
+let distance_cost g i = Bfs.distance_sum g i
+let total_distance_cost g = Apsp.wiener g
+
+let player_cost ~alpha g i =
+  (alpha *. float_of_int (Graph.degree g i)) +. Ext_int.to_float (distance_cost g i)
+
+let player_cost_owned ~alpha g i ~owned =
+  (alpha *. float_of_int owned) +. Ext_int.to_float (distance_cost g i)
+
+let social_cost game ~alpha g =
+  let edge_multiplier =
+    match game with
+    | Bcg -> 2.0
+    | Ucg -> 1.0
+  in
+  (edge_multiplier *. alpha *. float_of_int (Graph.size g))
+  +. Ext_int.to_float (total_distance_cost g)
+
+let social_cost_lower_bound ~alpha n m =
+  float_of_int (2 * n * (n - 1)) +. (2.0 *. (alpha -. 1.0) *. float_of_int m)
+
+let is_social_cost_bound_tight ~alpha g =
+  let bound = social_cost_lower_bound ~alpha (Graph.order g) (Graph.size g) in
+  social_cost Bcg ~alpha g = bound

@@ -1,0 +1,101 @@
+module Graph = Nf_graph.Graph
+module Bfs = Nf_graph.Bfs
+module Ext_int = Nf_util.Ext_int
+module Rat = Nf_util.Rat
+module Interval = Nf_util.Interval
+
+type profile = {
+  name : string;
+  f : int -> int;
+}
+
+let linear = { name = "linear"; f = Fun.id }
+let quadratic = { name = "quadratic"; f = (fun d -> d * d) }
+let hop_capped h = { name = Printf.sprintf "hop-capped(%d)" h; f = (fun d -> min d h) }
+let connectivity = { name = "connectivity"; f = (fun _ -> 0) }
+
+let distance_cost profile g i =
+  let dist = Bfs.distances g i in
+  let total = ref 0
+  and disconnected = ref false in
+  Array.iter
+    (fun d -> if d < 0 then disconnected := true else total := !total + profile.f d)
+    dist;
+  if !disconnected then Ext_int.Inf else Ext_int.Fin !total
+
+let addition_benefit profile g i j =
+  if Graph.has_edge g i j then invalid_arg "Distance_utility.addition_benefit: edge present";
+  let before = distance_cost profile g i
+  and after = distance_cost profile (Graph.add_edge g i j) i in
+  match before, after with
+  | Ext_int.Fin b, Ext_int.Fin a -> Ext_int.Fin (b - a)
+  | Ext_int.Inf, Ext_int.Fin _ -> Ext_int.Inf
+  | Ext_int.Inf, Ext_int.Inf -> Ext_int.Fin 0
+  | Ext_int.Fin _, Ext_int.Inf -> assert false
+
+let severance_loss profile g i j =
+  if not (Graph.has_edge g i j) then
+    invalid_arg "Distance_utility.severance_loss: not an edge";
+  let before = distance_cost profile g i
+  and after = distance_cost profile (Graph.remove_edge g i j) i in
+  match before, after with
+  | Ext_int.Fin b, Ext_int.Fin a -> Ext_int.Fin (a - b)
+  | Ext_int.Fin _, Ext_int.Inf -> Ext_int.Inf
+  | Ext_int.Inf, _ -> Ext_int.Inf
+
+let pair_benefit profile g i j =
+  Ext_int.min (addition_benefit profile g i j) (addition_benefit profile g j i)
+
+let endpoint_of_ext = function
+  | Ext_int.Fin k -> Interval.Finite (Rat.of_int k)
+  | Ext_int.Inf -> Interval.Pos_inf
+
+let positive = Interval.open_closed Rat.zero Interval.Pos_inf
+
+let stable_alpha_set profile g =
+  let lo = ref (Ext_int.Fin 0) in
+  Graph.iter_non_edges g (fun i j -> lo := Ext_int.max !lo (pair_benefit profile g i j));
+  let hi = ref Ext_int.Inf in
+  Graph.iter_edges g (fun i j ->
+      hi := Ext_int.min !hi (severance_loss profile g i j);
+      hi := Ext_int.min !hi (severance_loss profile g j i));
+  let lo_closed =
+    match !lo with
+    | Ext_int.Inf -> false
+    | Ext_int.Fin _ ->
+      let closed = ref true in
+      Graph.iter_non_edges g (fun i j ->
+          if Ext_int.equal (pair_benefit profile g i j) !lo then
+            if
+              not
+                (Ext_int.equal (addition_benefit profile g i j)
+                   (addition_benefit profile g j i))
+            then closed := false);
+      !closed
+  in
+  Interval.inter positive
+    (Interval.make ~lo:(endpoint_of_ext !lo) ~lo_closed ~hi:(endpoint_of_ext !hi)
+       ~hi_closed:true)
+
+let rat_lt alpha = function
+  | Ext_int.Inf -> true
+  | Ext_int.Fin k -> Rat.(alpha < of_int k)
+
+let rat_le alpha = function
+  | Ext_int.Inf -> true
+  | Ext_int.Fin k -> Rat.(alpha <= of_int k)
+
+let is_pairwise_stable profile ~alpha g =
+  let deletions_ok = ref true in
+  Graph.iter_edges g (fun i j ->
+      if not (rat_le alpha (severance_loss profile g i j)) then deletions_ok := false;
+      if not (rat_le alpha (severance_loss profile g j i)) then deletions_ok := false);
+  !deletions_ok
+  &&
+  let additions_ok = ref true in
+  Graph.iter_non_edges g (fun i j ->
+      let bi = addition_benefit profile g i j
+      and bj = addition_benefit profile g j i in
+      if (rat_lt alpha bi && rat_le alpha bj) || (rat_lt alpha bj && rat_le alpha bi)
+      then additions_ok := false);
+  !additions_ok

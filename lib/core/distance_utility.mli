@@ -1,0 +1,44 @@
+(** Generalized distance-based utilities.
+
+    The paper's cost charges raw hop counts ([f(d) = d]); the related work
+    it cites (Kannan, Ray & Sarangi) asks how the architecture of stable
+    networks changes under other distance-based utility functions.  This
+    module re-runs the bilateral stability analysis for any nondecreasing
+    integer-valued [f]: player [i]'s cost is [α|s_i| + Σ_j f(d(i,j))].
+
+    All thresholds remain integers, so the exact-interval machinery of
+    {!Bcg} carries over verbatim. *)
+
+type profile = {
+  name : string;
+  f : int -> int;  (** applied to finite hop counts [d ≥ 0]; must be
+                       nondecreasing with [f 0 = 0] *)
+}
+
+val linear : profile
+(** The paper's [f(d) = d]. *)
+
+val quadratic : profile
+(** [f(d) = d²]: long routes hurt disproportionately (latency-sensitive
+    traffic). *)
+
+val hop_capped : int -> profile
+(** [hop_capped h]: [f(d) = min d h] — beyond [h] hops everything is
+    equally bad (TTL-limited flooding). *)
+
+val connectivity : profile
+(** [f(d) = 0] for every finite [d]: players only care about being
+    connected at all. *)
+
+val distance_cost : profile -> Nf_graph.Graph.t -> int -> Nf_util.Ext_int.t
+(** [Σ_j f(d(i,j))], infinite when some vertex is unreachable. *)
+
+val addition_benefit : profile -> Nf_graph.Graph.t -> int -> int -> Nf_util.Ext_int.t
+val severance_loss : profile -> Nf_graph.Graph.t -> int -> int -> Nf_util.Ext_int.t
+
+val stable_alpha_set : profile -> Nf_graph.Graph.t -> Nf_util.Interval.t
+(** Exact pairwise-stable region under [f], with the same tie handling as
+    {!Bcg.stable_alpha_set}.  For [linear] this equals
+    [Bcg.stable_alpha_set] (property-tested). *)
+
+val is_pairwise_stable : profile -> alpha:Nf_util.Rat.t -> Nf_graph.Graph.t -> bool

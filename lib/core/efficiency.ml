@@ -1,0 +1,68 @@
+module Graph = Nf_graph.Graph
+
+let edge_multiplier = function
+  | Cost.Bcg -> 2.0
+  | Cost.Ucg -> 1.0
+
+(* star on n: n-1 edges; ordered-pair distance total 2(n-1)^2 *)
+let star_social_cost game ~alpha n =
+  if n <= 1 then 0.0
+  else
+    (edge_multiplier game *. alpha *. float_of_int (n - 1))
+    +. float_of_int (2 * (n - 1) * (n - 1))
+
+(* complete graph on n: n(n-1)/2 edges, all ordered distances 1 *)
+let complete_social_cost game ~alpha n =
+  if n <= 1 then 0.0
+  else
+    (edge_multiplier game *. alpha *. float_of_int (n * (n - 1) / 2))
+    +. float_of_int (n * (n - 1))
+
+(* Lemma 4/5 (and Fabrikant et al. for the UCG): below the threshold every
+   edge is worth its distance saving, so the clique wins; above it the
+   star is the cheapest diameter-2 graph.  The threshold is where one
+   edge's cost (2α in the BCG, α in the UCG) equals the distance saved by
+   shortening one pair from 2 to 1 (which is 2). *)
+let optimal_social_cost game ~alpha n =
+  if n <= 1 then 0.0
+  else Float.min (star_social_cost game ~alpha n) (complete_social_cost game ~alpha n)
+
+let threshold = function
+  | Cost.Bcg -> 1.0
+  | Cost.Ucg -> 2.0
+
+let efficient_graphs game ~alpha n =
+  let star = Nf_graph.Graph.of_edges n (List.init (max 0 (n - 1)) (fun i -> (0, i + 1))) in
+  let complete =
+    let g = ref (Graph.empty n) in
+    Nf_util.Subset.iter_pairs n (fun i j -> g := Graph.add_edge !g i j);
+    !g
+  in
+  if n <= 2 then [ complete ]
+  else
+    let t = threshold game in
+    if alpha < t then [ complete ]
+    else if alpha > t then [ star ]
+    else [ complete; star ]
+
+let is_efficient game ~alpha g =
+  Cost.social_cost game ~alpha g = optimal_social_cost game ~alpha (Graph.order g)
+
+let optimal_social_cost_enumerated game ~alpha n =
+  if n <= 1 then 0.0
+  else begin
+    let best = ref infinity in
+    (* only connected graphs have finite social cost *)
+    let bits = n * (n - 1) / 2 in
+    if bits > 21 then invalid_arg "Efficiency.optimal_social_cost_enumerated: n too large";
+    let pairs = ref [] in
+    Nf_util.Subset.iter_pairs n (fun i j -> pairs := (i, j) :: !pairs);
+    let pairs = Array.of_list !pairs in
+    for mask = 0 to (1 lsl bits) - 1 do
+      let g = ref (Graph.empty n) in
+      Array.iteri (fun k (i, j) -> if mask land (1 lsl k) <> 0 then g := Graph.add_edge !g i j) pairs;
+      let c = Cost.social_cost game ~alpha !g in
+      if c < !best then best := c
+    done;
+    !best
+  end

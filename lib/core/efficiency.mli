@@ -1,0 +1,22 @@
+(** Efficient (social-cost-minimizing) networks (Lemmas 4 and 5).
+
+    In the BCG the optimum is the complete graph for [α ≤ 1] and the star
+    for [α ≥ 1]; in the UCG (one-sided link payment) the threshold sits at
+    [α = 2].  Closed forms below; {!optimal_social_cost_enumerated} brute
+    forces tiny instances as ground truth for the tests. *)
+
+val optimal_social_cost : Cost.game -> alpha:float -> int -> float
+(** Minimum social cost over all graphs on [n ≥ 1] vertices. *)
+
+val efficient_graphs : Cost.game -> alpha:float -> int -> Nf_graph.Graph.t list
+(** The optimizer(s): complete graph, star, or both at the threshold
+    (representative labelings). *)
+
+val is_efficient : Cost.game -> alpha:float -> Nf_graph.Graph.t -> bool
+(** Social cost equals {!optimal_social_cost} for its order. *)
+
+val optimal_social_cost_enumerated : Cost.game -> alpha:float -> int -> float
+(** Exhaustive minimum over all labeled graphs ([n ≤ 7]); test oracle. *)
+
+val star_social_cost : Cost.game -> alpha:float -> int -> float
+val complete_social_cost : Cost.game -> alpha:float -> int -> float

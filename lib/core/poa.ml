@@ -1,0 +1,30 @@
+module Graph = Nf_graph.Graph
+
+let price_of_anarchy game ~alpha g =
+  let n = Graph.order g in
+  if n <= 1 then nan
+  else Cost.social_cost game ~alpha g /. Efficiency.optimal_social_cost game ~alpha n
+
+type summary = {
+  count : int;
+  worst : float;
+  average : float;
+  best : float;
+  average_links : float;
+}
+
+let summarize game ~alpha graphs =
+  let ratios = List.map (price_of_anarchy game ~alpha) graphs in
+  let links = List.map (fun g -> float_of_int (Graph.size g)) graphs in
+  let stats = Nf_util.Stats.of_list ratios in
+  {
+    count = List.length graphs;
+    worst = Nf_util.Stats.max stats;
+    average = Nf_util.Stats.mean stats;
+    best = Nf_util.Stats.min stats;
+    average_links = Nf_util.Stats.mean (Nf_util.Stats.of_list links);
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf "count=%d worst=%.4f avg=%.4f best=%.4f avg_links=%.2f" s.count
+    s.worst s.average s.best s.average_links

@@ -1,0 +1,22 @@
+(** Price of anarchy: [ρ(G) = C(G) / C(opt)] (paper §4).
+
+    The BCG's worst case ranges over pairwise stable graphs, the UCG's
+    over Nash graphs; both are aggregated here given a set of equilibrium
+    graphs produced by the enumeration pipeline. *)
+
+val price_of_anarchy : Cost.game -> alpha:float -> Nf_graph.Graph.t -> float
+(** [C(G)] over the optimum for [G]'s order; [infinity] when [G] is
+    disconnected, [nan] for [n ≤ 1]. *)
+
+type summary = {
+  count : int;  (** number of equilibrium graphs *)
+  worst : float;  (** the price of anarchy proper (max ρ) *)
+  average : float;  (** the paper's Figure 2 quantity (mean ρ) *)
+  best : float;  (** min ρ — the price of stability *)
+  average_links : float;  (** the paper's Figure 3 quantity *)
+}
+
+val summarize : Cost.game -> alpha:float -> Nf_graph.Graph.t list -> summary
+(** Aggregate over an equilibrium set; [count = 0] yields [nan] fields. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,177 @@
+module Graph = Nf_graph.Graph
+module Bitset = Nf_util.Bitset
+
+type report = {
+  epsilon : float;
+  iterations_used : int;
+  target_mass : float array;
+  min_target_mass : float;
+  constraints_ok : bool;
+}
+
+let max_order = 4
+
+(* Completely mixed opponents give every disconnected graph positive
+   probability, so infinite distances would make every expectation
+   infinite — and any huge finite surrogate makes redundant announcements
+   valuable as "disconnection insurance" under trembles, drowning the
+   actual cost ordering.  Properness (Myerson, and the Lemma 3 source
+   model) presumes bounded payoffs; we bound the game by capping an
+   unreachable pair's distance at [n], one more than any connected
+   distance, which coincides with the true cost on every connected
+   outcome. *)
+let disconnection_penalty n _alpha = float_of_int n
+
+(* pure strategies of player i: subsets of the other players *)
+let strategy_masks n i =
+  let ground = Bitset.remove i (Bitset.full n) in
+  let masks = ref [] in
+  Nf_util.Subset.iter_subsets ground (fun s -> masks := s :: !masks);
+  Array.of_list (List.rev !masks)
+
+let build_graph game n rows =
+  let g = ref (Graph.empty n) in
+  Nf_util.Subset.iter_pairs n (fun i j ->
+      let formed =
+        match game with
+        | Cost.Ucg -> Bitset.mem j rows.(i) || Bitset.mem i rows.(j)
+        | Cost.Bcg -> Bitset.mem j rows.(i) && Bitset.mem i rows.(j)
+      in
+      if formed then g := Graph.add_edge !g i j);
+  !g
+
+let pure_costs game ~alpha ~penalty n rows =
+  let g = build_graph game n rows in
+  Array.init n (fun i ->
+      let dist = Nf_graph.Bfs.distances g i in
+      let total = ref 0.0 in
+      Array.iteri
+        (fun j d -> if j <> i then total := !total +. (if d < 0 then penalty else float_of_int d))
+        dist;
+      (alpha *. float_of_int (Bitset.cardinal rows.(i))) +. !total)
+
+(* the full payoff tensor, indexed by per-player strategy indices mixed in
+   base [num_strategies] *)
+let payoff_tensor game ~alpha n =
+  let masks = Array.init n (strategy_masks n) in
+  let s = Array.length masks.(0) in
+  let total = int_of_float (float_of_int s ** float_of_int n) in
+  let penalty = disconnection_penalty n alpha in
+  let costs = Array.make_matrix total n 0.0 in
+  let rows = Array.make n Bitset.empty in
+  for code = 0 to total - 1 do
+    let rest = ref code in
+    for i = 0 to n - 1 do
+      rows.(i) <- masks.(i).(!rest mod s);
+      rest := !rest / s
+    done;
+    costs.(code) <- pure_costs game ~alpha ~penalty n rows
+  done;
+  (masks, s, costs)
+
+(* expected cost to player i of playing index ip, under mixed opponents *)
+let expected_costs n s costs sigma i =
+  let expectations = Array.make s 0.0 in
+  let total = Array.length costs in
+  for code = 0 to total - 1 do
+    (* decode i's coordinate and the opponents' joint probability *)
+    let rest = ref code in
+    let ip = ref 0 in
+    let weight = ref 1.0 in
+    for j = 0 to n - 1 do
+      let idx = !rest mod s in
+      rest := !rest / s;
+      if j = i then ip := idx else weight := !weight *. sigma.(j).(idx)
+    done;
+    expectations.(!ip) <- expectations.(!ip) +. (!weight *. costs.(code).(i))
+  done;
+  expectations
+
+let rank_weights ~epsilon expectations =
+  let s = Array.length expectations in
+  let tolerance = 1e-9 in
+  let weights =
+    Array.init s (fun a ->
+        let better = ref 0 in
+        for b = 0 to s - 1 do
+          if expectations.(b) < expectations.(a) -. tolerance then incr better
+        done;
+        epsilon ** float_of_int !better)
+  in
+  let z = Array.fold_left ( +. ) 0.0 weights in
+  Array.map (fun w -> w /. z) weights
+
+let check_constraints ~epsilon n s costs sigma =
+  let ok = ref true in
+  let tolerance = 1e-9 in
+  for i = 0 to n - 1 do
+    let e = expected_costs n s costs sigma i in
+    for a = 0 to s - 1 do
+      for b = 0 to s - 1 do
+        (* costlier mistakes must be an ε-factor rarer *)
+        if e.(b) > e.(a) +. tolerance && sigma.(i).(b) > (epsilon *. sigma.(i).(a)) +. 1e-12
+        then ok := false
+      done
+    done
+  done;
+  !ok
+
+let analyze game ~alpha ~target ?(epsilons = [ 0.3; 0.1; 0.03; 0.01 ]) ?(iterations = 200) () =
+  let n = Strategy.order target in
+  if n < 2 || n > max_order then invalid_arg "Proper.analyze: order out of range";
+  let masks, s, costs = payoff_tensor game ~alpha n in
+  let target_index =
+    Array.init n (fun i ->
+        let wanted = Strategy.wishes target i in
+        let rec find k = if masks.(i).(k) = wanted then k else find (k + 1) in
+        find 0)
+  in
+  List.map
+    (fun epsilon ->
+      (* anchor the search at the candidate profile: Definition 5 asks for
+         SOME sequence converging to the target, so we look for the fixed
+         point of the rank weighting in the target's neighborhood *)
+      let sigma =
+        Array.init n (fun i ->
+            Array.init s (fun a ->
+                if a = target_index.(i) then 1.0 -. epsilon
+                else epsilon /. float_of_int (s - 1)))
+      in
+      let iterations_used = ref iterations in
+      let damping = 0.5 in
+      (try
+         for it = 1 to iterations do
+           let updated =
+             Array.init n (fun i -> rank_weights ~epsilon (expected_costs n s costs sigma i))
+           in
+           let change = ref 0.0 in
+           for i = 0 to n - 1 do
+             for a = 0 to s - 1 do
+               let blended = ((1.0 -. damping) *. sigma.(i).(a)) +. (damping *. updated.(i).(a)) in
+               change := Float.max !change (Float.abs (blended -. sigma.(i).(a)));
+               sigma.(i).(a) <- blended
+             done
+           done;
+           if !change < 1e-13 then begin
+             iterations_used := it;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      let target_mass = Array.init n (fun i -> sigma.(i).(target_index.(i))) in
+      {
+        epsilon;
+        iterations_used = !iterations_used;
+        target_mass;
+        min_target_mass = Array.fold_left Float.min 1.0 target_mass;
+        constraints_ok = check_constraints ~epsilon n s costs sigma;
+      })
+    epsilons
+
+let is_proper_limit reports ~threshold =
+  reports <> []
+  && List.for_all (fun r -> r.constraints_ok) reports
+  &&
+  match List.rev reports with
+  | last :: _ -> last.min_target_mass >= threshold
+  | [] -> false

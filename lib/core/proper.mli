@@ -1,0 +1,44 @@
+(** Proper equilibrium (Definition 5), numerically.
+
+    Myerson's properness requires a sequence of completely mixed profiles
+    [σ^ε → σ] in which costlier mistakes are infinitely rarer:
+    [E c_i(s'') > E c_i(s')] forces [σ^ε_i(s'') ≤ ε σ^ε_i(s')].  This
+    module materializes the BCG/UCG normal form for small player counts
+    (pure strategies are subsets of the other players, so the full payoff
+    tensor has [2^(n(n-1))] entries — [n ≤ 4]), computes ε-proper
+    approximations by iterating the canonical rank-weighting
+    [σ_i(s) ∝ ε^(#strictly better replies)], and reports how much mass the
+    limit places on a target pure profile.
+
+    Proposition 2 predicts: for a link convex graph at its witness link
+    cost, the canonical supporting profile attracts all the mass as
+    [ε → 0].  Experiment E20 runs exactly that. *)
+
+type report = {
+  epsilon : float;
+  iterations_used : int;
+  target_mass : float array;  (** per player: probability of the target
+                                  pure strategy under [σ^ε] *)
+  min_target_mass : float;
+  constraints_ok : bool;  (** the Definition-5 inequalities hold for the
+                              computed [σ^ε] (within tolerance) *)
+}
+
+val max_order : int
+(** Largest supported player count (4). *)
+
+val analyze :
+  Cost.game ->
+  alpha:float ->
+  target:Strategy.t ->
+  ?epsilons:float list ->
+  ?iterations:int ->
+  unit ->
+  report list
+(** One report per ε (default [0.3; 0.1; 0.03; 0.01]), in order.
+    @raise Invalid_argument when the profile has more than {!max_order}
+    players. *)
+
+val is_proper_limit : report list -> threshold:float -> bool
+(** All constraints held and the final (smallest-ε) report puts at least
+    [threshold] mass on the target for every player. *)

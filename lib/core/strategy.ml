@@ -1,0 +1,95 @@
+module Graph = Nf_graph.Graph
+module Bitset = Nf_util.Bitset
+
+type t = {
+  n : int;
+  rows : int array;  (** [rows.(i)] is the bitset of players i seeks *)
+}
+
+let create n = { n; rows = Array.make n Bitset.empty }
+let order t = t.n
+let seeks t i j = Bitset.mem j t.rows.(i)
+
+let set t i j value =
+  if i = j then invalid_arg "Strategy.set: self-link";
+  if i < 0 || j < 0 || i >= t.n || j >= t.n then invalid_arg "Strategy.set: out of range";
+  let rows = Array.copy t.rows in
+  rows.(i) <- (if value then Bitset.add j rows.(i) else Bitset.remove j rows.(i));
+  { t with rows }
+
+let wish_count t i = Bitset.cardinal t.rows.(i)
+let wishes t i = t.rows.(i)
+
+let graph game t =
+  let g = ref (Graph.empty t.n) in
+  Nf_util.Subset.iter_pairs t.n (fun i j ->
+      let formed =
+        match game with
+        | Cost.Ucg -> seeks t i j || seeks t j i
+        | Cost.Bcg -> seeks t i j && seeks t j i
+      in
+      if formed then g := Graph.add_edge !g i j);
+  !g
+
+let of_graph_bcg g =
+  { n = Graph.order g; rows = Array.init (Graph.order g) (Graph.neighbors g) }
+
+let of_graph_ucg g ~owner =
+  let n = Graph.order g in
+  let rows = Array.make n Bitset.empty in
+  Graph.iter_edges g (fun i j ->
+      let o = owner i j in
+      if o <> i && o <> j then invalid_arg "Strategy.of_graph_ucg: owner not an endpoint";
+      let other = if o = i then j else i in
+      rows.(o) <- Bitset.add other rows.(o));
+  { n; rows }
+
+(* Float costs are exact for dyadic α: the link term is α times a small
+   int and the distance term is a small int, so equilibrium comparisons at
+   the α values used in tests and experiments incur no rounding. *)
+let player_cost game ~alpha t i =
+  let g = graph game t in
+  (alpha *. float_of_int (wish_count t i))
+  +. Nf_util.Ext_int.to_float (Cost.distance_cost g i)
+
+let with_row t i row =
+  let rows = Array.copy t.rows in
+  rows.(i) <- row;
+  { t with rows }
+
+let is_nash game ~alpha t =
+  let everyone = Bitset.full t.n in
+  let stable_player i =
+    let base = player_cost game ~alpha t i in
+    let ground = Bitset.remove i everyone in
+    not
+      (Nf_util.Subset.exists_subset ground (fun row ->
+           player_cost game ~alpha (with_row t i row) i < base))
+  in
+  let rec all i = i >= t.n || (stable_player i && all (i + 1)) in
+  all 0
+
+(* Λ(i,j) per Definition 2: both announcements in the BCG, only the buyer's
+   in the UCG. *)
+let add_link game t i j =
+  match game with
+  | Cost.Bcg -> set (set t i j true) j i true
+  | Cost.Ucg -> set t i j true
+
+let is_pairwise_nash game ~alpha t =
+  is_nash game ~alpha t
+  &&
+  let g = graph game t in
+  let ok = ref true in
+  Graph.iter_non_edges g (fun i j ->
+      let check a b =
+        let t' = add_link game t a b in
+        let ca = player_cost game ~alpha t a
+        and cb = player_cost game ~alpha t b in
+        let ca' = player_cost game ~alpha t' a
+        and cb' = player_cost game ~alpha t' b in
+        if ca' < ca && not (cb' > cb) then ok := false
+      in
+      check i j;
+      check j i);
+  !ok

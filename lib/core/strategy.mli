@@ -1,0 +1,48 @@
+(** Strategy profiles and the two linking rules (paper §2).
+
+    A profile assigns every player the set of others it seeks contact
+    with; the UCG forms a link when either side asks, the BCG when both
+    do.  Direct profile-level cost and equilibrium definitions live here
+    so that the optimized graph-level checkers in {!Bcg} and {!Ucg} can be
+    validated against the literal definitions on small instances. *)
+
+type t
+(** A profile over [n] players; [seeks t i j] says whether [i] lists [j]. *)
+
+val create : int -> t
+(** The all-empty profile (everyone announces nothing). *)
+
+val order : t -> int
+val seeks : t -> int -> int -> bool
+val set : t -> int -> int -> bool -> t
+(** Persistent update of one announcement. @raise Invalid_argument on
+    [i = j] or out-of-range. *)
+
+val wish_count : t -> int -> int
+(** [|s_i|] — the number of links player [i] provisions for (it pays [α]
+    for each, formed or not). *)
+
+val wishes : t -> int -> Nf_util.Bitset.t
+
+val graph : Cost.game -> t -> Nf_graph.Graph.t
+(** The formed network [G(s)]: union of announcements in the UCG,
+    intersection in the BCG. *)
+
+val of_graph_bcg : Nf_graph.Graph.t -> t
+(** The canonical supporting profile in the BCG: announce exactly your
+    neighbors. *)
+
+val of_graph_ucg : Nf_graph.Graph.t -> owner:(int -> int -> int) -> t
+(** A UCG profile buying each edge [(i,j)] (with [i < j]) at the endpoint
+    [owner i j] (which must be [i] or [j]). *)
+
+val player_cost : Cost.game -> alpha:float -> t -> int -> float
+(** Eq. (1): [α|s_i| + Σ_j d(i,j)(G(s))]. *)
+
+val is_nash : Cost.game -> alpha:float -> t -> bool
+(** Literal Definition 1 over all [2^(n-1)] deviations per player —
+    exponential, for small-instance validation only. *)
+
+val is_pairwise_nash : Cost.game -> alpha:float -> t -> bool
+(** Literal Definition 2: Nash, and no missing link that strictly helps
+    one endpoint while weakly helping the other. *)

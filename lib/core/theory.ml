@@ -1,0 +1,27 @@
+module Rat = Nf_util.Rat
+
+let cycle_window n =
+  if n < 3 then invalid_arg "Theory.cycle_window: need n >= 3";
+  if n mod 2 = 1 then (Rat.make ((n - 3) * (n + 1)) 8, Rat.make ((n + 1) * (n - 1)) 4)
+  else if n mod 4 = 0 then (Rat.make ((n * n) - (4 * n) + 8) 8, Rat.make (n * (n - 2)) 4)
+  else (Rat.make ((n * n) - (4 * n) + 4) 8, Rat.make (n * (n - 2)) 4)
+
+let sum_terms ~k ~girth terms =
+  let rec go acc i =
+    if i > terms then acc
+    else
+      let power = int_of_float (float_of_int (k - 1) ** float_of_int (i + 1)) in
+      go (acc + (power * (girth - i))) (i + 1)
+  in
+  go 0 1
+
+let regular_removal_increase ~k ~girth = sum_terms ~k ~girth (girth / 2)
+let regular_addition_decrease ~k ~girth = sum_terms ~k ~girth (girth / 4)
+
+let poa_upper_bound ~alpha ~n =
+  let s = sqrt alpha in
+  Float.min s (float_of_int n /. s)
+
+let poa_lower_bound_moore ~alpha = Float.max 1.0 (Float.log alpha /. Float.log 2.0)
+let bcg_diameter_bound ~alpha = 2.0 *. sqrt alpha
+let ucg_vs_bcg_poa_factor = 2.0

@@ -1,0 +1,41 @@
+(** Closed-form predictions stated in the paper, kept verbatim so the
+    experiment harness can print "paper formula vs. exact computation"
+    side by side.
+
+    Several of these are proof-sketch bounds rather than tight values
+    (Lemma 6's window and Proposition 3's [S_r]/[S_a] are explicitly
+    sketches); the experiments compare them against the exact intervals
+    from {!Bcg.stable_alpha_set}. *)
+
+val cycle_window : int -> Nf_util.Rat.t * Nf_util.Rat.t
+(** Lemma 6's claimed stability window [(lo, hi)] for the cycle [C_n]:
+    [n = 4k-2]: ((n²-4n+4)/8, n(n-2)/4);
+    [n = 4k]:   ((n²-4n+8)/8, n(n-2)/4);
+    odd [n]:    ((n-3)(n+1)/8, (n+1)(n-1)/4).
+    @raise Invalid_argument for [n < 3]. *)
+
+val regular_removal_increase : k:int -> girth:int -> int
+(** Proposition 3's [S_r = Σ_{i=1}^{g/2} (k-1)^{i+1} (g-i)] — the claimed
+    lower bound on the distance-cost increase from removing a link of a
+    k-regular graph of girth [g]. *)
+
+val regular_addition_decrease : k:int -> girth:int -> int
+(** Proposition 3's [S_a = Σ_{i=1}^{g/4} (k-1)^{i+1} (g-i)] — the claimed
+    upper bound on the distance-cost decrease from adding a link. *)
+
+val poa_upper_bound : alpha:float -> n:int -> float
+(** Proposition 4 (with the Demaine et al. refinement): the worst-case
+    BCG price of anarchy is [O(min(√α, n/√α))]; this returns
+    [min(√α, n/√α)] as the reference curve. *)
+
+val poa_lower_bound_moore : alpha:float -> float
+(** Proposition 3: the worst-case BCG price of anarchy is [Ω(log₂ α)];
+    returns [log₂ α] (clamped at 1) as the reference curve. *)
+
+val bcg_diameter_bound : alpha:float -> float
+(** From the proof of Proposition 4: any pairwise stable graph has
+    diameter [< 2√α]. *)
+
+val ucg_vs_bcg_poa_factor : float
+(** Footnote 6's constant: for any graph and any α,
+    [ρ_UCG(G) ≤ 2 · ρ_BCG(G)]. *)

@@ -1,0 +1,62 @@
+module Graph = Nf_graph.Graph
+module Ext_int = Nf_util.Ext_int
+module Rat = Nf_util.Rat
+module Interval = Nf_util.Interval
+
+let joint_addition_benefit g i j =
+  Ext_int.add (Bcg.addition_benefit g i j) (Bcg.addition_benefit g j i)
+
+let joint_severance_loss g i j =
+  Ext_int.add (Bcg.severance_loss g i j) (Bcg.severance_loss g j i)
+
+let half = function
+  | Ext_int.Fin k -> Interval.Finite (Rat.make k 2)
+  | Ext_int.Inf -> Interval.Pos_inf
+
+let alpha_min_ext g =
+  let worst = ref (Ext_int.Fin 0) in
+  Graph.iter_non_edges g (fun i j ->
+      worst := Ext_int.max !worst (joint_addition_benefit g i j));
+  !worst
+
+let alpha_max_ext g =
+  let best = ref Ext_int.Inf in
+  Graph.iter_edges g (fun i j -> best := Ext_int.min !best (joint_severance_loss g i j));
+  !best
+
+let alpha_min g =
+  if Graph.is_complete g then None
+  else
+    match alpha_min_ext g with
+    | Ext_int.Fin k -> Some (Rat.make k 2)
+    | Ext_int.Inf -> None
+
+let positive = Interval.open_closed Rat.zero Interval.Pos_inf
+
+(* A link is added when joint benefit > 2α (strict, mirroring the revised
+   Definition 3), so stability to additions is α >= benefit/2: closed.
+   A link survives when joint loss >= 2α: α <= loss/2, closed. *)
+let stable_alpha_set g =
+  Interval.inter positive
+    (Interval.make ~lo:(half (alpha_min_ext g)) ~lo_closed:true ~hi:(half (alpha_max_ext g))
+       ~hi_closed:true)
+
+let is_stable ~alpha g =
+  let two_alpha = Rat.mul (Rat.of_int 2) alpha in
+  let le_ext r = function
+    | Ext_int.Inf -> true
+    | Ext_int.Fin k -> Rat.(r <= of_int k)
+  in
+  let lt_ext r = function
+    | Ext_int.Inf -> true
+    | Ext_int.Fin k -> Rat.(r < of_int k)
+  in
+  let additions_ok = ref true in
+  Graph.iter_non_edges g (fun i j ->
+      if lt_ext two_alpha (joint_addition_benefit g i j) then additions_ok := false);
+  !additions_ok
+  &&
+  let severances_ok = ref true in
+  Graph.iter_edges g (fun i j ->
+      if not (le_ext two_alpha (joint_severance_loss g i j)) then severances_ok := false);
+  !severances_ok

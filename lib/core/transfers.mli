@@ -1,0 +1,32 @@
+(** Pairwise stability with transfers — the extension the paper's
+    conclusion announces ("how bilateral ... transfers between players may
+    help mediate the price of anarchy").
+
+    With side payments a link's fate depends on the {e joint} surplus of
+    its two endpoints (Jackson–Wolinsky's transferable-utility variant):
+    a missing link is added when the endpoints' combined distance saving
+    strictly exceeds the combined price [2α], and an existing link
+    survives when the combined severance loss covers it.  Thresholds are
+    therefore half-integers, and each graph again has an exact stable
+    interval — now closed at both ends. *)
+
+val joint_addition_benefit : Nf_graph.Graph.t -> int -> int -> Nf_util.Ext_int.t
+(** Combined distance saving of both endpoints from adding a missing
+    link. *)
+
+val joint_severance_loss : Nf_graph.Graph.t -> int -> int -> Nf_util.Ext_int.t
+(** Combined distance increase of both endpoints from severing an
+    existing link. *)
+
+val alpha_min : Nf_graph.Graph.t -> Nf_util.Rat.t option
+(** [max] over missing links of half the joint benefit; [None] for the
+    complete graph, [Some] infinite cases surface as stability-set
+    emptiness instead. *)
+
+val stable_alpha_set : Nf_graph.Graph.t -> Nf_util.Interval.t
+(** The exact set of positive link costs at which the graph is pairwise
+    stable with transfers. *)
+
+val is_stable : alpha:Nf_util.Rat.t -> Nf_graph.Graph.t -> bool
+(** Direct definition at an exact link cost; agrees with membership in
+    {!stable_alpha_set} (property-tested). *)

@@ -1,0 +1,246 @@
+module Graph = Nf_graph.Graph
+module Bfs = Nf_graph.Bfs
+module Bitset = Nf_util.Bitset
+module Ext_int = Nf_util.Ext_int
+module Rat = Nf_util.Rat
+module Interval = Nf_util.Interval
+
+type owned = Bitset.t
+
+(* The graph player i faces after discarding its own purchases: edges
+   bought by others survive. *)
+let base_graph g i ~owned = Bitset.fold (fun j acc -> Graph.remove_edge acc i j) owned g
+
+(* Buying an edge that already exists is strictly dominated, so deviation
+   targets range over the non-neighbors of the base graph. *)
+let candidates base i =
+  Bitset.diff (Bitset.remove i (Bitset.full (Graph.order base))) (Graph.neighbors base i)
+
+let with_targets base i targets = Bitset.fold (fun j acc -> Graph.add_edge acc i j) targets base
+
+(* cost(k0, D0) <= cost(k1, D1) at link cost α, with infinite distance
+   sums compared as infinite costs *)
+let cost_le alpha (k0, d0) (k1, d1) =
+  match d0, d1 with
+  | Ext_int.Fin d0, Ext_int.Fin d1 ->
+    (* α(k0 - k1) <= d1 - d0 *)
+    Rat.(mul alpha (of_int (k0 - k1)) <= of_int (d1 - d0))
+  | Ext_int.Fin _, Ext_int.Inf -> true
+  | Ext_int.Inf, Ext_int.Fin _ -> false
+  | Ext_int.Inf, Ext_int.Inf -> true
+
+let accepts ~alpha g i ~owned =
+  let base = base_graph g i ~owned in
+  let current = (Bitset.cardinal owned, Bfs.distance_sum g i) in
+  let ok = ref true in
+  Nf_util.Subset.iter_subsets (candidates base i) (fun targets ->
+      if !ok then begin
+        let deviation =
+          (Bitset.cardinal targets, Bfs.distance_sum (with_targets base i targets) i)
+        in
+        if not (cost_le alpha current deviation) then ok := false
+      end);
+  !ok
+
+let best_response ~alpha g i ~owned =
+  let base = base_graph g i ~owned in
+  let cost_of targets =
+    (Rat.to_float alpha *. float_of_int (Bitset.cardinal targets))
+    +. Ext_int.to_float (Bfs.distance_sum (with_targets base i targets) i)
+  in
+  let best = ref owned
+  and best_cost = ref (cost_of owned) in
+  Nf_util.Subset.iter_subsets (candidates base i) (fun targets ->
+      let c = cost_of targets in
+      if c < !best_cost then begin
+        best := targets;
+        best_cost := c
+      end);
+  (!best, !best_cost)
+
+let acceptance_interval g i ~owned =
+  let d0 =
+    match Bfs.distance_sum g i with
+    | Ext_int.Fin d -> d
+    | Ext_int.Inf -> invalid_arg "Ucg.acceptance_interval: player disconnected"
+  in
+  let k0 = Bitset.cardinal owned in
+  let base = base_graph g i ~owned in
+  let result = ref (Interval.open_closed Rat.zero Interval.Pos_inf) in
+  Nf_util.Subset.iter_subsets (candidates base i) (fun targets ->
+      if not (Interval.is_empty !result) then begin
+        match Bfs.distance_sum (with_targets base i targets) i with
+        | Ext_int.Inf -> () (* deviation has infinite cost: never binding *)
+        | Ext_int.Fin dt ->
+          let k = Bitset.cardinal targets in
+          (* constraint: α·k0 + d0 <= α·k + dt *)
+          let constraint_interval =
+            if k > k0 then
+              (* α >= (d0 - dt)/(k - k0) *)
+              Interval.make
+                ~lo:(Interval.Finite (Rat.make (d0 - dt) (k - k0)))
+                ~lo_closed:true ~hi:Interval.Pos_inf ~hi_closed:false
+            else if k < k0 then
+              (* α <= (dt - d0)/(k0 - k) *)
+              Interval.make ~lo:Interval.Neg_inf ~lo_closed:false
+                ~hi:(Interval.Finite (Rat.make (dt - d0) (k0 - k)))
+                ~hi_closed:true
+            else if dt >= d0 then Interval.full
+            else Interval.empty
+          in
+          result := Interval.inter !result constraint_interval
+      end);
+  !result
+
+(* --- orientation search ------------------------------------------------ *)
+
+(* Shared structure: assign each edge to an endpoint; as soon as a vertex
+   has all its incident edges decided, test it (accept/interval) and
+   prune.  [judge] abstracts over the per-α boolean check and the exact
+   interval check. *)
+let search_orientations (type verdict) g ~(top : verdict)
+    ~(judge : int -> owned -> verdict -> verdict option)
+    ~(emit : verdict -> unit) =
+  let n = Graph.order g in
+  let edges = Array.of_list (Graph.edges g) in
+  let m = Array.length edges in
+  let remaining = Array.make n 0 in
+  Array.iter
+    (fun (i, j) ->
+      remaining.(i) <- remaining.(i) + 1;
+      remaining.(j) <- remaining.(j) + 1)
+    edges;
+  let owned_now = Array.make n Bitset.empty in
+  (* vertices with no edges are judged once, up front *)
+  let rec judge_isolated v acc =
+    if v >= n then Some acc
+    else if remaining.(v) = 0 then
+      match judge v Bitset.empty acc with
+      | Some acc -> judge_isolated (v + 1) acc
+      | None -> None
+    else judge_isolated (v + 1) acc
+  in
+  let rec assign e acc =
+    if e >= m then emit acc
+    else begin
+      let i, j = edges.(e) in
+      let try_owner owner other =
+        owned_now.(owner) <- Bitset.add other owned_now.(owner);
+        remaining.(i) <- remaining.(i) - 1;
+        remaining.(j) <- remaining.(j) - 1;
+        let verdict =
+          let after_i =
+            if remaining.(i) = 0 then judge i owned_now.(i) acc else Some acc
+          in
+          match after_i with
+          | None -> None
+          | Some acc -> if remaining.(j) = 0 then judge j owned_now.(j) acc else Some acc
+        in
+        (match verdict with
+        | Some acc -> assign (e + 1) acc
+        | None -> ());
+        owned_now.(owner) <- Bitset.remove other owned_now.(owner);
+        remaining.(i) <- remaining.(i) + 1;
+        remaining.(j) <- remaining.(j) + 1
+      in
+      try_owner i j;
+      try_owner j i
+    end
+  in
+  match judge_isolated 0 top with
+  | None -> ()
+  | Some acc -> if m = 0 then emit acc else assign 0 acc
+
+(* cheap orientation-independent necessary conditions *)
+let passes_necessary_conditions ~alpha g =
+  let additions_ok = ref true in
+  Graph.iter_non_edges g (fun i j ->
+      (* buying the missing link on top of the current strategy must not
+         strictly improve either endpoint: α >= D(G) - D(G+ij) *)
+      let check a b =
+        match Bfs.distance_sum g a, Bfs.distance_sum (Graph.add_edge g a b) a with
+        | Ext_int.Fin d0, Ext_int.Fin d1 -> if Rat.(alpha < of_int (d0 - d1)) then additions_ok := false
+        | Ext_int.Inf, Ext_int.Fin _ -> additions_ok := false
+        | (Ext_int.Fin _ | Ext_int.Inf), Ext_int.Inf -> ()
+      in
+      check i j;
+      check j i);
+  !additions_ok
+  &&
+  let drops_ok = ref true in
+  Graph.iter_edges g (fun i j ->
+      (* whichever endpoint owns the edge must tolerate it: some endpoint's
+         single-drop loss must reach α *)
+      let loss v w =
+        match Bfs.distance_sum g v, Bfs.distance_sum (Graph.remove_edge g v w) v with
+        | Ext_int.Fin d0, Ext_int.Fin d1 -> Ext_int.Fin (d1 - d0)
+        | Ext_int.Fin _, Ext_int.Inf -> Ext_int.Inf
+        | Ext_int.Inf, _ -> Ext_int.Inf
+      in
+      let tolerates = function
+        | Ext_int.Inf -> true
+        | Ext_int.Fin d -> Rat.(alpha <= of_int d)
+      in
+      if not (tolerates (loss i j) || tolerates (loss j i)) then drops_ok := false);
+  !drops_ok
+
+let is_nash_graph ~alpha g =
+  passes_necessary_conditions ~alpha g
+  &&
+  let memo = Hashtbl.create 64 in
+  let accepts_memo v owned =
+    let key = (v, owned) in
+    match Hashtbl.find_opt memo key with
+    | Some verdict -> verdict
+    | None ->
+      let verdict = accepts ~alpha g v ~owned in
+      Hashtbl.add memo key verdict;
+      verdict
+  in
+  let found = ref false in
+  (let judge v owned () = if !found || not (accepts_memo v owned) then None else Some () in
+   let emit () = found := true in
+   search_orientations g ~top:() ~judge ~emit);
+  !found
+
+let is_nash_graph_f ~alpha g =
+  let denom = 4096 in
+  let scaled = alpha *. float_of_int denom in
+  if Float.is_integer scaled then is_nash_graph ~alpha:(Rat.make (int_of_float scaled) denom) g
+  else invalid_arg "Ucg.is_nash_graph_f: alpha not dyadic with denominator <= 4096"
+
+let is_nash_orientation ~alpha g ~owner =
+  let n = Graph.order g in
+  let owned_of = Array.make n Bitset.empty in
+  Graph.iter_edges g (fun i j ->
+      let o = owner i j in
+      if o <> i && o <> j then invalid_arg "Ucg.is_nash_orientation: owner not an endpoint";
+      let other = if o = i then j else i in
+      owned_of.(o) <- Bitset.add other owned_of.(o));
+  let rec go v = v >= n || (accepts ~alpha g v ~owned:owned_of.(v) && go (v + 1)) in
+  go 0
+
+let nash_alpha_set g =
+  if not (Nf_graph.Connectivity.is_connected g) || Graph.order g = 0 then
+    Interval.Union.empty
+  else begin
+    let memo = Hashtbl.create 64 in
+    let interval_memo v owned =
+      let key = (v, owned) in
+      match Hashtbl.find_opt memo key with
+      | Some interval -> interval
+      | None ->
+        let interval = acceptance_interval g v ~owned in
+        Hashtbl.add memo key interval;
+        interval
+    in
+    let pieces = ref [] in
+    let judge v owned current =
+      let refined = Interval.inter current (interval_memo v owned) in
+      if Interval.is_empty refined then None else Some refined
+    in
+    let emit interval = pieces := interval :: !pieces in
+    search_orientations g ~top:(Interval.open_closed Rat.zero Interval.Pos_inf) ~judge
+      ~emit;
+    Interval.Union.of_list !pieces
+  end

@@ -1,0 +1,57 @@
+(** The unilateral connection game (Fabrikant et al.): Nash graphs and
+    exact Nash regions in the link cost.
+
+    In any UCG Nash profile each formed edge is bought by exactly one
+    endpoint (double purchases admit an improving drop), so supporting
+    strategy profiles are exactly edge orientations.  Whether player [i]
+    accepts its owned edge set is independent of who owns the other edges,
+    which lets the certifier search orientations with per-player
+    memoization: a graph is a Nash graph iff some orientation makes every
+    player accept.
+
+    A player's acceptance constraints are linear in [α], so each
+    [(player, owned set)] pair has an exact rational acceptance interval
+    and each graph an exact Nash α-region (a finite union of rational
+    intervals).
+
+    These computations are exponential in the worst case (all orientations
+    of dense graphs); they are intended for the orders the empirical study
+    enumerates (n ≤ 8). *)
+
+type owned = Nf_util.Bitset.t
+(** The set of neighbors whose link player [i] pays for. *)
+
+val best_response :
+  alpha:Nf_util.Rat.t -> Nf_graph.Graph.t -> int -> owned:owned -> owned * float
+(** [best_response ~alpha g i ~owned] is a cost-minimizing replacement
+    wish set for player [i] (given the rest of the graph is kept by the
+    other players), with its cost.  Searches all [2^(candidates)]
+    subsets. *)
+
+val accepts : alpha:Nf_util.Rat.t -> Nf_graph.Graph.t -> int -> owned:owned -> bool
+(** Player [i] has no strictly improving unilateral deviation when it owns
+    [owned] in [g]. *)
+
+val acceptance_interval :
+  Nf_graph.Graph.t -> int -> owned:owned -> Nf_util.Interval.t
+(** The exact set of positive link costs at which {!accepts} holds.
+    Requires [Σd(i,·)] finite (connected from [i]); @raise Invalid_argument
+    otherwise. *)
+
+val is_nash_orientation :
+  alpha:Nf_util.Rat.t -> Nf_graph.Graph.t -> owner:(int -> int -> int) -> bool
+(** Nash check for one explicit ownership assignment ([owner i j] must
+    return [i] or [j] for each edge [i < j]). *)
+
+val is_nash_graph : alpha:Nf_util.Rat.t -> Nf_graph.Graph.t -> bool
+(** Whether some orientation of [g] is a Nash equilibrium at link cost
+    [α] (Definition 1 existentially over supporting profiles). *)
+
+val is_nash_graph_f : alpha:float -> Nf_graph.Graph.t -> bool
+(** Dyadic-float convenience wrapper. *)
+
+val nash_alpha_set : Nf_graph.Graph.t -> Nf_util.Interval.Union.t
+(** The exact set of positive link costs at which [g] is a Nash graph.
+    Requires [g] connected; disconnected graphs return the empty union
+    (no connected-to-[i] player tolerates unreachable vertices, and fully
+    empty graphs admit the buy-everything improvement). *)

@@ -1,0 +1,74 @@
+module Graph = Nf_graph.Graph
+module Rat = Nf_util.Rat
+module Prng = Nf_util.Prng
+open Netform
+
+type move =
+  | Add of int * int
+  | Delete of int * int
+
+type outcome = {
+  final : Graph.t;
+  steps : int;
+  converged : bool;
+  trace : move list;
+}
+
+let ext_lt alpha v =
+  match v with
+  | Nf_util.Ext_int.Inf -> true
+  | Nf_util.Ext_int.Fin k -> Rat.(alpha < of_int k)
+
+let ext_le alpha v =
+  match v with
+  | Nf_util.Ext_int.Inf -> true
+  | Nf_util.Ext_int.Fin k -> Rat.(alpha <= of_int k)
+
+let improving_moves ~alpha g =
+  let moves = ref [] in
+  Graph.iter_non_edges g (fun i j ->
+      let bi = Bcg.addition_benefit g i j
+      and bj = Bcg.addition_benefit g j i in
+      if (ext_lt alpha bi && ext_le alpha bj) || (ext_lt alpha bj && ext_le alpha bi)
+      then moves := Add (i, j) :: !moves);
+  Graph.iter_edges g (fun i j ->
+      if not (ext_le alpha (Bcg.severance_loss g i j)) then moves := Delete (i, j) :: !moves;
+      if not (ext_le alpha (Bcg.severance_loss g j i)) then moves := Delete (j, i) :: !moves);
+  !moves
+
+let apply g = function
+  | Add (i, j) -> Graph.add_edge g i j
+  | Delete (i, j) -> Graph.remove_edge g i j
+
+let step ~alpha ~rng g =
+  match improving_moves ~alpha g with
+  | [] -> None
+  | moves ->
+    let move = Prng.pick rng moves in
+    Some (move, apply g move)
+
+let run ~alpha ~rng ?(max_steps = 10_000) g =
+  let rec go g steps trace =
+    if steps >= max_steps then { final = g; steps; converged = false; trace = List.rev trace }
+    else
+      match step ~alpha ~rng g with
+      | None -> { final = g; steps; converged = true; trace = List.rev trace }
+      | Some (move, g') -> go g' (steps + 1) (move :: trace)
+  in
+  go g 0 []
+
+let sample_stable ~alpha ~rng ~n ~attempts =
+  let seen = Hashtbl.create 32 in
+  let results = ref [] in
+  for _ = 1 to attempts do
+    let seed = Nf_graph.Random_graph.connected_gnp rng n (0.2 +. Prng.float rng 0.6) in
+    let outcome = run ~alpha ~rng seed in
+    if outcome.converged then begin
+      let key = Graph.adjacency_key outcome.final in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        results := outcome.final :: !results
+      end
+    end
+  done;
+  List.rev !results

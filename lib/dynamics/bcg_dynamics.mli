@@ -1,0 +1,46 @@
+(** Improving-path dynamics for the bilateral game (Jackson–Watts style).
+
+    A state is just a graph.  One move either severs a link whose severer
+    strictly gains, or adds a link that strictly helps one endpoint and
+    weakly helps the other.  Fixed points are exactly the pairwise stable
+    graphs, so the dynamics double as a sampler of the stable set for
+    orders beyond exhaustive enumeration. *)
+
+type move =
+  | Add of int * int
+  | Delete of int * int  (** [(severer, other)] *)
+
+type outcome = {
+  final : Nf_graph.Graph.t;
+  steps : int;
+  converged : bool;  (** final graph is pairwise stable *)
+  trace : move list;  (** moves in execution order *)
+}
+
+val improving_moves : alpha:Nf_util.Rat.t -> Nf_graph.Graph.t -> move list
+(** All single-link improving moves available from a graph. *)
+
+val step :
+  alpha:Nf_util.Rat.t ->
+  rng:Nf_util.Prng.t ->
+  Nf_graph.Graph.t ->
+  (move * Nf_graph.Graph.t) option
+(** Apply one uniformly chosen improving move; [None] at a stable graph. *)
+
+val run :
+  alpha:Nf_util.Rat.t ->
+  rng:Nf_util.Prng.t ->
+  ?max_steps:int ->
+  Nf_graph.Graph.t ->
+  outcome
+(** Iterate until pairwise stable or [max_steps] (default 10 000). *)
+
+val sample_stable :
+  alpha:Nf_util.Rat.t ->
+  rng:Nf_util.Prng.t ->
+  n:int ->
+  attempts:int ->
+  Nf_graph.Graph.t list
+(** Run the dynamics from [attempts] random connected seeds on [n]
+    vertices and collect the distinct stable graphs reached (by exact
+    adjacency, not isomorphism). *)

@@ -1,0 +1,39 @@
+(** Stochastic stability of pairwise stable networks (Jackson–Watts
+    perturbed dynamics; the notion the paper cites from Tercieux &
+    Vannetelbosch [22]).
+
+    The unperturbed process follows improving single-link moves; with
+    probability ε a period instead mutates (toggles) a uniformly random
+    link.  As ε → 0 the stationary distribution concentrates on the
+    states minimizing Young's stochastic potential: the minimum-cost
+    in-arborescence over recurrent states, where the cost of an arc
+    [u → v] is the resistance [r(u,v)] — the fewest mutations needed to
+    travel from [u] into [v] along otherwise-improving paths.
+
+    The BCG's improving-move digraph has no closed cycles (see
+    {!Meta.no_closed_cycles}), so the recurrent states are exactly the
+    pairwise stable graphs and the computation is: 0/1-Dijkstra from each
+    stable state over the move-or-mutate digraph, then a directed MST
+    (Chu–Liu/Edmonds) per candidate root. *)
+
+type verdict = {
+  n : int;
+  alpha : Nf_util.Rat.t;
+  stable : Nf_graph.Graph.t list;  (** all stable labeled graphs *)
+  potential : int array;  (** stochastic potential per stable state *)
+  stochastically_stable : Nf_graph.Graph.t list;
+      (** the potential minimizers *)
+}
+
+val resistances : alpha:Nf_util.Rat.t -> n:int -> Nf_graph.Graph.t list * int array array
+(** The stable labeled graphs and the pairwise resistance matrix
+    [r.(i).(j)] = mutations needed from stable state [i] to stable state
+    [j].  [n ≤ 5] (the state space is [2^(n(n-1)/2)]).
+    @raise Invalid_argument out of range, or if the improving dynamics
+    have a closed cycle (never observed in this game). *)
+
+val analyze : alpha:Nf_util.Rat.t -> n:int -> verdict
+
+val stochastically_stable_classes : verdict -> Nf_graph.Graph.t list
+(** The stochastically stable states up to isomorphism (canonical
+    forms). *)

@@ -1,0 +1,45 @@
+(** Best-response dynamics for the unilateral game.
+
+    A state is a full strategy profile — who owns which link.  Each step
+    one player replaces its wish set with an exact best response (only when
+    strictly profitable, so fixed points are exactly Nash profiles).
+    Best-response dynamics in this game may cycle, hence the step cap. *)
+
+type state = {
+  graph : Nf_graph.Graph.t;
+  owned : Nf_util.Bitset.t array;  (** [owned.(i)]: targets i pays for *)
+}
+
+type outcome = {
+  final : state;
+  rounds : int;
+  converged : bool;  (** a full round passed with no strict improvement *)
+}
+
+val of_graph : Nf_graph.Graph.t -> owner:(int -> int -> int) -> state
+(** Build a state from a graph and an edge-ownership choice. *)
+
+val empty : int -> state
+val is_nash : alpha:Nf_util.Rat.t -> state -> bool
+(** Every player accepts its current wish set. *)
+
+val best_response_step : alpha:Nf_util.Rat.t -> state -> int -> state option
+(** [Some] updated state when player [i] has a strictly improving
+    response. *)
+
+val run :
+  alpha:Nf_util.Rat.t ->
+  ?max_rounds:int ->
+  ?order:int array ->
+  state ->
+  outcome
+(** Round-robin best-response (player order configurable) until a quiet
+    round or [max_rounds] (default 1000). *)
+
+val run_random :
+  alpha:Nf_util.Rat.t ->
+  rng:Nf_util.Prng.t ->
+  ?max_rounds:int ->
+  state ->
+  outcome
+(** As {!run} with a freshly shuffled player order each round. *)

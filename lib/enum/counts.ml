@@ -1,0 +1,5 @@
+let table values n = if n >= 0 && n < Array.length values then Some values.(n) else None
+
+let graphs = table [| 1; 1; 2; 4; 11; 34; 156; 1044; 12346; 274668 |]
+let connected_graphs = table [| 1; 1; 1; 2; 6; 21; 112; 853; 11117; 261080 |]
+let trees = table [| 1; 1; 1; 1; 2; 3; 6; 11; 23; 47; 106; 235; 551 |]

@@ -1,0 +1,44 @@
+module Graph = Nf_graph.Graph
+
+let max_order = 7
+
+let pairs n =
+  let acc = ref [] in
+  for j = n - 1 downto 1 do
+    for i = j - 1 downto 0 do
+      acc := (i, j) :: !acc
+    done
+  done;
+  Array.of_list !acc
+
+let graph_of_mask n mask =
+  let ps = pairs n in
+  let g = ref (Graph.empty n) in
+  Array.iteri (fun k (i, j) -> if mask land (1 lsl k) <> 0 then g := Graph.add_edge !g i j) ps;
+  !g
+
+let mask_of_graph g =
+  let ps = pairs (Graph.order g) in
+  let mask = ref 0 in
+  Array.iteri (fun k (i, j) -> if Graph.has_edge g i j then mask := !mask lor (1 lsl k)) ps;
+  !mask
+
+let iter_all n f =
+  if n < 0 || n > max_order then invalid_arg "Labeled.iter_all: order out of range";
+  let bits = n * (n - 1) / 2 in
+  for mask = 0 to (1 lsl bits) - 1 do
+    f (graph_of_mask n mask)
+  done
+
+let iter_connected n f =
+  iter_all n (fun g -> if Nf_graph.Connectivity.is_connected g then f g)
+
+let count_all n =
+  let c = ref 0 in
+  iter_all n (fun _ -> incr c);
+  !c
+
+let count_connected n =
+  let c = ref 0 in
+  iter_connected n (fun _ -> incr c);
+  !c

@@ -1,0 +1,24 @@
+(** Exhaustive iteration over labeled graphs on [n] vertices.
+
+    There are [2^(n(n-1)/2)] of them, so this is only sensible for [n ≤ 7]
+    (2 097 152 graphs); the isomorphism-free enumerator in {!Unlabeled} is
+    the tool for anything bigger.  Used by tests as ground truth against
+    the cleverer code paths. *)
+
+val max_order : int
+(** Largest [n] accepted (7). *)
+
+val iter_all : int -> (Nf_graph.Graph.t -> unit) -> unit
+(** All labeled graphs on [n] vertices.
+    @raise Invalid_argument when [n > max_order] or [n < 0]. *)
+
+val iter_connected : int -> (Nf_graph.Graph.t -> unit) -> unit
+val count_all : int -> int
+val count_connected : int -> int
+
+val graph_of_mask : int -> int -> Nf_graph.Graph.t
+(** [graph_of_mask n mask] decodes bit [k] of [mask] as the [k]-th pair in
+    lexicographic order [(0,1), (0,2), (1,2), (0,3), ...] — the column-major
+    upper triangle, matching graph6 bit order. *)
+
+val mask_of_graph : Nf_graph.Graph.t -> int

@@ -1,0 +1,56 @@
+module Graph = Nf_graph.Graph
+module Ahu = Nf_iso.Ahu
+
+let cache : (int, Graph.t list) Hashtbl.t = Hashtbl.create 8
+
+let rec unlabeled_trees n =
+  if n < 1 then invalid_arg "Trees.unlabeled_trees: need n >= 1";
+  match Hashtbl.find_opt cache n with
+  | Some trees -> trees
+  | None ->
+    let trees =
+      if n = 1 then [ Graph.empty 1 ]
+      else begin
+        (* every tree on n vertices is a tree on n-1 plus a leaf *)
+        let seen = Hashtbl.create 64 in
+        let acc = ref [] in
+        List.iter
+          (fun smaller ->
+            for attach = 0 to n - 2 do
+              let bigger = Graph.add_vertex smaller (Nf_util.Bitset.singleton attach) in
+              let key = Ahu.encode bigger in
+              if not (Hashtbl.mem seen key) then begin
+                Hashtbl.add seen key ();
+                acc := bigger :: !acc
+              end
+            done)
+          (unlabeled_trees (n - 1));
+        List.rev !acc
+      end
+    in
+    Hashtbl.add cache n trees;
+    trees
+
+let count_unlabeled n = List.length (unlabeled_trees n)
+
+let iter_labeled_trees n f =
+  if n < 1 || n > 9 then invalid_arg "Trees.iter_labeled_trees: order out of range";
+  if n = 1 then f (Graph.empty 1)
+  else if n = 2 then f (Graph.add_edge (Graph.empty 2) 0 1)
+  else begin
+    let code = Array.make (n - 2) 0 in
+    let rec fill k =
+      if k = n - 2 then f (Nf_graph.Trees_prufer.decode n code)
+      else
+        for v = 0 to n - 1 do
+          code.(k) <- v;
+          fill (k + 1)
+        done
+    in
+    fill 0
+  end
+
+let count_labeled n =
+  if n < 1 then invalid_arg "Trees.count_labeled"
+  else if n <= 2 then 1
+  else int_of_float (float_of_int n ** float_of_int (n - 2))

@@ -1,0 +1,19 @@
+(** Enumeration of trees, labeled and unlabeled.
+
+    Trees are the conjectured shape of unilateral-game equilibria for large
+    link cost (Fabrikant et al.'s tree conjecture) and the restated scope
+    of the paper's Proposition 5, so the experiment harness sweeps over
+    them directly rather than filtering general enumeration output. *)
+
+val unlabeled_trees : int -> Nf_graph.Graph.t list
+(** All isomorphism classes of free trees on [n ≥ 1] vertices (leaf
+    augmentation, deduplicated with AHU encodings); memoized. *)
+
+val count_unlabeled : int -> int
+
+val iter_labeled_trees : int -> (Nf_graph.Graph.t -> unit) -> unit
+(** All [n^(n-2)] labeled trees via Prüfer sequences ([3 ≤ n ≤ 9]); for
+    [n = 1, 2] the single tree. *)
+
+val count_labeled : int -> int
+(** Cayley's formula [n^(n-2)]. *)

@@ -1,0 +1,39 @@
+module Graph = Nf_graph.Graph
+module Canon = Nf_iso.Canon
+module Bitset = Nf_util.Bitset
+
+let cache : (int, Graph.t list) Hashtbl.t = Hashtbl.create 8
+
+let clear_cache () = Hashtbl.reset cache
+
+let rec all_graphs n =
+  if n < 0 || n > 10 then invalid_arg "Unlabeled.all_graphs: order out of range";
+  match Hashtbl.find_opt cache n with
+  | Some graphs -> graphs
+  | None ->
+    let graphs =
+      if n = 0 then [ Graph.empty 0 ]
+      else begin
+        let seen = Hashtbl.create 1024 in
+        let acc = ref [] in
+        List.iter
+          (fun smaller ->
+            Nf_util.Subset.iter_subsets (Bitset.full (n - 1)) (fun nbrs ->
+                let candidate = Graph.add_vertex smaller nbrs in
+                let canon = Canon.canonical_form candidate in
+                let key = Graph.adjacency_key canon in
+                if not (Hashtbl.mem seen key) then begin
+                  Hashtbl.add seen key ();
+                  acc := canon :: !acc
+                end))
+          (all_graphs (n - 1));
+        List.rev !acc
+      end
+    in
+    Hashtbl.add cache n graphs;
+    graphs
+
+let connected_graphs n = List.filter Nf_graph.Connectivity.is_connected (all_graphs n)
+let iter_connected n f = List.iter f (connected_graphs n)
+let count_all n = List.length (all_graphs n)
+let count_connected n = List.length (connected_graphs n)

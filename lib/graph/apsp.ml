@@ -1,0 +1,47 @@
+module Ext_int = Nf_util.Ext_int
+
+let all_distances g =
+  Array.init (Graph.order g) (fun v -> Bfs.distances g v)
+
+let fold_over_sources g combine init =
+  let acc = ref init in
+  for v = 0 to Graph.order g - 1 do
+    acc := combine !acc (Bfs.distances g v)
+  done;
+  !acc
+
+let diameter g =
+  if Graph.order g = 0 then Ext_int.zero
+  else
+    let worst acc dist =
+      Array.fold_left
+        (fun acc d -> if d < 0 then Ext_int.Inf else Ext_int.max acc (Ext_int.Fin d))
+        acc dist
+    in
+    fold_over_sources g worst Ext_int.zero
+
+let radius g =
+  if Graph.order g = 0 then Ext_int.zero
+  else
+    let best acc dist =
+      let ecc =
+        Array.fold_left
+          (fun acc d -> if d < 0 then Ext_int.Inf else Ext_int.max acc (Ext_int.Fin d))
+          Ext_int.zero dist
+      in
+      Ext_int.min acc ecc
+    in
+    fold_over_sources g best Ext_int.Inf
+
+let wiener g =
+  let add acc dist =
+    Array.fold_left
+      (fun acc d -> if d < 0 then Ext_int.Inf else Ext_int.add acc (Ext_int.Fin d))
+      acc dist
+  in
+  fold_over_sources g add Ext_int.zero
+
+let average_distance g =
+  let n = Graph.order g in
+  if n < 2 then nan
+  else Ext_int.to_float (wiener g) /. float_of_int (n * (n - 1))

@@ -1,0 +1,19 @@
+(** All-pairs shortest paths and the derived global metrics. *)
+
+val all_distances : Graph.t -> int array array
+(** [all_distances g] is the matrix of hop distances, [-1] when
+    unreachable. *)
+
+val diameter : Graph.t -> Nf_util.Ext_int.t
+(** Greatest finite distance, or [Inf] when disconnected.  The diameter of
+    the one-vertex graph is 0. *)
+
+val radius : Graph.t -> Nf_util.Ext_int.t
+
+val wiener : Graph.t -> Nf_util.Ext_int.t
+(** Sum of [d(i,j)] over ordered pairs [(i,j)], [i ≠ j] — exactly the
+    distance term of the social cost (4).  [Inf] when disconnected. *)
+
+val average_distance : Graph.t -> float
+(** {!wiener} divided by the number of ordered pairs; [infinity] when
+    disconnected, [nan] for graphs with fewer than two vertices. *)

@@ -1,0 +1,52 @@
+module Bitset = Nf_util.Bitset
+module Ext_int = Nf_util.Ext_int
+
+(* Frontier-based BFS over bitset rows: the next frontier is the union of
+   the neighbor rows of the current frontier minus everything seen, so each
+   level costs O(n) word operations instead of a queue per vertex. *)
+let distances g src =
+  let n = Graph.order g in
+  let dist = Array.make n (-1) in
+  dist.(src) <- 0;
+  let seen = ref (Bitset.singleton src) in
+  let frontier = ref (Bitset.singleton src) in
+  let level = ref 0 in
+  while not (Bitset.is_empty !frontier) do
+    incr level;
+    let next = ref Bitset.empty in
+    Bitset.iter (fun v -> next := Bitset.union !next (Graph.neighbors g v)) !frontier;
+    let next_frontier = Bitset.diff !next !seen in
+    Bitset.iter (fun v -> dist.(v) <- !level) next_frontier;
+    seen := Bitset.union !seen next_frontier;
+    frontier := next_frontier
+  done;
+  dist
+
+let distances_ext g src =
+  Array.map
+    (fun d -> if d < 0 then Ext_int.Inf else Ext_int.Fin d)
+    (distances g src)
+
+let distance g src dst =
+  let d = (distances g src).(dst) in
+  if d < 0 then Ext_int.Inf else Ext_int.Fin d
+
+let distance_sum g v =
+  let dist = distances g v in
+  let total = ref 0 in
+  let disconnected = ref false in
+  Array.iter (fun d -> if d < 0 then disconnected := true else total := !total + d) dist;
+  if !disconnected then Ext_int.Inf else Ext_int.Fin !total
+
+let eccentricity g v =
+  let dist = distances g v in
+  let worst = ref 0 in
+  let disconnected = ref false in
+  Array.iter (fun d -> if d < 0 then disconnected := true else worst := max !worst d) dist;
+  if !disconnected then Ext_int.Inf else Ext_int.Fin !worst
+
+let reachable g src =
+  let dist = distances g src in
+  let acc = ref Bitset.empty in
+  Array.iteri (fun v d -> if d >= 0 then acc := Bitset.add v !acc) dist;
+  !acc

@@ -1,0 +1,22 @@
+(** Breadth-first search: single-source hop distances.
+
+    These are the innermost primitives of the whole library — every cost
+    evaluation in the connection games is a sum of BFS distances. *)
+
+val distances : Graph.t -> int -> int array
+(** [distances g src] gives hop counts from [src]; unreachable vertices get
+    [-1]. *)
+
+val distances_ext : Graph.t -> int -> Nf_util.Ext_int.t array
+(** As {!distances} with unreachable vertices mapped to [Inf]. *)
+
+val distance : Graph.t -> int -> int -> Nf_util.Ext_int.t
+val distance_sum : Graph.t -> int -> Nf_util.Ext_int.t
+(** [distance_sum g v] is [Σ_j d(v,j)] — the distance component of player
+    [v]'s cost; [Inf] whenever some vertex is unreachable from [v]. *)
+
+val eccentricity : Graph.t -> int -> Nf_util.Ext_int.t
+(** Greatest distance from the vertex; [Inf] when [g] is disconnected. *)
+
+val reachable : Graph.t -> int -> Nf_util.Bitset.t
+(** The connected component of the vertex, as a bitset. *)

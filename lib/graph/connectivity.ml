@@ -1,0 +1,40 @@
+module Bitset = Nf_util.Bitset
+
+let is_connected g =
+  let n = Graph.order g in
+  n = 0 || Bitset.cardinal (Bfs.reachable g 0) = n
+
+let components g =
+  let n = Graph.order g in
+  let remaining = ref (Bitset.full n) in
+  let acc = ref [] in
+  while not (Bitset.is_empty !remaining) do
+    let v = Bitset.min_elt !remaining in
+    let comp = Bfs.reachable g v in
+    acc := comp :: !acc;
+    remaining := Bitset.diff !remaining comp
+  done;
+  List.rev !acc
+
+let component_count g = List.length (components g)
+
+let is_bridge g i j =
+  if not (Graph.has_edge g i j) then invalid_arg "Connectivity.is_bridge: not an edge";
+  let without = Graph.remove_edge g i j in
+  not (Bitset.mem j (Bfs.reachable without i))
+
+let bridges g = List.filter (fun (i, j) -> is_bridge g i j) (Graph.edges g)
+
+let is_cut_vertex g v =
+  let n = Graph.order g in
+  let others = List.filter (fun u -> u <> v) (List.init n Fun.id) in
+  let before =
+    component_count (Graph.induced g others)
+  in
+  (* components among the other vertices in the full graph *)
+  let with_v = components g in
+  let among_others =
+    List.length
+      (List.filter (fun comp -> not (Bitset.is_empty (Bitset.remove v comp))) with_v)
+  in
+  before > among_others

@@ -1,0 +1,25 @@
+(** Connectivity structure: components and bridges.
+
+    Bridges matter to the games directly: severing a bridge disconnects the
+    graph and makes the severing player's distance cost infinite, so a
+    bridge is never severed in a pairwise-stable graph — its [α_max]
+    contribution is [+∞]. *)
+
+val is_connected : Graph.t -> bool
+(** The empty graph (0 vertices) counts as connected. *)
+
+val components : Graph.t -> Nf_util.Bitset.t list
+(** Connected components as vertex bitsets, ordered by least vertex. *)
+
+val component_count : Graph.t -> int
+
+val is_bridge : Graph.t -> int -> int -> bool
+(** [is_bridge g i j] — removing existing edge [(i,j)] would put [i] and
+    [j] in different components.  @raise Invalid_argument when [(i,j)] is
+    not an edge. *)
+
+val bridges : Graph.t -> (int * int) list
+
+val is_cut_vertex : Graph.t -> int -> bool
+(** Removing the vertex increases the number of components among the
+    remaining vertices. *)

@@ -1,0 +1,33 @@
+module Ext_int = Nf_util.Ext_int
+
+(* BFS from every root; a non-tree edge between vertices at depths d(u) and
+   d(w) witnesses a cycle of length d(u)+d(w)+1 through the root.  The
+   minimum over all roots is the exact girth: for a root lying on a
+   shortest cycle the bound is attained. *)
+let girth g =
+  let n = Graph.order g in
+  let best = ref Ext_int.Inf in
+  for root = 0 to n - 1 do
+    let dist = Array.make n (-1) in
+    let parent = Array.make n (-1) in
+    dist.(root) <- 0;
+    let queue = Queue.create () in
+    Queue.add root queue;
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      Nf_util.Bitset.iter
+        (fun w ->
+          if dist.(w) < 0 then begin
+            dist.(w) <- dist.(u) + 1;
+            parent.(w) <- u;
+            Queue.add w queue
+          end
+          else if w <> parent.(u) && u < w then
+            (* u < w visits each non-tree edge once per root *)
+            best := Ext_int.min !best (Ext_int.Fin (dist.(u) + dist.(w) + 1)))
+        (Graph.neighbors g u)
+    done
+  done;
+  !best
+
+let is_acyclic g = girth g = Ext_int.Inf

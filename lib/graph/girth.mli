@@ -1,0 +1,11 @@
+(** Girth — the length of a shortest cycle.
+
+    The girth drives the paper's lower-bound construction (Proposition 3):
+    the distance-cost swing from removing or adding a link in a k-regular
+    graph is a function of the girth, which is how cages and Moore graphs
+    enter the stable set. *)
+
+val girth : Graph.t -> Nf_util.Ext_int.t
+(** [Inf] for forests. *)
+
+val is_acyclic : Graph.t -> bool

@@ -1,0 +1,130 @@
+module Bitset = Nf_util.Bitset
+
+type t = {
+  n : int;
+  adj : int array;  (** [adj.(v)] is the neighbor bitset of [v] *)
+}
+
+let empty n =
+  if n < 0 || n > Bitset.max_size then invalid_arg "Graph.empty: bad order";
+  { n; adj = Array.make n Bitset.empty }
+
+let order g = g.n
+
+let check_vertex g v =
+  if v < 0 || v >= g.n then invalid_arg "Graph: vertex out of range"
+
+let has_edge g i j = Bitset.mem j g.adj.(i)
+
+let add_edge g i j =
+  check_vertex g i;
+  check_vertex g j;
+  if i = j then invalid_arg "Graph.add_edge: loop";
+  let adj = Array.copy g.adj in
+  adj.(i) <- Bitset.add j adj.(i);
+  adj.(j) <- Bitset.add i adj.(j);
+  { g with adj }
+
+let remove_edge g i j =
+  check_vertex g i;
+  check_vertex g j;
+  let adj = Array.copy g.adj in
+  adj.(i) <- Bitset.remove j adj.(i);
+  adj.(j) <- Bitset.remove i adj.(j);
+  { g with adj }
+
+let toggle_edge g i j = if has_edge g i j then remove_edge g i j else add_edge g i j
+let neighbors g v = g.adj.(v)
+let degree g v = Bitset.cardinal g.adj.(v)
+
+let size g =
+  let total = Array.fold_left (fun acc row -> acc + Bitset.cardinal row) 0 g.adj in
+  total / 2
+
+let of_edges n edge_list = List.fold_left (fun g (i, j) -> add_edge g i j) (empty n) edge_list
+
+let iter_edges g f =
+  for i = 0 to g.n - 1 do
+    Bitset.iter (fun j -> if i < j then f i j) g.adj.(i)
+  done
+
+let fold_edges g f init =
+  let acc = ref init in
+  iter_edges g (fun i j -> acc := f i j !acc);
+  !acc
+
+let edges g = List.rev (fold_edges g (fun i j acc -> (i, j) :: acc) [])
+
+let iter_non_edges g f =
+  for i = 0 to g.n - 2 do
+    for j = i + 1 to g.n - 1 do
+      if not (has_edge g i j) then f i j
+    done
+  done
+
+let non_edges g =
+  let acc = ref [] in
+  iter_non_edges g (fun i j -> acc := (i, j) :: !acc);
+  List.rev !acc
+
+let complement g =
+  let all = Bitset.full g.n in
+  { g with adj = Array.mapi (fun v row -> Bitset.remove v (Bitset.diff all row)) g.adj }
+
+let is_complete g = size g = g.n * (g.n - 1) / 2
+let is_empty_graph g = size g = 0
+
+let add_vertex g nbrs =
+  if not (Nf_util.Bitset.subset nbrs (Bitset.full g.n)) then
+    invalid_arg "Graph.add_vertex: neighbor out of range";
+  let n = g.n + 1 in
+  if n > Bitset.max_size then invalid_arg "Graph.add_vertex: too large";
+  let adj = Array.make n Bitset.empty in
+  Array.blit g.adj 0 adj 0 g.n;
+  adj.(g.n) <- nbrs;
+  Bitset.iter (fun v -> adj.(v) <- Bitset.add g.n adj.(v)) nbrs;
+  { n; adj }
+
+let relabel g perm =
+  if Array.length perm <> g.n then invalid_arg "Graph.relabel: size mismatch";
+  let adj = Array.make g.n Bitset.empty in
+  for v = 0 to g.n - 1 do
+    let row = Bitset.fold (fun w acc -> Bitset.add perm.(w) acc) g.adj.(v) Bitset.empty in
+    adj.(perm.(v)) <- row
+  done;
+  { g with adj }
+
+let induced g vs =
+  let vs = Array.of_list vs in
+  let k = Array.length vs in
+  let sub = empty k in
+  let sub = ref sub in
+  for a = 0 to k - 2 do
+    for b = a + 1 to k - 1 do
+      if has_edge g vs.(a) vs.(b) then sub := add_edge !sub a b
+    done
+  done;
+  !sub
+
+let union g1 g2 =
+  if g1.n <> g2.n then invalid_arg "Graph.union: order mismatch";
+  { g1 with adj = Array.map2 Bitset.union g1.adj g2.adj }
+
+let equal g1 g2 = g1.n = g2.n && g1.adj = g2.adj
+let compare g1 g2 = Stdlib.compare (g1.n, g1.adj) (g2.n, g2.adj)
+let hash g = Hashtbl.hash (g.n, g.adj)
+
+let adjacency_key g =
+  let buf = Buffer.create (g.n * 8) in
+  Buffer.add_char buf (Char.chr g.n);
+  Array.iter (fun row -> Buffer.add_string buf (Printf.sprintf "%x," row)) g.adj;
+  Buffer.contents buf
+
+let pp ppf g =
+  Format.fprintf ppf "graph(n=%d, m=%d: %a)" g.n (size g)
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+       (fun ppf (i, j) -> Format.fprintf ppf "%d-%d" i j))
+    (edges g)
+
+let to_string g = Format.asprintf "%a" pp g

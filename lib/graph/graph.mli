@@ -1,0 +1,70 @@
+(** Undirected simple graphs on vertices [0 .. n-1].
+
+    The representation is one adjacency bitset per vertex, so edge tests,
+    neighborhood scans, and copies are O(1)/O(n) word operations.  All
+    operations are persistent: editing returns a new graph, which keeps the
+    equilibrium-search code (which tries many one-edge perturbations of the
+    same graph) free of state bugs at negligible cost for the orders this
+    library targets (n ≤ 62). *)
+
+type t
+
+val empty : int -> t
+(** [empty n] is the edgeless graph on [n] vertices.
+    @raise Invalid_argument unless [0 <= n <= Bitset.max_size]. *)
+
+val order : t -> int
+(** Number of vertices. *)
+
+val size : t -> int
+(** Number of edges. *)
+
+val has_edge : t -> int -> int -> bool
+val add_edge : t -> int -> int -> t
+(** Idempotent. @raise Invalid_argument on loops or out-of-range vertices. *)
+
+val remove_edge : t -> int -> int -> t
+val toggle_edge : t -> int -> int -> t
+val neighbors : t -> int -> Nf_util.Bitset.t
+val degree : t -> int -> int
+val of_edges : int -> (int * int) list -> t
+val edges : t -> (int * int) list
+(** Edge list with [i < j], lexicographically sorted. *)
+
+val iter_edges : t -> (int -> int -> unit) -> unit
+val fold_edges : t -> (int -> int -> 'a -> 'a) -> 'a -> 'a
+val non_edges : t -> (int * int) list
+(** Vertex pairs [i < j] that are not adjacent. *)
+
+val iter_non_edges : t -> (int -> int -> unit) -> unit
+val complement : t -> t
+val is_complete : t -> bool
+val is_empty_graph : t -> bool
+
+val add_vertex : t -> Nf_util.Bitset.t -> t
+(** [add_vertex g nbrs] appends vertex [n] adjacent to exactly [nbrs] — the
+    augmentation step of isomorphism-free enumeration.
+    @raise Invalid_argument when [nbrs] mentions vertices ≥ [order g]. *)
+
+val relabel : t -> int array -> t
+(** [relabel g perm] renames vertex [v] to [perm.(v)]; [perm] must be a
+    permutation of [0 .. n-1]. *)
+
+val induced : t -> int list -> t
+(** [induced g vs] is the subgraph induced by [vs], relabeled to
+    [0 .. length vs - 1] in list order. *)
+
+val union : t -> t -> t
+(** Edge union of two graphs on the same vertex set. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+(** A total order consistent with {!equal} (lexicographic on adjacency
+    rows); not isomorphism-invariant. *)
+
+val hash : t -> int
+val adjacency_key : t -> string
+(** A canonical-per-labeling byte string usable as a hash-table key. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,57 @@
+(* Format reference: https://users.cecs.anu.edu.au/~bdm/data/formats.txt
+   For n <= 62 the header is one byte [n + 63]; the body packs the upper
+   triangle of the adjacency matrix in column order (j from 1, i < j), six
+   bits per byte, each byte offset by 63. *)
+
+let encode g =
+  let n = Graph.order g in
+  if n > 62 then invalid_arg "Graph6.encode: order > 62";
+  let buf = Buffer.create 16 in
+  Buffer.add_char buf (Char.chr (n + 63));
+  let bits = n * (n - 1) / 2 in
+  let acc = ref 0
+  and nacc = ref 0 in
+  let flush_byte () =
+    Buffer.add_char buf (Char.chr (!acc + 63));
+    acc := 0;
+    nacc := 0
+  in
+  let push bit =
+    acc := (!acc lsl 1) lor bit;
+    incr nacc;
+    if !nacc = 6 then flush_byte ()
+  in
+  for j = 1 to n - 1 do
+    for i = 0 to j - 1 do
+      push (if Graph.has_edge g i j then 1 else 0)
+    done
+  done;
+  if bits mod 6 <> 0 then begin
+    acc := !acc lsl (6 - !nacc);
+    nacc := 6;
+    flush_byte ()
+  end;
+  Buffer.contents buf
+
+let decode s =
+  let len = String.length s in
+  if len = 0 then invalid_arg "Graph6.decode: empty";
+  let n = Char.code s.[0] - 63 in
+  if n < 0 || n > 62 then invalid_arg "Graph6.decode: unsupported order";
+  let bits = n * (n - 1) / 2 in
+  let expected = 1 + ((bits + 5) / 6) in
+  if len <> expected then invalid_arg "Graph6.decode: wrong length";
+  let bit k =
+    let byte = Char.code s.[1 + (k / 6)] - 63 in
+    if byte < 0 || byte > 63 then invalid_arg "Graph6.decode: bad byte";
+    byte lsr (5 - (k mod 6)) land 1
+  in
+  let g = ref (Graph.empty n) in
+  let k = ref 0 in
+  for j = 1 to n - 1 do
+    for i = 0 to j - 1 do
+      if bit !k = 1 then g := Graph.add_edge !g i j;
+      incr k
+    done
+  done;
+  !g

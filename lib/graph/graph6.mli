@@ -1,0 +1,10 @@
+(** The graph6 text format (McKay), for graphs on up to 62 vertices.
+
+    graph6 is the lingua franca of graph generators (nauty/geng), so
+    supporting it lets the enumeration and equilibrium pipelines exchange
+    graphs with external tooling and gives tests a compact fixture
+    format. *)
+
+val encode : Graph.t -> string
+val decode : string -> Graph.t
+(** @raise Invalid_argument on malformed input. *)

@@ -1,0 +1,11 @@
+(** Export formats: adjacency listings and Graphviz DOT. *)
+
+val to_dot : ?name:string -> Graph.t -> string
+(** Graphviz source for the graph, vertices labeled [0 .. n-1]. *)
+
+val adjacency_lists : Graph.t -> string
+(** One line per vertex: ["v: n1 n2 ..."]. *)
+
+val summary : Graph.t -> string
+(** One-line structural summary (order, size, degrees, diameter, girth,
+    regularity/SRG classification) used by the CLI and examples. *)

@@ -1,0 +1,38 @@
+module Prng = Nf_util.Prng
+
+let gnp rng n p =
+  let g = ref (Graph.empty n) in
+  Nf_util.Subset.iter_pairs n (fun i j ->
+      if Prng.float rng 1.0 < p then g := Graph.add_edge !g i j);
+  !g
+
+let gnm rng n m =
+  let max_m = n * (n - 1) / 2 in
+  if m < 0 || m > max_m then invalid_arg "Random_graph.gnm: bad edge count";
+  let pairs = Array.make (max max_m 1) (0, 0) in
+  let k = ref 0 in
+  Nf_util.Subset.iter_pairs n (fun i j ->
+      pairs.(!k) <- (i, j);
+      incr k);
+  Prng.shuffle rng pairs;
+  let g = ref (Graph.empty n) in
+  for e = 0 to m - 1 do
+    let i, j = pairs.(e) in
+    g := Graph.add_edge !g i j
+  done;
+  !g
+
+let tree rng n =
+  if n <= 0 then invalid_arg "Random_graph.tree: need n >= 1"
+  else if n = 1 then Graph.empty 1
+  else if n = 2 then Graph.add_edge (Graph.empty 2) 0 1
+  else
+    let code = Array.init (n - 2) (fun _ -> Prng.int rng n) in
+    Trees_prufer.decode n code
+
+let connected_gnp rng n p =
+  let rec attempt p =
+    let g = gnp rng n p in
+    if Connectivity.is_connected g then g else attempt (Float.min 1.0 (p +. 0.05))
+  in
+  attempt p

@@ -1,0 +1,19 @@
+(** Random graph models, for dynamics starting points and property tests.
+
+    Everything takes an explicit {!Nf_util.Prng.t}, keeping experiment runs
+    reproducible. *)
+
+val gnp : Nf_util.Prng.t -> int -> float -> Graph.t
+(** Erdős–Rényi [G(n,p)]: each pair is an edge independently with
+    probability [p]. *)
+
+val gnm : Nf_util.Prng.t -> int -> int -> Graph.t
+(** Uniform graph with exactly [m] edges.
+    @raise Invalid_argument when [m] exceeds [n(n-1)/2]. *)
+
+val tree : Nf_util.Prng.t -> int -> Graph.t
+(** Uniform labeled tree via a random Prüfer sequence ([n ≥ 1]). *)
+
+val connected_gnp : Nf_util.Prng.t -> int -> float -> Graph.t
+(** [gnp] conditioned on connectivity: resamples until connected, raising
+    [p] gradually to guarantee termination. *)

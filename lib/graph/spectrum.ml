@@ -1,0 +1,88 @@
+(* Cyclic Jacobi eigenvalue iteration for small dense symmetric matrices:
+   rotate away the largest off-diagonal entries until they vanish.  For
+   the orders this library handles (n <= 62) this converges in a handful
+   of sweeps and is far simpler than bringing in LAPACK. *)
+
+let jacobi_eigenvalues a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    let m = Array.map Array.copy a in
+    let max_sweeps = 100 in
+    let off_diagonal_norm () =
+      let s = ref 0.0 in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          s := !s +. (m.(i).(j) *. m.(i).(j))
+        done
+      done;
+      !s
+    in
+    let sweep = ref 0 in
+    while off_diagonal_norm () > 1e-18 && !sweep < max_sweeps do
+      incr sweep;
+      for p = 0 to n - 2 do
+        for q = p + 1 to n - 1 do
+          if Float.abs m.(p).(q) > 1e-15 then begin
+            let theta = (m.(q).(q) -. m.(p).(p)) /. (2.0 *. m.(p).(q)) in
+            let t =
+              let sign = if theta >= 0.0 then 1.0 else -1.0 in
+              sign /. (Float.abs theta +. sqrt ((theta *. theta) +. 1.0))
+            in
+            let c = 1.0 /. sqrt ((t *. t) +. 1.0) in
+            let s = t *. c in
+            (* rotate rows/columns p and q *)
+            for k = 0 to n - 1 do
+              let mkp = m.(k).(p)
+              and mkq = m.(k).(q) in
+              m.(k).(p) <- (c *. mkp) -. (s *. mkq);
+              m.(k).(q) <- (s *. mkp) +. (c *. mkq)
+            done;
+            for k = 0 to n - 1 do
+              let mpk = m.(p).(k)
+              and mqk = m.(q).(k) in
+              m.(p).(k) <- (c *. mpk) -. (s *. mqk);
+              m.(q).(k) <- (s *. mpk) +. (c *. mqk)
+            done
+          end
+        done
+      done
+    done;
+    let eigenvalues = Array.init n (fun i -> m.(i).(i)) in
+    Array.sort compare eigenvalues;
+    eigenvalues
+  end
+
+let adjacency_matrix g =
+  let n = Graph.order g in
+  Array.init n (fun i ->
+      Array.init n (fun j -> if Graph.has_edge g i j then 1.0 else 0.0))
+
+let laplacian_matrix g =
+  let n = Graph.order g in
+  Array.init n (fun i ->
+      Array.init n (fun j ->
+          if i = j then float_of_int (Graph.degree g i)
+          else if Graph.has_edge g i j then -1.0
+          else 0.0))
+
+let adjacency_eigenvalues g = jacobi_eigenvalues (adjacency_matrix g)
+let laplacian_eigenvalues g = jacobi_eigenvalues (laplacian_matrix g)
+
+let algebraic_connectivity g =
+  let ev = laplacian_eigenvalues g in
+  if Array.length ev < 2 then 0.0 else Float.max 0.0 ev.(1)
+
+let spectral_radius g =
+  let ev = adjacency_eigenvalues g in
+  if Array.length ev = 0 then 0.0 else ev.(Array.length ev - 1)
+
+let distinct_eigenvalues ?(tolerance = 1e-7) g =
+  let ev = adjacency_eigenvalues g in
+  Array.fold_left
+    (fun acc v ->
+      match acc with
+      | last :: _ when Float.abs (v -. last) <= tolerance -> acc
+      | _ -> v :: acc)
+    [] ev
+  |> List.rev

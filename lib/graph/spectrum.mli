@@ -1,0 +1,25 @@
+(** Adjacency and Laplacian spectra (cyclic Jacobi on the dense symmetric
+    matrix).
+
+    Spectra give independent certificates for the structure the stability
+    analysis leans on: a connected k-regular graph is strongly regular
+    iff its adjacency spectrum has exactly three distinct values, and the
+    Laplacian's second-smallest eigenvalue (algebraic connectivity) is
+    positive iff the graph is connected.  Intended for the gallery-sized
+    graphs (dense O(n³) iteration). *)
+
+val adjacency_eigenvalues : Graph.t -> float array
+(** Ascending, with multiplicity.  Empty array for the empty graph. *)
+
+val laplacian_eigenvalues : Graph.t -> float array
+(** Ascending; the smallest is always (numerically) 0. *)
+
+val algebraic_connectivity : Graph.t -> float
+(** Second-smallest Laplacian eigenvalue; 0 when disconnected, positive
+    when connected ([n ≥ 2]). *)
+
+val spectral_radius : Graph.t -> float
+(** Largest adjacency eigenvalue ([k] for a connected k-regular graph). *)
+
+val distinct_eigenvalues : ?tolerance:float -> Graph.t -> float list
+(** Ascending distinct adjacency eigenvalues (default tolerance 1e-7). *)

@@ -1,0 +1,58 @@
+let decode n code =
+  if n < 3 then invalid_arg "Trees_prufer.decode: need n >= 3";
+  if Array.length code <> n - 2 then invalid_arg "Trees_prufer.decode: bad length";
+  Array.iter (fun v -> if v < 0 || v >= n then invalid_arg "Trees_prufer.decode: bad label") code;
+  (* degree(v) = multiplicity in code + 1 *)
+  let degree = Array.make n 1 in
+  Array.iter (fun v -> degree.(v) <- degree.(v) + 1) code;
+  let g = ref (Graph.empty n) in
+  (* repeatedly join the smallest current leaf to the next code symbol *)
+  let leaf = ref 0 in
+  let ptr = ref 0 in
+  (* [ptr] scans for the smallest never-promoted leaf *)
+  let next_leaf () =
+    while degree.(!ptr) <> 1 do
+      incr ptr
+    done;
+    !ptr
+  in
+  leaf := next_leaf ();
+  Array.iter
+    (fun v ->
+      g := Graph.add_edge !g !leaf v;
+      degree.(!leaf) <- 0;
+      degree.(v) <- degree.(v) - 1;
+      if degree.(v) = 1 && v < !ptr then leaf := v else leaf := next_leaf ())
+    code;
+  (* two vertices of degree 1 remain *)
+  let last = ref [] in
+  Array.iteri (fun v d -> if d = 1 then last := v :: !last) degree;
+  (match !last with
+  | [ a; b ] -> g := Graph.add_edge !g a b
+  | _ -> assert false);
+  !g
+
+let encode g =
+  let n = Graph.order g in
+  if n < 3 then invalid_arg "Trees_prufer.encode: need n >= 3";
+  if Graph.size g <> n - 1 then invalid_arg "Trees_prufer.encode: not a tree";
+  let degree = Array.init n (Graph.degree g) in
+  let adj = Array.init n (Graph.neighbors g) in
+  let code = Array.make (n - 2) 0 in
+  let ptr = ref 0 in
+  let next_leaf () =
+    while degree.(!ptr) <> 1 do
+      incr ptr
+    done;
+    !ptr
+  in
+  let leaf = ref (next_leaf ()) in
+  for k = 0 to n - 3 do
+    let v = Nf_util.Bitset.min_elt adj.(!leaf) in
+    code.(k) <- v;
+    degree.(!leaf) <- 0;
+    adj.(v) <- Nf_util.Bitset.remove !leaf adj.(v);
+    degree.(v) <- degree.(v) - 1;
+    if degree.(v) = 1 && v < !ptr then leaf := v else leaf := next_leaf ()
+  done;
+  code

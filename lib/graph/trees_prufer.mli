@@ -1,0 +1,10 @@
+(** Prüfer sequences: the classical bijection between labeled trees on [n]
+    vertices and sequences in [{0..n-1}^(n-2)] (for [n ≥ 3]). *)
+
+val decode : int -> int array -> Graph.t
+(** [decode n code] builds the tree for a Prüfer sequence of length [n-2].
+    @raise Invalid_argument on a wrong-length or out-of-range code. *)
+
+val encode : Graph.t -> int array
+(** Inverse of {!decode}. @raise Invalid_argument unless the graph is a tree
+    with [n ≥ 3]. *)

@@ -1,0 +1,58 @@
+module Graph = Nf_graph.Graph
+module Bitset = Nf_util.Bitset
+
+let centers g =
+  let n = Graph.order g in
+  if n = 0 then []
+  else if n = 1 then [ 0 ]
+  else begin
+    let degree = Array.init n (Graph.degree g) in
+    let removed = Array.make n false in
+    let remaining = ref n in
+    let layer = ref [] in
+    for v = 0 to n - 1 do
+      if degree.(v) <= 1 then layer := v :: !layer
+    done;
+    let current = ref !layer in
+    while !remaining > 2 do
+      let next = ref [] in
+      List.iter
+        (fun v ->
+          removed.(v) <- true;
+          decr remaining;
+          Bitset.iter
+            (fun w ->
+              if not removed.(w) then begin
+                degree.(w) <- degree.(w) - 1;
+                if degree.(w) = 1 then next := w :: !next
+              end)
+            (Graph.neighbors g v))
+        !current;
+      current := !next
+    done;
+    List.filter (fun v -> not removed.(v)) (List.init n Fun.id)
+  end
+
+let rec encode_rooted g root parent =
+  let children =
+    Bitset.fold
+      (fun w acc -> if w <> parent then encode_rooted g w root :: acc else acc)
+      (Graph.neighbors g root) []
+  in
+  let sorted = List.sort compare children in
+  "(" ^ String.concat "" sorted ^ ")"
+
+let encode g =
+  let n = Graph.order g in
+  if n > 0 && not (Nf_graph.Props.is_tree g) then invalid_arg "Ahu.encode: not a tree";
+  if n = 0 then "()"
+  else
+    match centers g with
+    | [ c ] -> encode_rooted g c (-1)
+    | [ c1; c2 ] ->
+      let e1 = encode_rooted g c1 (-1)
+      and e2 = encode_rooted g c2 (-1) in
+      if compare e1 e2 <= 0 then e1 else e2
+    | _ -> assert false
+
+let equal_trees t1 t2 = String.equal (encode t1) (encode t2)

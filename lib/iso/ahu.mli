@@ -1,0 +1,18 @@
+(** AHU canonical encoding for free trees (Aho–Hopcroft–Ullman).
+
+    Rooting a tree at its center (or canonically at the better of the two
+    centers) and recursively sorting subtree encodings yields a string that
+    two free trees share exactly when they are isomorphic — a linear-time
+    fast path that the tree enumerator uses instead of general canonical
+    labeling. *)
+
+val encode : Nf_graph.Graph.t -> string
+(** Canonical encoding of a free tree.
+    @raise Invalid_argument when the graph is not a tree. *)
+
+val equal_trees : Nf_graph.Graph.t -> Nf_graph.Graph.t -> bool
+(** Tree isomorphism via encodings. *)
+
+val centers : Nf_graph.Graph.t -> int list
+(** The 1 or 2 central vertices of a tree (peeling leaves layer by
+    layer). *)

@@ -1,0 +1,30 @@
+(** Canonical labeling by individualization–refinement.
+
+    [canonical_form g] relabels [g] so that isomorphic graphs map to equal
+    graphs: refinement narrows the candidate orderings, branching on one
+    vertex of the first non-singleton cell at a time, and the
+    lexicographically least adjacency encoding over all discrete leaves is
+    the canonical representative.  Exponential in the worst case but
+    effectively instant at the orders this library enumerates. *)
+
+val canonical_form : Nf_graph.Graph.t -> Nf_graph.Graph.t
+(** The canonical representative of the isomorphism class. *)
+
+val canonical_key : Nf_graph.Graph.t -> string
+(** A byte string equal for exactly the isomorphic graphs (the graph6
+    encoding of {!canonical_form}). *)
+
+val canonical_permutation : Nf_graph.Graph.t -> int array
+(** A permutation [perm] (old vertex [v] → new label [perm.(v)]) with
+    [relabel g perm = canonical_form g]. *)
+
+val is_isomorphic : Nf_graph.Graph.t -> Nf_graph.Graph.t -> bool
+
+val isomorphism : Nf_graph.Graph.t -> Nf_graph.Graph.t -> int array option
+(** [isomorphism g h] is [Some perm] mapping [g]-vertices to [h]-vertices
+    with [relabel g perm = h], when the graphs are isomorphic. *)
+
+val automorphism_count : Nf_graph.Graph.t -> int
+(** Order of the automorphism group, by counting the discrete leaves that
+    realize the canonical form.  Intended for small graphs (tests and the
+    named-graph gallery). *)

@@ -1,0 +1,80 @@
+module Graph = Nf_graph.Graph
+module Bitset = Nf_util.Bitset
+
+type partition = int list list
+
+let unit_partition n = if n = 0 then [] else [ List.init n Fun.id ]
+
+let degree_partition g =
+  let n = Graph.order g in
+  let by_degree = Hashtbl.create 8 in
+  for v = 0 to n - 1 do
+    let d = Graph.degree g v in
+    Hashtbl.replace by_degree d (v :: Option.value ~default:[] (Hashtbl.find_opt by_degree d))
+  done;
+  let degrees = List.sort_uniq (fun a b -> compare b a) (Hashtbl.fold (fun d _ acc -> d :: acc) by_degree []) in
+  List.map (fun d -> List.sort compare (Hashtbl.find by_degree d)) degrees
+
+(* Split every cell by the count of neighbors inside [splitter]; groups are
+   ordered by decreasing count so the outcome is independent of within-cell
+   vertex order.  Returns the new partition and whether anything split. *)
+let split_by g splitter partition =
+  let changed = ref false in
+  let split_cell cell =
+    match cell with
+    | [] | [ _ ] -> [ cell ]
+    | _ ->
+      let keyed =
+        List.map (fun v -> (Bitset.cardinal (Bitset.inter (Graph.neighbors g v) splitter), v)) cell
+      in
+      let sorted = List.sort (fun (k1, v1) (k2, v2) -> compare (k2, v1) (k1, v2)) keyed in
+      let rec group current key acc = function
+        | [] -> List.rev (List.rev current :: acc)
+        | (k, v) :: rest ->
+          if k = key then group (v :: current) key acc rest
+          else group [ v ] k (List.rev current :: acc) rest
+      in
+      (match sorted with
+      | [] -> [ [] ]
+      | (k0, v0) :: rest ->
+        let groups = group [ v0 ] k0 [] rest in
+        if List.length groups > 1 then changed := true;
+        groups)
+  in
+  let refined = List.concat_map split_cell partition in
+  (refined, !changed)
+
+let refine g partition =
+  (* Iterate to a fixpoint: re-split against every current cell after any
+     change.  Cell count only grows, so this terminates in <= n rounds. *)
+  let rec loop partition =
+    let splitters = List.map Bitset.of_list partition in
+    let step (p, changed) splitter =
+      let p', c = split_by g splitter p in
+      (p', changed || c)
+    in
+    let partition', changed = List.fold_left step (partition, false) splitters in
+    if changed then loop partition' else partition'
+  in
+  loop partition
+
+let is_discrete partition =
+  List.for_all
+    (function
+      | [ _ ] -> true
+      | _ -> false)
+    partition
+
+let first_non_singleton partition =
+  List.find_opt
+    (function
+      | [] | [ _ ] -> false
+      | _ -> true)
+    partition
+
+let individualize partition ~cell v =
+  if not (List.mem v cell) then invalid_arg "Refine.individualize: vertex not in cell";
+  List.concat_map
+    (fun c ->
+      if c == cell then [ [ v ]; List.filter (fun u -> u <> v) c ] else [ c ])
+    partition

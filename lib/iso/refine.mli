@@ -1,0 +1,32 @@
+(** Equitable-partition refinement (1-dimensional Weisfeiler–Leman).
+
+    An ordered partition of the vertex set is repeatedly split by neighbor
+    counts against every cell until stable.  This is the workhorse inside
+    canonical labeling: it shrinks the individualization search tree to the
+    automorphism structure of the graph. *)
+
+type partition = int list list
+(** Ordered list of non-empty cells; cells jointly cover [0 .. n-1]. *)
+
+val unit_partition : int -> partition
+(** The single-cell partition of [0 .. n-1] (empty for [n = 0]). *)
+
+val degree_partition : Nf_graph.Graph.t -> partition
+(** Vertices grouped by degree, larger degrees first — a cheap invariant
+    that seeds refinement. *)
+
+val refine : Nf_graph.Graph.t -> partition -> partition
+(** Coarsest equitable refinement of the given ordered partition.  The
+    result is deterministic: it depends only on the graph and the input
+    cell order, never on list ordering inside cells. *)
+
+val is_discrete : partition -> bool
+(** Every cell is a singleton. *)
+
+val first_non_singleton : partition -> int list option
+(** The target cell for individualization, if any. *)
+
+val individualize : partition -> cell:int list -> int -> partition
+(** [individualize p ~cell v] splits [cell] (which must occur in [p] and
+    contain [v]) into [[v]] followed by the rest, preserving the order of
+    the other cells. *)

@@ -1,0 +1,97 @@
+module Graph = Nf_graph.Graph
+
+let complete n =
+  let g = ref (Graph.empty n) in
+  Nf_util.Subset.iter_pairs n (fun i j -> g := Graph.add_edge !g i j);
+  !g
+
+let path n = Graph.of_edges n (List.init (max 0 (n - 1)) (fun i -> (i, i + 1)))
+
+let cycle n =
+  if n < 3 then invalid_arg "Families.cycle: need n >= 3";
+  Graph.add_edge (path n) 0 (n - 1)
+
+let star n =
+  if n < 1 then invalid_arg "Families.star: need n >= 1";
+  Graph.of_edges n (List.init (n - 1) (fun i -> (0, i + 1)))
+
+let wheel n =
+  if n < 4 then invalid_arg "Families.wheel: need n >= 4";
+  let rim = List.init (n - 1) (fun i -> (1 + i, 1 + ((i + 1) mod (n - 1)))) in
+  let spokes = List.init (n - 1) (fun i -> (0, 1 + i)) in
+  Graph.of_edges n (spokes @ List.filter (fun (a, b) -> a <> b) rim)
+
+let complete_multipartite parts =
+  if List.exists (fun p -> p <= 0) parts then
+    invalid_arg "Families.complete_multipartite: empty part";
+  let n = List.fold_left ( + ) 0 parts in
+  (* part id per vertex *)
+  let part_of = Array.make n 0 in
+  let _ =
+    List.fold_left
+      (fun (next, id) size ->
+        for v = next to next + size - 1 do
+          part_of.(v) <- id
+        done;
+        (next + size, id + 1))
+      (0, 0) parts
+  in
+  let g = ref (Graph.empty n) in
+  Nf_util.Subset.iter_pairs n (fun i j ->
+      if part_of.(i) <> part_of.(j) then g := Graph.add_edge !g i j);
+  !g
+
+let complete_bipartite a b = complete_multipartite [ a; b ]
+
+let hypercube d =
+  if d < 0 || d > 5 then invalid_arg "Families.hypercube: dimension out of range";
+  let n = 1 lsl d in
+  let g = ref (Graph.empty n) in
+  for v = 0 to n - 1 do
+    for bit = 0 to d - 1 do
+      let w = v lxor (1 lsl bit) in
+      if v < w then g := Graph.add_edge !g v w
+    done
+  done;
+  !g
+
+let circulant n offsets =
+  if n < 1 then invalid_arg "Families.circulant: need n >= 1";
+  let g = ref (Graph.empty n) in
+  List.iter
+    (fun s ->
+      let s = ((s mod n) + n) mod n in
+      if s <> 0 then
+        for v = 0 to n - 1 do
+          let w = (v + s) mod n in
+          if v <> w then g := Graph.add_edge !g v w
+        done)
+    offsets;
+  !g
+
+let generalized_petersen n k =
+  if n < 3 || k < 1 || 2 * k = n || k >= n then
+    invalid_arg "Families.generalized_petersen: bad parameters";
+  let g = ref (Graph.empty (2 * n)) in
+  for i = 0 to n - 1 do
+    g := Graph.add_edge !g i ((i + 1) mod n);
+    (* outer cycle *)
+    g := Graph.add_edge !g i (n + i);
+    (* spoke *)
+    g := Graph.add_edge !g (n + i) (n + ((i + k) mod n))
+    (* inner star polygon *)
+  done;
+  !g
+
+let lcf pattern reps =
+  let len = List.length pattern in
+  if len = 0 || reps < 1 then invalid_arg "Families.lcf: empty pattern";
+  let n = len * reps in
+  let chords = Array.of_list pattern in
+  let g = ref (cycle n) in
+  for i = 0 to n - 1 do
+    let jump = chords.(i mod len) in
+    let j = ((i + jump) mod n + n) mod n in
+    if i <> j then g := Graph.add_edge !g i j
+  done;
+  !g

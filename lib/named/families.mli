@@ -1,0 +1,40 @@
+(** Parametric graph families.
+
+    These are the building blocks of the paper's examples: stars and
+    complete graphs are the efficient topologies (Lemmas 4–5), cycles are
+    the first nontrivial stable family (Lemma 6), and circulant /
+    generalized-Petersen / LCF graphs generate the regular gallery of
+    Section 4.1. *)
+
+val complete : int -> Nf_graph.Graph.t
+val path : int -> Nf_graph.Graph.t
+val cycle : int -> Nf_graph.Graph.t
+(** @raise Invalid_argument for [n < 3]. *)
+
+val star : int -> Nf_graph.Graph.t
+(** Center is vertex 0. @raise Invalid_argument for [n < 1]. *)
+
+val wheel : int -> Nf_graph.Graph.t
+(** Hub 0 plus a cycle on [1 .. n-1]; [n ≥ 4]. *)
+
+val complete_bipartite : int -> int -> Nf_graph.Graph.t
+val complete_multipartite : int list -> Nf_graph.Graph.t
+(** Parts of the given sizes; edges between all vertices of distinct
+    parts. *)
+
+val hypercube : int -> Nf_graph.Graph.t
+(** [hypercube d] is [Q_d] on [2^d] vertices ([0 ≤ d ≤ 5]). *)
+
+val circulant : int -> int list -> Nf_graph.Graph.t
+(** [circulant n offsets] joins [i] to [i ± s mod n] for each offset [s]. *)
+
+val generalized_petersen : int -> int -> Nf_graph.Graph.t
+(** [generalized_petersen n k] = GP(n,k) on [2n] vertices: outer cycle
+    [0..n-1], spokes, inner star polygon with step [k].
+    @raise Invalid_argument unless [n ≥ 3] and [1 ≤ k < n/2... ≤]
+    ([2k ≠ 0 mod n]). *)
+
+val lcf : int list -> int -> Nf_graph.Graph.t
+(** [lcf pattern reps] builds the cubic graph in LCF notation
+    [pattern^reps]: a Hamiltonian cycle on [length pattern * reps]
+    vertices plus a chord from each vertex [i] to [i + a_i mod n]. *)

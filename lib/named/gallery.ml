@@ -1,0 +1,67 @@
+module Graph = Nf_graph.Graph
+
+let petersen = Families.generalized_petersen 5 2
+let mcgee = Families.lcf [ 12; 7; -7 ] 8
+let octahedron = Families.complete_multipartite [ 2; 2; 2 ]
+
+(* Folded 5-cube: 4-bit vectors, adjacent when the XOR has weight 1 (cube
+   edges) or weight 4 (antipodal fold). *)
+let clebsch =
+  let weight x =
+    let rec go acc x = if x = 0 then acc else go (acc + 1) (x land (x - 1)) in
+    go 0 x
+  in
+  let g = ref (Graph.empty 16) in
+  Nf_util.Subset.iter_pairs 16 (fun i j ->
+      let w = weight (i lxor j) in
+      if w = 1 || w = 4 then g := Graph.add_edge !g i j);
+  !g
+
+(* Robertson's construction: pentagons P_0..P_4 and pentagrams Q_0..Q_4;
+   vertex j of P_h is adjacent to vertex (h*i + j mod 5) of Q_i.
+   P_h occupies vertices 5h..5h+4 (cycle step 1), Q_i occupies vertices
+   25+5i..25+5i+4 (cycle step 2). *)
+let hoffman_singleton =
+  let g = ref (Graph.empty 50) in
+  let p h j = (5 * h) + (j mod 5)
+  and q i j = 25 + (5 * i) + (j mod 5) in
+  for h = 0 to 4 do
+    for j = 0 to 4 do
+      g := Graph.add_edge !g (p h j) (p h ((j + 1) mod 5));
+      g := Graph.add_edge !g (q h j) (q h ((j + 2) mod 5))
+    done
+  done;
+  for h = 0 to 4 do
+    for i = 0 to 4 do
+      for j = 0 to 4 do
+        g := Graph.add_edge !g (p h j) (q i (((h * i) + j) mod 5))
+      done
+    done
+  done;
+  !g
+
+let desargues = Families.generalized_petersen 10 3
+let dodecahedron = Families.generalized_petersen 10 2
+let star8 = Families.star 8
+let heawood = Families.lcf [ 5; -5 ] 7
+let pappus = Families.lcf [ 5; 7; -7; 7; -7; -5 ] 3
+let moebius_kantor = Families.generalized_petersen 8 3
+let nauru = Families.generalized_petersen 12 5
+let tutte_coxeter = Families.lcf [ -13; -9; 7; -7; 9; 13 ] 5
+
+let all =
+  [
+    ("petersen", petersen);
+    ("mcgee", mcgee);
+    ("octahedron", octahedron);
+    ("clebsch", clebsch);
+    ("hoffman-singleton", hoffman_singleton);
+    ("star8", star8);
+    ("desargues", desargues);
+    ("dodecahedron", dodecahedron);
+    ("heawood", heawood);
+    ("pappus", pappus);
+    ("moebius-kantor", moebius_kantor);
+    ("nauru", nauru);
+    ("tutte-coxeter", tutte_coxeter);
+  ]

@@ -1,0 +1,56 @@
+(** The specific graphs named in the paper (Figure 1 and §4.1).
+
+    Each is built from an explicit construction and carries its textbook
+    invariants in the documentation; the test suite asserts all of them
+    (order, size, regularity, girth, diameter, SRG parameters). *)
+
+val petersen : Nf_graph.Graph.t
+(** GP(5,2): the (3,5)-cage and Moore graph, srg(10,3,0,1). *)
+
+val mcgee : Nf_graph.Graph.t
+(** The (3,7)-cage: 24 vertices, 36 edges, girth 7 (LCF [12,7,-7]^8). *)
+
+val octahedron : Nf_graph.Graph.t
+(** K_{2,2,2}: srg(6,4,2,4). *)
+
+val clebsch : Nf_graph.Graph.t
+(** Folded 5-cube on 16 vertices: srg(16,5,0,2). *)
+
+val hoffman_singleton : Nf_graph.Graph.t
+(** The (7,5)-cage and Moore graph on 50 vertices: srg(50,7,0,1)
+    (Robertson's pentagon–pentagram construction). *)
+
+val desargues : Nf_graph.Graph.t
+(** GP(10,3): bipartite cubic distance-regular graph, girth 6,
+    diameter 5 — the §4.1 example that is link convex. *)
+
+val dodecahedron : Nf_graph.Graph.t
+(** GP(10,2): the planar dodecahedral graph, girth 5, diameter 5 — the
+    §4.1 example that is {e not} link convex. *)
+
+val star8 : Nf_graph.Graph.t
+(** The 8-vertex star of Figure 1.6. *)
+
+(** Additional cages and symmetric cubic graphs, extending the Moore-bound
+    family of Proposition 3 beyond the paper's examples. *)
+
+val heawood : Nf_graph.Graph.t
+(** The (3,6)-cage on 14 vertices (LCF [5,-5]^7); meets the girth Moore
+    bound exactly. *)
+
+val pappus : Nf_graph.Graph.t
+(** Cubic distance-regular graph on 18 vertices, girth 6
+    (LCF [5,7,-7,7,-7,-5]^3). *)
+
+val moebius_kantor : Nf_graph.Graph.t
+(** GP(8,3): 16 vertices, girth 6. *)
+
+val nauru : Nf_graph.Graph.t
+(** GP(12,5): 24 vertices, girth 6. *)
+
+val tutte_coxeter : Nf_graph.Graph.t
+(** The (3,8)-cage (Levi graph of GQ(2,2)) on 30 vertices
+    (LCF [-13,-9,7,-7,9,13]^5); meets the girth Moore bound exactly. *)
+
+val all : (string * Nf_graph.Graph.t) list
+(** Name → graph: Figure 1 order, the §4.1 pair, then the extra cages. *)

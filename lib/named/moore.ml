@@ -1,0 +1,26 @@
+module Ext_int = Nf_util.Ext_int
+
+let geometric_sum base terms =
+  let rec go acc power i = if i >= terms then acc else go (acc + power) (power * base) (i + 1) in
+  go 0 1 0
+
+let bound_diameter k d =
+  if k < 1 || d < 0 then invalid_arg "Moore.bound_diameter";
+  1 + (k * geometric_sum (k - 1) d)
+
+let bound_girth k g =
+  if k < 2 || g < 3 then invalid_arg "Moore.bound_girth";
+  if g mod 2 = 1 then 1 + (k * geometric_sum (k - 1) ((g - 1) / 2))
+  else 2 * geometric_sum (k - 1) (g / 2)
+
+let moore_ratio g =
+  match Nf_graph.Props.regularity g with
+  | None -> None
+  | Some k -> (
+    match Nf_graph.Apsp.diameter g with
+    | Ext_int.Inf -> None
+    | Ext_int.Fin d ->
+      if k < 1 || d < 1 then None
+      else Some (float_of_int (Nf_graph.Graph.order g) /. float_of_int (bound_diameter k d)))
+
+let is_moore_graph g = moore_ratio g = Some 1.0

@@ -1,0 +1,23 @@
+(** Moore bounds for regular graphs.
+
+    Proposition 3's lower bound on the price of anarchy is built from
+    k-regular graphs whose order is a constant factor of the Moore bound;
+    these helpers quantify "how Moore" a given graph is. *)
+
+val bound_diameter : int -> int -> int
+(** [bound_diameter k d]: the maximum possible order of a [k]-regular graph
+    of diameter [d] — [1 + k·Σ_{i=0}^{d-1}(k-1)^i]. *)
+
+val bound_girth : int -> int -> int
+(** [bound_girth k g]: the minimum possible order of a [k]-regular graph of
+    girth [g] (the cage lower bound): for odd [g = 2r+1],
+    [1 + k·Σ_{i=0}^{r-1}(k-1)^i]; for even [g = 2r],
+    [2·Σ_{i=0}^{r-1}(k-1)^i]. *)
+
+val is_moore_graph : Nf_graph.Graph.t -> bool
+(** Regular, and order equals {!bound_diameter} for its degree and
+    diameter. *)
+
+val moore_ratio : Nf_graph.Graph.t -> float option
+(** Order divided by the diameter Moore bound, for regular connected
+    graphs; [None] otherwise.  1.0 means the graph is a Moore graph. *)

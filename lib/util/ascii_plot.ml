@@ -1,0 +1,54 @@
+type series = {
+  label : string;
+  marker : char;
+  points : (float * float) list;
+}
+
+let finite_points s = List.filter (fun (x, y) -> Float.is_finite x && Float.is_finite y) s.points
+
+let render ?(width = 72) ?(height = 20) ?(x_label = "x") ?(y_label = "y") ~title series =
+  let all = List.concat_map finite_points series in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf title;
+  Buffer.add_char buf '\n';
+  (match all with
+  | [] -> Buffer.add_string buf "  (no finite data)\n"
+  | (x0, y0) :: rest ->
+    let xmin, xmax, ymin, ymax =
+      List.fold_left
+        (fun (xmin, xmax, ymin, ymax) (x, y) ->
+          (Float.min xmin x, Float.max xmax x, Float.min ymin y, Float.max ymax y))
+        (x0, x0, y0, y0) rest
+    in
+    let xspan = if xmax > xmin then xmax -. xmin else 1. in
+    let yspan = if ymax > ymin then ymax -. ymin else 1. in
+    let grid = Array.make_matrix height width ' ' in
+    let rasterize s =
+      List.iter
+        (fun (x, y) ->
+          let col = int_of_float ((x -. xmin) /. xspan *. float_of_int (width - 1)) in
+          let row = int_of_float ((y -. ymin) /. yspan *. float_of_int (height - 1)) in
+          let row = height - 1 - row in
+          grid.(row).(col) <- s.marker)
+        (finite_points s)
+    in
+    List.iter rasterize series;
+    let y_axis_width = 10 in
+    for r = 0 to height - 1 do
+      let yval = ymax -. (float_of_int r /. float_of_int (height - 1) *. yspan) in
+      Buffer.add_string buf (Printf.sprintf "%8.3f |" yval);
+      Buffer.add_string buf (String.init width (fun c -> grid.(r).(c)));
+      Buffer.add_char buf '\n'
+    done;
+    Buffer.add_string buf (String.make y_axis_width ' ');
+    Buffer.add_string buf (String.make width '-');
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf
+      (Printf.sprintf "%s%-*.3f%*.3f\n"
+         (String.make y_axis_width ' ')
+         (width / 2) xmin (width - (width / 2)) xmax);
+    Buffer.add_string buf (Printf.sprintf "          x: %s   y: %s\n" x_label y_label));
+  List.iter
+    (fun s -> Buffer.add_string buf (Printf.sprintf "          [%c] %s\n" s.marker s.label))
+    series;
+  Buffer.contents buf

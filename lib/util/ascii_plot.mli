@@ -1,0 +1,23 @@
+(** ASCII line plots, used to render the paper's figures in a terminal.
+
+    Each series is a list of [(x, y)] points; series share axes and are
+    drawn with distinct marker characters, nearest-cell rasterized onto a
+    fixed-size character grid with axis labels. *)
+
+type series = {
+  label : string;
+  marker : char;
+  points : (float * float) list;
+}
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?x_label:string ->
+  ?y_label:string ->
+  title:string ->
+  series list ->
+  string
+(** [render ~title series] draws all series on one grid (default 72x20).
+    Non-finite points are skipped.  Returns a multi-line string ending in a
+    newline, including a legend line per series. *)

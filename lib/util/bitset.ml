@@ -1,0 +1,61 @@
+type t = int
+
+let max_size = Sys.int_size - 1
+let empty = 0
+
+let check k =
+  if k < 0 || k >= max_size then invalid_arg "Bitset: element out of range"
+
+let singleton k =
+  check k;
+  1 lsl k
+
+let full n =
+  if n < 0 || n > max_size then invalid_arg "Bitset.full";
+  if n = 0 then 0 else (1 lsl n) - 1
+
+let mem k s = s land (1 lsl k) <> 0
+let add k s = s lor singleton k
+let remove k s = s land lnot (singleton k)
+let union a b = a lor b
+let inter a b = a land b
+let diff a b = a land lnot b
+let is_empty s = s = 0
+
+let cardinal s =
+  let rec count acc s = if s = 0 then acc else count (acc + 1) (s land (s - 1)) in
+  count 0 s
+
+let subset a b = a land lnot b = 0
+
+(* Index of the lowest set bit, via de-Bruijn-free loop (sets are tiny). *)
+let min_elt s =
+  if s = 0 then raise Not_found
+  else
+    let rec go k = if s land (1 lsl k) <> 0 then k else go (k + 1) in
+    go 0
+
+let iter f s =
+  let rec go s =
+    if s <> 0 then begin
+      let k = min_elt s in
+      f k;
+      go (s land (s - 1))
+    end
+  in
+  go s
+
+let fold f s init =
+  let acc = ref init in
+  iter (fun k -> acc := f k !acc) s;
+  !acc
+
+let elements s = List.rev (fold (fun k acc -> k :: acc) s [])
+let of_list l = List.fold_left (fun s k -> add k s) empty l
+
+let pp ppf s =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Format.pp_print_int)
+    (elements s)

@@ -1,0 +1,34 @@
+(** Small bitsets packed into a single [int].
+
+    The graph kernel stores one adjacency row per vertex as a bitset, which
+    bounds the library at {!max_size} vertices — far beyond what exhaustive
+    equilibrium enumeration can reach anyway. *)
+
+type t = int
+(** Bit [k] set means element [k] is present. *)
+
+val max_size : int
+(** Number of usable bits ([Sys.int_size - 1] = 62 on 64-bit systems). *)
+
+val empty : t
+val singleton : int -> t
+val full : int -> t
+(** [full n] contains [0 .. n-1]. *)
+
+val mem : int -> t -> bool
+val add : int -> t -> t
+val remove : int -> t -> t
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val is_empty : t -> bool
+val cardinal : t -> int
+val subset : t -> t -> bool
+val min_elt : t -> int
+(** @raise Not_found on the empty set. *)
+
+val iter : (int -> unit) -> t -> unit
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val elements : t -> int list
+val of_list : int list -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,29 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Experiments and property generators must be reproducible across runs and
+    machines, so the library never touches [Stdlib.Random]'s global state;
+    every randomized routine threads one of these generators explicitly. *)
+
+type t
+
+val create : int -> t
+(** [create seed] is a fresh generator. Equal seeds give equal streams. *)
+
+val copy : t -> t
+val next_int64 : t -> int64
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [[0, bound)].
+    @raise Invalid_argument when [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [[0, bound)]. *)
+
+val bool : t -> bool
+
+val pick : t -> 'a list -> 'a
+(** Uniform element of a non-empty list.
+    @raise Invalid_argument on the empty list. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

@@ -1,0 +1,38 @@
+(** Exact rational arithmetic on machine integers.
+
+    Every stability threshold in the connection games is a ratio of two
+    small integers (differences of hop-count sums divided by an edge-count
+    difference), so normalized [int]-backed rationals are exact for the
+    whole analysis.  Denominators are kept strictly positive. *)
+
+type t = private {
+  num : int;  (** numerator *)
+  den : int;  (** denominator, always > 0 *)
+}
+
+val make : int -> int -> t
+(** [make num den] is the normalized rational [num/den].
+    @raise Division_by_zero when [den = 0]. *)
+
+val of_int : int -> t
+val zero : t
+val one : t
+val num : t -> int
+val den : t -> int
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val neg : t -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+val is_integer : t -> bool
+val to_float : t -> float
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,37 @@
+type t = {
+  count : int;
+  sum : float;
+  sum_sq : float;
+  min : float;
+  max : float;
+}
+
+let empty = { count = 0; sum = 0.; sum_sq = 0.; min = nan; max = nan }
+
+let add t x =
+  {
+    count = t.count + 1;
+    sum = t.sum +. x;
+    sum_sq = t.sum_sq +. (x *. x);
+    min = (if t.count = 0 then x else Float.min t.min x);
+    max = (if t.count = 0 then x else Float.max t.max x);
+  }
+
+let of_list xs = List.fold_left add empty xs
+let count t = t.count
+let mean t = if t.count = 0 then nan else t.sum /. float_of_int t.count
+
+let variance t =
+  if t.count = 0 then nan
+  else
+    let m = mean t in
+    Float.max 0. ((t.sum_sq /. float_of_int t.count) -. (m *. m))
+
+let stddev t = sqrt (variance t)
+let min t = t.min
+let max t = t.max
+let sum t = t.sum
+
+let pp ppf t =
+  Format.fprintf ppf "n=%d mean=%.4f sd=%.4f min=%.4f max=%.4f" t.count (mean t)
+    (stddev t) t.min t.max

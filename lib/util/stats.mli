@@ -1,0 +1,19 @@
+(** Running summary statistics for experiment reporting. *)
+
+type t
+
+val empty : t
+val add : t -> float -> t
+val of_list : float list -> t
+val count : t -> int
+val mean : t -> float
+(** [nan] when no samples were added. *)
+
+val variance : t -> float
+(** Population variance; [nan] when empty. *)
+
+val stddev : t -> float
+val min : t -> float
+val max : t -> float
+val sum : t -> float
+val pp : Format.formatter -> t -> unit

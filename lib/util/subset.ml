@@ -1,0 +1,35 @@
+(* Standard trick: the subsets of a bitmask [g] are visited by
+   [s -> (s - g) land g] starting from 0, which counts through exactly the
+   bit patterns contained in [g]. *)
+let iter_subsets ground f =
+  let rec go s =
+    f s;
+    let next = (s - ground) land ground in
+    if next <> 0 then go next
+  in
+  go 0
+
+let fold_subsets ground f init =
+  let acc = ref init in
+  iter_subsets ground (fun s -> acc := f !acc s);
+  !acc
+
+exception Found
+
+let exists_subset ground pred =
+  try
+    iter_subsets ground (fun s -> if pred s then raise Found);
+    false
+  with Found -> true
+
+let iter_subsets_of_size ground k f =
+  iter_subsets ground (fun s -> if Bitset.cardinal s = k then f s)
+
+let count_subsets ground = 1 lsl Bitset.cardinal ground
+
+let iter_pairs n f =
+  for i = 0 to n - 2 do
+    for j = i + 1 to n - 1 do
+      f i j
+    done
+  done

@@ -1,0 +1,234 @@
+(* Tests for nf_dynamics: fixed points are equilibria, convergence on
+   known instances, sampling finds known stable graphs. *)
+
+module Graph = Nf_graph.Graph
+module Rat = Nf_util.Rat
+module Prng = Nf_util.Prng
+module Families = Nf_named.Families
+module Bcg_dynamics = Nf_dynamics.Bcg_dynamics
+module Ucg_dynamics = Nf_dynamics.Ucg_dynamics
+open Netform
+
+let check = Alcotest.check
+let check_bool = Alcotest.(check bool)
+let r = Rat.of_int
+let rq = Rat.make
+
+(* ---------------- BCG dynamics ---------------- *)
+
+let test_bcg_stable_is_fixed_point () =
+  (* stable graphs admit no moves *)
+  check Alcotest.int "star at alpha=2" 0
+    (List.length (Bcg_dynamics.improving_moves ~alpha:(r 2) (Families.star 6)));
+  check Alcotest.int "complete at alpha=1/2" 0
+    (List.length (Bcg_dynamics.improving_moves ~alpha:(rq 1 2) (Families.complete 6)))
+
+let test_bcg_run_reaches_stability () =
+  let rng = Prng.create 7 in
+  let alphas = [ rq 1 2; r 1; r 2; r 4 ] in
+  List.iter
+    (fun alpha ->
+      for _ = 1 to 20 do
+        let seed = Nf_graph.Random_graph.connected_gnp rng 7 0.4 in
+        let outcome = Bcg_dynamics.run ~alpha ~rng seed in
+        check_bool "converged" true outcome.Bcg_dynamics.converged;
+        check_bool "fixed point is pairwise stable" true
+          (Bcg.is_pairwise_stable ~alpha outcome.Bcg_dynamics.final)
+      done)
+    alphas
+
+let test_bcg_small_alpha_completes () =
+  (* at α < 1 the only stable graph is complete: the dynamics must build
+     every edge *)
+  let rng = Prng.create 11 in
+  let outcome = Bcg_dynamics.run ~alpha:(rq 1 2) ~rng (Families.path 6) in
+  check_bool "reaches complete graph" true (Graph.is_complete outcome.Bcg_dynamics.final);
+  check_bool "trace is all additions" true
+    (List.for_all
+       (function
+         | Bcg_dynamics.Add _ -> true
+         | Bcg_dynamics.Delete _ -> false)
+       outcome.Bcg_dynamics.trace)
+
+let test_bcg_trace_replays () =
+  let rng = Prng.create 13 in
+  let seed = Nf_graph.Random_graph.connected_gnp rng 6 0.5 in
+  let outcome = Bcg_dynamics.run ~alpha:(r 2) ~rng seed in
+  let replayed =
+    List.fold_left
+      (fun g move ->
+        match move with
+        | Bcg_dynamics.Add (i, j) -> Graph.add_edge g i j
+        | Bcg_dynamics.Delete (i, j) -> Graph.remove_edge g i j)
+      seed outcome.Bcg_dynamics.trace
+  in
+  check (Alcotest.testable Graph.pp Graph.equal) "trace replays to final"
+    outcome.Bcg_dynamics.final replayed
+
+let test_bcg_sample_stable () =
+  let rng = Prng.create 17 in
+  let stable = Bcg_dynamics.sample_stable ~alpha:(r 2) ~rng ~n:6 ~attempts:40 in
+  check_bool "found at least one" true (stable <> []);
+  List.iter
+    (fun g -> check_bool "sampled graphs stable" true (Bcg.is_pairwise_stable ~alpha:(r 2) g))
+    stable
+
+(* ---------------- UCG dynamics ---------------- *)
+
+let test_ucg_nash_is_fixed_point () =
+  (* center-owned star at α ≥ 1 is Nash: no player moves *)
+  let star = Families.star 6 in
+  let state = Ucg_dynamics.of_graph star ~owner:(fun i _ -> i) in
+  (* owner = min endpoint = center 0 for star edges (0, k) *)
+  check_bool "star state is nash" true (Ucg_dynamics.is_nash ~alpha:(r 2) state);
+  let outcome = Ucg_dynamics.run ~alpha:(r 2) state in
+  check Alcotest.int "no rounds needed" 0 outcome.Ucg_dynamics.rounds;
+  check_bool "converged" true outcome.Ucg_dynamics.converged
+
+let test_ucg_run_converges_to_nash () =
+  let rng = Prng.create 23 in
+  List.iter
+    (fun alpha ->
+      for _ = 1 to 10 do
+        let g = Nf_graph.Random_graph.connected_gnp rng 6 0.5 in
+        let state = Ucg_dynamics.of_graph g ~owner:(fun i _ -> i) in
+        let outcome = Ucg_dynamics.run_random ~alpha ~rng state in
+        if outcome.Ucg_dynamics.converged then
+          check_bool "fixed point is nash" true
+            (Ucg_dynamics.is_nash ~alpha outcome.Ucg_dynamics.final)
+      done)
+    [ rq 1 2; r 1; r 3 ]
+
+let test_ucg_from_empty () =
+  (* from the empty profile someone buys links: the result is connected
+     whenever the dynamics converge (disconnection is never a best
+     response at finite distance gain) *)
+  let outcome = Ucg_dynamics.run ~alpha:(r 2) (Ucg_dynamics.empty 6) in
+  check_bool "converged" true outcome.Ucg_dynamics.converged;
+  check_bool "connected" true
+    (Nf_graph.Connectivity.is_connected outcome.Ucg_dynamics.final.Ucg_dynamics.graph);
+  check_bool "nash" true (Ucg_dynamics.is_nash ~alpha:(r 2) outcome.Ucg_dynamics.final)
+
+let test_ucg_state_graph_consistent () =
+  (* rebuilding keeps graph = union of owned sets *)
+  let rng = Prng.create 29 in
+  let g = Nf_graph.Random_graph.connected_gnp rng 6 0.5 in
+  let state = Ucg_dynamics.of_graph g ~owner:(fun _ j -> j) in
+  let outcome = Ucg_dynamics.run_random ~alpha:(r 1) ~rng state in
+  let final = outcome.Ucg_dynamics.final in
+  let expected = ref (Graph.empty 6) in
+  Array.iteri
+    (fun i targets ->
+      Nf_util.Bitset.iter (fun j -> expected := Graph.add_edge !expected i j) targets)
+    final.Ucg_dynamics.owned;
+  check (Alcotest.testable Graph.pp Graph.equal) "graph = union of purchases" !expected
+    final.Ucg_dynamics.graph
+
+(* ---------------- Meta (Jackson-Watts digraph) ---------------- *)
+
+let test_meta_counts_match_equilibria () =
+  (* the meta analysis' stable count over labeled graphs must agree with a
+     direct scan *)
+  let alpha = r 2 in
+  let a = Nf_dynamics.Meta.analyze ~alpha ~n:4 in
+  let direct = ref 0 in
+  Nf_enum.Labeled.iter_all 4 (fun g ->
+      if Bcg.is_pairwise_stable ~alpha g then incr direct);
+  check Alcotest.int "stable counts agree" !direct a.Nf_dynamics.Meta.stable;
+  check Alcotest.int "total is 2^6" 64 a.Nf_dynamics.Meta.total
+
+let test_meta_no_closed_cycles () =
+  List.iter
+    (fun alpha ->
+      let a = Nf_dynamics.Meta.analyze ~alpha ~n:4 in
+      check_bool "no closed cycles" true (Nf_dynamics.Meta.no_closed_cycles a))
+    [ rq 1 2; r 1; rq 3 2; r 3; r 7 ]
+
+let test_meta_reaches_stable () =
+  check_bool "path reaches" true
+    (Nf_dynamics.Meta.reaches_stable ~alpha:(r 2) (Families.path 5));
+  check_bool "stable graph trivially reaches" true
+    (Nf_dynamics.Meta.reaches_stable ~alpha:(r 2) (Families.star 5));
+  Alcotest.check_raises "n too large" (Invalid_argument "Meta: order out of range (2..6)")
+    (fun () -> ignore (Nf_dynamics.Meta.reaches_stable ~alpha:(r 2) (Families.star 8)))
+
+(* ---------------- Stochastic stability ---------------- *)
+
+let test_stochastic_resistances () =
+  let stable, r = Nf_dynamics.Stochastic.resistances ~alpha:(r 2) ~n:4 in
+  let v = List.length stable in
+  check_bool "some stable states" true (v > 0);
+  for i = 0 to v - 1 do
+    check Alcotest.int "zero diagonal" 0 r.(i).(i);
+    for j = 0 to v - 1 do
+      if i <> j then
+        check_bool "off-diagonal in [1, bits]" true (r.(i).(j) >= 1 && r.(i).(j) <= 6)
+    done
+  done
+
+let test_stochastic_selects_connected () =
+  List.iter
+    (fun alpha ->
+      let v = Nf_dynamics.Stochastic.analyze ~alpha ~n:4 in
+      let ss = v.Nf_dynamics.Stochastic.stochastically_stable in
+      check_bool "nonempty" true (ss <> []);
+      (* every winner is a stable state *)
+      List.iter
+        (fun g -> check_bool "winner is stable" true (Bcg.is_pairwise_stable ~alpha g))
+        ss;
+      (* the observed characterization: winners = connected stable states *)
+      let connected_stable =
+        List.filter Nf_graph.Connectivity.is_connected v.Nf_dynamics.Stochastic.stable
+      in
+      check Alcotest.int "winners = connected stable" (List.length connected_stable)
+        (List.length ss);
+      List.iter
+        (fun g -> check_bool "winner connected" true (Nf_graph.Connectivity.is_connected g))
+        ss)
+    [ rq 3 2; r 2; r 5 ]
+
+let test_stochastic_classes_dedupe () =
+  let v = Nf_dynamics.Stochastic.analyze ~alpha:(r 2) ~n:4 in
+  let classes = Nf_dynamics.Stochastic.stochastically_stable_classes v in
+  let keys = List.map Nf_graph.Graph.adjacency_key classes in
+  check Alcotest.int "distinct classes" (List.length keys)
+    (List.length (List.sort_uniq compare keys));
+  check_bool "fewer classes than labeled" true
+    (List.length classes <= List.length v.Nf_dynamics.Stochastic.stochastically_stable)
+
+let test_stochastic_guards () =
+  Alcotest.check_raises "n too large" (Invalid_argument "Stochastic: order out of range (2..5)")
+    (fun () -> ignore (Nf_dynamics.Stochastic.resistances ~alpha:(r 2) ~n:6))
+
+let () =
+  Alcotest.run "nf_dynamics"
+    [
+      ( "bcg",
+        [
+          Alcotest.test_case "fixed points" `Quick test_bcg_stable_is_fixed_point;
+          Alcotest.test_case "reaches stability" `Quick test_bcg_run_reaches_stability;
+          Alcotest.test_case "small alpha completes" `Quick test_bcg_small_alpha_completes;
+          Alcotest.test_case "trace replays" `Quick test_bcg_trace_replays;
+          Alcotest.test_case "sampling" `Quick test_bcg_sample_stable;
+        ] );
+      ( "ucg",
+        [
+          Alcotest.test_case "nash fixed point" `Quick test_ucg_nash_is_fixed_point;
+          Alcotest.test_case "converges to nash" `Quick test_ucg_run_converges_to_nash;
+          Alcotest.test_case "from empty" `Quick test_ucg_from_empty;
+          Alcotest.test_case "state consistency" `Quick test_ucg_state_graph_consistent;
+        ] );
+      ( "meta",
+        [
+          Alcotest.test_case "counts" `Quick test_meta_counts_match_equilibria;
+          Alcotest.test_case "no closed cycles" `Quick test_meta_no_closed_cycles;
+          Alcotest.test_case "reachability" `Quick test_meta_reaches_stable;
+        ] );
+      ( "stochastic",
+        [
+          Alcotest.test_case "resistances" `Quick test_stochastic_resistances;
+          Alcotest.test_case "selects connected" `Quick test_stochastic_selects_connected;
+          Alcotest.test_case "classes" `Quick test_stochastic_classes_dedupe;
+          Alcotest.test_case "guards" `Quick test_stochastic_guards;
+        ] );
+    ]

@@ -1,0 +1,203 @@
+(* Tests for costs, efficiency (Lemmas 4-5), the eq. (5) bound, and the
+   price of anarchy plumbing. *)
+
+open Netform
+module Graph = Nf_graph.Graph
+module Families = Nf_named.Families
+module Rat = Nf_util.Rat
+
+let check = Alcotest.check
+let check_bool = Alcotest.(check bool)
+let fl = Alcotest.float 1e-9
+
+(* ---------------- Cost ---------------- *)
+
+let test_player_cost () =
+  let g = Families.star 5 in
+  (* center: 4 links at α, distance 4 *)
+  check fl "center" (4. +. (4. *. 1.5)) (Cost.player_cost ~alpha:1.5 g 0);
+  (* leaf: 1 link, distance 1 + 3*2 = 7 *)
+  check fl "leaf" (7. +. 1.5) (Cost.player_cost ~alpha:1.5 g 1);
+  check_bool "disconnected infinite" true
+    (Cost.player_cost ~alpha:1.0 (Graph.empty 3) 0 = infinity)
+
+let test_social_cost () =
+  let g = Families.star 5 in
+  (* BCG: 2α·4 + 2(n-1)^2 = 8α + 32 *)
+  check fl "bcg" (8. +. 32.) (Cost.social_cost Cost.Bcg ~alpha:1.0 g);
+  check fl "ucg" (4. +. 32.) (Cost.social_cost Cost.Ucg ~alpha:1.0 g);
+  (* social cost is the sum of player costs (BCG) *)
+  let total = List.init 5 (Cost.player_cost ~alpha:1.0 g) |> List.fold_left ( +. ) 0. in
+  check fl "sum of players" total (Cost.social_cost Cost.Bcg ~alpha:1.0 g)
+
+let test_eq5_bound () =
+  (* the bound holds with equality exactly on diameter-<=2 graphs *)
+  Nf_enum.Labeled.iter_connected 5 (fun g ->
+      let alpha = 1.75 in
+      let bound = Cost.social_cost_lower_bound ~alpha 5 (Graph.size g) in
+      let cost = Cost.social_cost Cost.Bcg ~alpha g in
+      check_bool "bound holds" true (cost >= bound -. 1e-9);
+      check_bool "tight iff diameter <= 2"
+        (Nf_graph.Props.has_diameter_at_most g 2)
+        (Cost.is_social_cost_bound_tight ~alpha g))
+
+(* ---------------- Efficiency ---------------- *)
+
+let test_formula_vs_enumeration () =
+  List.iter
+    (fun game ->
+      List.iter
+        (fun alpha ->
+          for n = 2 to 5 do
+            check fl
+              (Printf.sprintf "optimum n=%d alpha=%.2f" n alpha)
+              (Efficiency.optimal_social_cost_enumerated game ~alpha n)
+              (Efficiency.optimal_social_cost game ~alpha n)
+          done)
+        [ 0.25; 0.5; 1.0; 1.5; 2.0; 3.0; 6.0 ])
+    [ Cost.Bcg; Cost.Ucg ]
+
+let test_efficient_graphs () =
+  (* BCG: complete below 1, star above 1, both at 1 *)
+  let is_star g = Nf_graph.Props.is_star g in
+  let is_complete g = Graph.is_complete g in
+  (match Efficiency.efficient_graphs Cost.Bcg ~alpha:0.5 6 with
+  | [ g ] -> check_bool "complete below" true (is_complete g)
+  | _ -> Alcotest.fail "expected one optimizer");
+  (match Efficiency.efficient_graphs Cost.Bcg ~alpha:2.0 6 with
+  | [ g ] -> check_bool "star above" true (is_star g)
+  | _ -> Alcotest.fail "expected one optimizer");
+  check Alcotest.int "both at threshold" 2
+    (List.length (Efficiency.efficient_graphs Cost.Bcg ~alpha:1.0 6));
+  (* UCG threshold is 2 *)
+  (match Efficiency.efficient_graphs Cost.Ucg ~alpha:1.5 6 with
+  | [ g ] -> check_bool "ucg complete below 2" true (is_complete g)
+  | _ -> Alcotest.fail "expected one optimizer");
+  List.iter
+    (fun g -> check_bool "optimizers are efficient" true (Efficiency.is_efficient Cost.Bcg ~alpha:1.0 g))
+    (Efficiency.efficient_graphs Cost.Bcg ~alpha:1.0 6)
+
+let test_lemma4 () =
+  (* α < 1: the complete graph is the unique efficient and unique pairwise
+     stable connected graph (checked exhaustively at n = 5) *)
+  let alpha_f = 0.75
+  and alpha = Rat.make 3 4 in
+  let efficient = ref []
+  and stable = ref [] in
+  Nf_enum.Unlabeled.iter_connected 5 (fun g ->
+      if Efficiency.is_efficient Cost.Bcg ~alpha:alpha_f g then efficient := g :: !efficient;
+      if Bcg.is_pairwise_stable ~alpha g then stable := g :: !stable);
+  check Alcotest.int "one efficient" 1 (List.length !efficient);
+  check Alcotest.int "one stable" 1 (List.length !stable);
+  check_bool "efficient is complete" true (Graph.is_complete (List.hd !efficient));
+  check_bool "stable is complete" true (Graph.is_complete (List.hd !stable))
+
+let test_lemma5 () =
+  (* α > 1: the star is the unique efficient graph; it is pairwise stable
+     but not the unique stable graph *)
+  let alpha_f = 3.0
+  and alpha = Rat.of_int 3 in
+  let efficient = ref []
+  and stable = ref [] in
+  Nf_enum.Unlabeled.iter_connected 6 (fun g ->
+      if Efficiency.is_efficient Cost.Bcg ~alpha:alpha_f g then efficient := g :: !efficient;
+      if Bcg.is_pairwise_stable ~alpha g then stable := g :: !stable);
+  check Alcotest.int "one efficient" 1 (List.length !efficient);
+  check_bool "efficient is star" true (Nf_graph.Props.is_star (List.hd !efficient));
+  check_bool "star among stable" true (List.exists Nf_graph.Props.is_star !stable);
+  check_bool "stable not unique" true (List.length !stable > 1)
+
+(* ---------------- Poa ---------------- *)
+
+let test_poa_values () =
+  (* the efficient graph has ρ = 1 *)
+  check fl "star optimal at alpha 2" 1.0
+    (Poa.price_of_anarchy Cost.Bcg ~alpha:2.0 (Families.star 6));
+  check fl "complete optimal at alpha 1/2" 1.0
+    (Poa.price_of_anarchy Cost.Bcg ~alpha:0.5 (Families.complete 6));
+  check_bool "non-optimal above 1" true
+    (Poa.price_of_anarchy Cost.Bcg ~alpha:2.0 (Families.path 6) > 1.0);
+  check_bool "disconnected infinite" true
+    (Poa.price_of_anarchy Cost.Bcg ~alpha:2.0 (Graph.empty 5) = infinity)
+
+let test_poa_summary () =
+  let graphs = [ Families.star 6; Families.path 6; Families.cycle 6 ] in
+  let s = Poa.summarize Cost.Bcg ~alpha:2.0 graphs in
+  check Alcotest.int "count" 3 s.Poa.count;
+  check fl "best is star" 1.0 s.Poa.best;
+  check_bool "worst >= average" true (s.Poa.worst >= s.Poa.average);
+  check fl "avg links" (float_of_int (5 + 5 + 6) /. 3.) s.Poa.average_links;
+  let empty = Poa.summarize Cost.Bcg ~alpha:2.0 [] in
+  check Alcotest.int "empty count" 0 empty.Poa.count;
+  check_bool "empty nan" true (Float.is_nan empty.Poa.average)
+
+(* ---------------- Theory ---------------- *)
+
+let test_theory_formulas () =
+  (* Lemma 6 window for n=6 (= 4k-2): ((36-24+4)/8, 6*4/4) = (2, 6) *)
+  let lo, hi = Theory.cycle_window 6 in
+  check_bool "C6 window lo" true (Rat.equal lo (Rat.of_int 2));
+  check_bool "C6 window hi" true (Rat.equal hi (Rat.of_int 6));
+  (* n=8 (= 4k): ((64-32+8)/8, 8*6/4) = (5, 12) *)
+  let lo8, hi8 = Theory.cycle_window 8 in
+  check_bool "C8 window lo" true (Rat.equal lo8 (Rat.of_int 5));
+  check_bool "C8 window hi" true (Rat.equal hi8 (Rat.of_int 12));
+  (* odd n=7: ((7-3)(7+1)/8, (8)(6)/4) = (4, 12) *)
+  let lo7, hi7 = Theory.cycle_window 7 in
+  check_bool "C7 window lo" true (Rat.equal lo7 (Rat.of_int 4));
+  check_bool "C7 window hi" true (Rat.equal hi7 (Rat.of_int 12));
+  (* S_r/S_a for cubic girth-6: S_r = 4·5+8·4+16·3 = 100, S_a = 4·5 = 20 *)
+  check Alcotest.int "S_r" 100 (Theory.regular_removal_increase ~k:3 ~girth:6);
+  check Alcotest.int "S_a" 20 (Theory.regular_addition_decrease ~k:3 ~girth:6);
+  check fl "upper bound sqrt regime" 2.0 (Theory.poa_upper_bound ~alpha:4.0 ~n:100);
+  (* the n/√α branch binds once α > n² *)
+  check fl "upper bound n/sqrt regime" (6. /. 7.) (Theory.poa_upper_bound ~alpha:49.0 ~n:6);
+  check fl "lower bound curve" 3.0 (Theory.poa_lower_bound_moore ~alpha:8.0);
+  check fl "diameter bound" 6.0 (Theory.bcg_diameter_bound ~alpha:9.0)
+
+let test_prop4_diameter_on_stable_graphs () =
+  (* From the proof of Prop 4: pairwise stable graphs have diameter O(√α).
+     The literal strict "d < 2√α" fails at integer boundary ties (the star
+     at α=1 has d = 2√α exactly; P4 at α=2 has d=3 > 2√2): the bilateral
+     improvement at distance d is only *weakly* profitable there.  The
+     argument survives with one extra hop of slack: d < 2√α + 1. *)
+  let alphas = [ Rat.one; Rat.of_int 2; Rat.of_int 4; Rat.of_int 9 ] in
+  Nf_enum.Unlabeled.iter_connected 6 (fun g ->
+      List.iter
+        (fun alpha ->
+          if Bcg.is_pairwise_stable ~alpha g then
+            match Nf_graph.Apsp.diameter g with
+            | Nf_util.Ext_int.Fin d ->
+              check_bool "diameter < 2 sqrt alpha + 1" true
+                (float_of_int d
+                < Theory.bcg_diameter_bound ~alpha:(Rat.to_float alpha) +. 1.0 +. 1e-9)
+            | Nf_util.Ext_int.Inf -> Alcotest.fail "stable graph disconnected")
+        alphas)
+
+let () =
+  Alcotest.run "netform_efficiency"
+    [
+      ( "cost",
+        [
+          Alcotest.test_case "player cost" `Quick test_player_cost;
+          Alcotest.test_case "social cost" `Quick test_social_cost;
+          Alcotest.test_case "eq5 bound" `Quick test_eq5_bound;
+        ] );
+      ( "efficiency",
+        [
+          Alcotest.test_case "formula vs enumeration" `Slow test_formula_vs_enumeration;
+          Alcotest.test_case "efficient graphs" `Quick test_efficient_graphs;
+          Alcotest.test_case "lemma 4" `Quick test_lemma4;
+          Alcotest.test_case "lemma 5" `Quick test_lemma5;
+        ] );
+      ( "poa",
+        [
+          Alcotest.test_case "values" `Quick test_poa_values;
+          Alcotest.test_case "summary" `Quick test_poa_summary;
+        ] );
+      ( "theory",
+        [
+          Alcotest.test_case "formulas" `Quick test_theory_formulas;
+          Alcotest.test_case "prop4 diameter" `Quick test_prop4_diameter_on_stable_graphs;
+        ] );
+    ]

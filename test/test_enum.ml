@@ -1,0 +1,133 @@
+(* Tests for nf_enum: labeled iteration, isomorphism-free enumeration
+   against OEIS, tree enumeration, Prüfer coverage. *)
+
+module Graph = Nf_graph.Graph
+module Labeled = Nf_enum.Labeled
+module Unlabeled = Nf_enum.Unlabeled
+module Trees = Nf_enum.Trees
+module Counts = Nf_enum.Counts
+module Canon = Nf_iso.Canon
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ---------------- Labeled ---------------- *)
+
+let test_labeled_counts () =
+  check_int "n=3 all" 8 (Labeled.count_all 3);
+  check_int "n=4 all" 64 (Labeled.count_all 4);
+  (* labeled connected graph counts (OEIS A001187) *)
+  check_int "n=3 connected" 4 (Labeled.count_connected 3);
+  check_int "n=4 connected" 38 (Labeled.count_connected 4);
+  check_int "n=5 connected" 728 (Labeled.count_connected 5)
+
+let test_labeled_mask_roundtrip () =
+  for mask = 0 to 63 do
+    let g = Labeled.graph_of_mask 4 mask in
+    check_int "mask roundtrip" mask (Labeled.mask_of_graph g)
+  done
+
+let test_labeled_rejects_large () =
+  Alcotest.check_raises "n=8 rejected"
+    (Invalid_argument "Labeled.iter_all: order out of range") (fun () ->
+      Labeled.iter_all 8 ignore)
+
+(* ---------------- Unlabeled vs OEIS ---------------- *)
+
+let test_unlabeled_counts_oeis () =
+  for n = 0 to 7 do
+    check_int
+      (Printf.sprintf "A000088(%d)" n)
+      (Option.get (Counts.graphs n))
+      (Unlabeled.count_all n);
+    check_int
+      (Printf.sprintf "A001349(%d)" n)
+      (Option.get (Counts.connected_graphs n))
+      (Unlabeled.count_connected n)
+  done
+
+let test_unlabeled_all_canonical_distinct () =
+  let graphs = Unlabeled.all_graphs 6 in
+  let keys = List.map Graph.adjacency_key graphs in
+  check_int "pairwise distinct representatives"
+    (List.length keys)
+    (List.length (List.sort_uniq compare keys));
+  List.iter
+    (fun g ->
+      check_bool "representative is canonical" true
+        (Graph.equal g (Canon.canonical_form g)))
+    graphs
+
+let test_unlabeled_agrees_with_labeled () =
+  (* each labeled graph on 5 vertices must be isomorphic to exactly one
+     enumerated representative *)
+  let reps = Unlabeled.all_graphs 5 in
+  let key_set = Hashtbl.create 64 in
+  List.iter (fun g -> Hashtbl.add key_set (Graph.adjacency_key g) ()) reps;
+  Labeled.iter_all 5 (fun g ->
+      let key = Graph.adjacency_key (Canon.canonical_form g) in
+      check_bool "labeled graph covered" true (Hashtbl.mem key_set key))
+
+(* ---------------- Trees ---------------- *)
+
+let test_tree_counts_oeis () =
+  for n = 1 to 10 do
+    check_int
+      (Printf.sprintf "A000055(%d)" n)
+      (Option.get (Counts.trees n))
+      (Trees.count_unlabeled n)
+  done
+
+let test_trees_are_trees () =
+  List.iter
+    (fun t -> check_bool "is tree" true (Nf_graph.Props.is_tree t))
+    (Trees.unlabeled_trees 8)
+
+let test_trees_distinct () =
+  let trees = Trees.unlabeled_trees 9 in
+  let keys = List.map Nf_iso.Ahu.encode trees in
+  check_int "distinct encodings" (List.length keys) (List.length (List.sort_uniq compare keys))
+
+let test_labeled_trees_cayley () =
+  let count n =
+    let c = ref 0 in
+    Trees.iter_labeled_trees n (fun t ->
+        check_bool "labeled tree is tree" true (Nf_graph.Props.is_tree t);
+        incr c);
+    !c
+  in
+  check_int "cayley n=4" 16 (count 4);
+  check_int "cayley n=5" 125 (count 5);
+  check_int "cayley n=6" 1296 (count 6);
+  check_int "count_labeled" 16807 (Trees.count_labeled 7)
+
+let test_labeled_trees_hit_all_classes () =
+  (* Prüfer enumeration must cover every isomorphism class. *)
+  let seen = Hashtbl.create 16 in
+  Trees.iter_labeled_trees 6 (fun t -> Hashtbl.replace seen (Nf_iso.Ahu.encode t) ());
+  check_int "all 6 classes" 6 (Hashtbl.length seen)
+
+let () =
+  Alcotest.run "nf_enum"
+    [
+      ( "labeled",
+        [
+          Alcotest.test_case "counts" `Quick test_labeled_counts;
+          Alcotest.test_case "mask roundtrip" `Quick test_labeled_mask_roundtrip;
+          Alcotest.test_case "rejects large" `Quick test_labeled_rejects_large;
+        ] );
+      ( "unlabeled",
+        [
+          Alcotest.test_case "OEIS counts" `Slow test_unlabeled_counts_oeis;
+          Alcotest.test_case "distinct canonical" `Quick test_unlabeled_all_canonical_distinct;
+          Alcotest.test_case "labeled coverage" `Quick test_unlabeled_agrees_with_labeled;
+        ] );
+      ( "trees",
+        [
+          Alcotest.test_case "OEIS counts" `Quick test_tree_counts_oeis;
+          Alcotest.test_case "all are trees" `Quick test_trees_are_trees;
+          Alcotest.test_case "distinct" `Quick test_trees_distinct;
+          Alcotest.test_case "cayley" `Quick test_labeled_trees_cayley;
+          Alcotest.test_case "class coverage" `Quick test_labeled_trees_hit_all_classes;
+        ] );
+    ]

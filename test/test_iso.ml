@@ -1,0 +1,224 @@
+(* Tests for nf_iso: refinement, canonical labeling, isomorphism,
+   automorphism counting, AHU tree encoding. *)
+
+open Nf_iso
+module Graph = Nf_graph.Graph
+module Prng = Nf_util.Prng
+module Random_graph = Nf_graph.Random_graph
+
+let check = Alcotest.check
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let graph = Alcotest.testable Graph.pp Graph.equal
+
+let path n = Graph.of_edges n (List.init (n - 1) (fun i -> (i, i + 1)))
+let cycle n = Graph.add_edge (path n) 0 (n - 1)
+let star n = Graph.of_edges n (List.init (n - 1) (fun i -> (0, i + 1)))
+
+let complete n =
+  let g = ref (Graph.empty n) in
+  Nf_util.Subset.iter_pairs n (fun i j -> g := Graph.add_edge !g i j);
+  !g
+
+let petersen =
+  Graph.of_edges 10
+    [
+      (0, 1); (1, 2); (2, 3); (3, 4); (4, 0);
+      (5, 7); (7, 9); (9, 6); (6, 8); (8, 5);
+      (0, 5); (1, 6); (2, 7); (3, 8); (4, 9);
+    ]
+
+let random_relabel rng g =
+  let n = Graph.order g in
+  let perm = Array.init n Fun.id in
+  Prng.shuffle rng perm;
+  Graph.relabel g perm
+
+(* ---------------- Refine ---------------- *)
+
+let test_degree_partition () =
+  let p = Refine.degree_partition (star 5) in
+  check_int "two cells" 2 (List.length p);
+  check (Alcotest.list (Alcotest.list Alcotest.int)) "center first" [ [ 0 ]; [ 1; 2; 3; 4 ] ] p
+
+let test_refine_path () =
+  (* Path on 4: degree split {1,1},{2,2}; refinement cannot split further
+     (each end vertex sees one degree-2 vertex, each middle sees one end and
+     one middle). *)
+  let p = Refine.refine (path 4) (Refine.degree_partition (path 4)) in
+  check_int "cells" 2 (List.length p);
+  (* Path on 5: middle vertex separates from the other two degree-2s. *)
+  let p5 = Refine.refine (path 5) (Refine.degree_partition (path 5)) in
+  check_int "cells on p5" 3 (List.length p5)
+
+let test_refine_regular_no_split () =
+  let p = Refine.refine (cycle 6) (Refine.unit_partition 6) in
+  check_int "cycle stays one cell" 1 (List.length p)
+
+let test_individualize () =
+  let p = [ [ 0 ]; [ 1; 2; 3 ] ] in
+  let p' = Refine.individualize p ~cell:(List.nth p 1) 2 in
+  check (Alcotest.list (Alcotest.list Alcotest.int)) "split out" [ [ 0 ]; [ 2 ]; [ 1; 3 ] ] p';
+  check_bool "discrete" true (Refine.is_discrete [ [ 1 ]; [ 0 ] ]);
+  check_bool "not discrete" false (Refine.is_discrete p)
+
+(* ---------------- Canon ---------------- *)
+
+let test_canonical_invariance () =
+  let rng = Prng.create 31 in
+  let fixtures = [ path 6; cycle 7; star 8; petersen; complete 5 ] in
+  List.iter
+    (fun g ->
+      let expected = Canon.canonical_form g in
+      for _ = 1 to 10 do
+        let h = random_relabel rng g in
+        check graph "same canonical form" expected (Canon.canonical_form h)
+      done)
+    fixtures
+
+let test_non_isomorphic_distinguished () =
+  (* same degree sequence, not isomorphic: C6 vs two triangles *)
+  let c6 = cycle 6 in
+  let two_triangles = Graph.of_edges 6 [ (0, 1); (1, 2); (2, 0); (3, 4); (4, 5); (5, 3) ] in
+  check_bool "distinguished" false (Canon.is_isomorphic c6 two_triangles);
+  (* K_{3,3} vs prism: both 3-regular on 6 vertices *)
+  let k33 = Graph.of_edges 6 [ (0, 3); (0, 4); (0, 5); (1, 3); (1, 4); (1, 5); (2, 3); (2, 4); (2, 5) ] in
+  let prism = Graph.of_edges 6 [ (0, 1); (1, 2); (2, 0); (3, 4); (4, 5); (5, 3); (0, 3); (1, 4); (2, 5) ] in
+  check_bool "k33 vs prism" false (Canon.is_isomorphic k33 prism);
+  check_bool "prism vs prism relabeled" true
+    (Canon.is_isomorphic prism (random_relabel (Prng.create 4) prism))
+
+let test_isomorphism_witness () =
+  let rng = Prng.create 77 in
+  for _ = 1 to 50 do
+    let g = Random_graph.gnp rng (3 + Prng.int rng 8) 0.5 in
+    let h = random_relabel rng g in
+    match Canon.isomorphism g h with
+    | None -> Alcotest.fail "isomorphic graphs not matched"
+    | Some perm -> check graph "witness maps g to h" h (Graph.relabel g perm)
+  done
+
+let test_isomorphism_none () =
+  check_bool "different sizes" true (Canon.isomorphism (path 4) (cycle 4) = None);
+  check_bool "different orders" true (Canon.isomorphism (path 4) (path 5) = None)
+
+let test_automorphism_counts () =
+  check_int "path 4: 2" 2 (Canon.automorphism_count (path 4));
+  check_int "cycle 5: dihedral 10" 10 (Canon.automorphism_count (cycle 5));
+  check_int "star 5: 4! = 24" 24 (Canon.automorphism_count (star 5));
+  check_int "K4: 24" 24 (Canon.automorphism_count (complete 4));
+  check_int "K5: 120" 120 (Canon.automorphism_count (complete 5));
+  check_int "petersen: 120" 120 (Canon.automorphism_count petersen);
+  check_int "empty graph on 0: 1" 1 (Canon.automorphism_count (Graph.empty 0));
+  (* spider at vertex 2 with legs of lengths 1, 2 and 3: no symmetry *)
+  check_int "asymmetric tree" 1
+    (Canon.automorphism_count
+       (Graph.of_edges 7 [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 5); (2, 6) ]))
+
+let test_canonical_complete_fast () =
+  (* The orbit pruning must tame the n! blowup on vertex-transitive
+     graphs; a K9 canonical form should be instant. *)
+  let g = complete 9 in
+  check graph "K9 canonical is itself" g (Canon.canonical_form g)
+
+let test_canonical_key_matches_form () =
+  let g = petersen in
+  check Alcotest.string "key = graph6 of form"
+    (Nf_graph.Graph6.encode (Canon.canonical_form g))
+    (Canon.canonical_key g)
+
+(* ---------------- AHU ---------------- *)
+
+let test_centers () =
+  check (Alcotest.list Alcotest.int) "path 5 center" [ 2 ] (Ahu.centers (path 5));
+  check (Alcotest.list Alcotest.int) "path 4 centers" [ 1; 2 ] (Ahu.centers (path 4));
+  check (Alcotest.list Alcotest.int) "star center" [ 0 ] (Ahu.centers (star 7));
+  check (Alcotest.list Alcotest.int) "single" [ 0 ] (Ahu.centers (Graph.empty 1));
+  check (Alcotest.list Alcotest.int) "k2" [ 0; 1 ] (Ahu.centers (complete 2))
+
+let test_ahu_iso_trees () =
+  let rng = Prng.create 13 in
+  for _ = 1 to 100 do
+    let t = Random_graph.tree rng (2 + Prng.int rng 12) in
+    let t' = random_relabel rng t in
+    check_bool "relabel same encoding" true (Ahu.equal_trees t t')
+  done
+
+let test_ahu_distinguishes () =
+  (* two non-isomorphic trees on 5 vertices: path vs star vs chair *)
+  let chair = Graph.of_edges 5 [ (0, 1); (1, 2); (2, 3); (2, 4) ] in
+  check_bool "path vs star" false (Ahu.equal_trees (path 5) (star 5));
+  check_bool "path vs chair" false (Ahu.equal_trees (path 5) chair);
+  check_bool "star vs chair" false (Ahu.equal_trees (star 5) chair)
+
+let test_ahu_agrees_with_canon () =
+  let rng = Prng.create 21 in
+  for _ = 1 to 100 do
+    let t1 = Random_graph.tree rng (2 + Prng.int rng 9) in
+    let t2 = Random_graph.tree rng (Graph.order t1) in
+    check_bool "ahu agrees with canon"
+      (Canon.is_isomorphic t1 t2) (Ahu.equal_trees t1 t2)
+  done
+
+let test_ahu_rejects_non_tree () =
+  Alcotest.check_raises "cycle rejected" (Invalid_argument "Ahu.encode: not a tree")
+    (fun () -> ignore (Ahu.encode (cycle 4)))
+
+(* property: canonical form invariant under random relabeling *)
+
+let prop_canonical_invariant =
+  QCheck.Test.make ~name:"canonical form relabel-invariant" ~count:150
+    (QCheck.make
+       ~print:(fun (s, n, p) -> Printf.sprintf "seed=%d n=%d p=%.2f" s n p)
+       QCheck.Gen.(triple (int_bound 100000) (int_range 1 9) (float_range 0.0 1.0)))
+    (fun (seed, n, p) ->
+      let rng = Prng.create seed in
+      let g = Random_graph.gnp rng n p in
+      let h = random_relabel rng g in
+      Graph.equal (Canon.canonical_form g) (Canon.canonical_form h))
+
+let prop_canonical_is_isomorphic =
+  QCheck.Test.make ~name:"canonical form is isomorphic to input" ~count:150
+    (QCheck.make
+       ~print:(fun (s, n, p) -> Printf.sprintf "seed=%d n=%d p=%.2f" s n p)
+       QCheck.Gen.(triple (int_bound 100000) (int_range 1 9) (float_range 0.0 1.0)))
+    (fun (seed, n, p) ->
+      let rng = Prng.create seed in
+      let g = Random_graph.gnp rng n p in
+      let c = Canon.canonical_form g in
+      Graph.order c = Graph.order g
+      && Graph.size c = Graph.size g
+      && Canon.is_isomorphic c g)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "nf_iso"
+    [
+      ( "refine",
+        [
+          Alcotest.test_case "degree partition" `Quick test_degree_partition;
+          Alcotest.test_case "refine path" `Quick test_refine_path;
+          Alcotest.test_case "regular no split" `Quick test_refine_regular_no_split;
+          Alcotest.test_case "individualize" `Quick test_individualize;
+        ] );
+      ( "canon",
+        [
+          Alcotest.test_case "invariance" `Quick test_canonical_invariance;
+          Alcotest.test_case "distinguishes" `Quick test_non_isomorphic_distinguished;
+          Alcotest.test_case "witness" `Quick test_isomorphism_witness;
+          Alcotest.test_case "no witness" `Quick test_isomorphism_none;
+          Alcotest.test_case "automorphism counts" `Quick test_automorphism_counts;
+          Alcotest.test_case "complete graph fast" `Quick test_canonical_complete_fast;
+          Alcotest.test_case "key consistency" `Quick test_canonical_key_matches_form;
+        ] );
+      ( "ahu",
+        [
+          Alcotest.test_case "centers" `Quick test_centers;
+          Alcotest.test_case "relabel invariance" `Quick test_ahu_iso_trees;
+          Alcotest.test_case "distinguishes" `Quick test_ahu_distinguishes;
+          Alcotest.test_case "agrees with canon" `Quick test_ahu_agrees_with_canon;
+          Alcotest.test_case "rejects non-tree" `Quick test_ahu_rejects_non_tree;
+        ] );
+      ("properties", [ qcheck prop_canonical_invariant; qcheck prop_canonical_is_isomorphic ]);
+    ]

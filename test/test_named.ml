@@ -1,0 +1,201 @@
+(* Tests for nf_named: every gallery graph's textbook invariants, the
+   parametric families, Moore bounds. *)
+
+module Graph = Nf_graph.Graph
+module Props = Nf_graph.Props
+module Apsp = Nf_graph.Apsp
+module Girth = Nf_graph.Girth
+module Connectivity = Nf_graph.Connectivity
+module Ext_int = Nf_util.Ext_int
+open Nf_named
+
+let check = Alcotest.check
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let ext = Alcotest.testable Ext_int.pp Ext_int.equal
+let srg = Alcotest.(option (pair (pair int int) (pair int int)))
+let srg_of g = Option.map (fun (a, b, c, d) -> ((a, b), (c, d))) (Props.strongly_regular_params g)
+
+(* ---------------- families ---------------- *)
+
+let test_complete () =
+  check_int "K6 size" 15 (Graph.size (Families.complete 6));
+  check ext "K6 diameter" (Ext_int.Fin 1) (Apsp.diameter (Families.complete 6))
+
+let test_cycle_path_star () =
+  check_bool "cycle" true (Props.is_cycle (Families.cycle 9));
+  check_bool "path" true (Props.is_path (Families.path 9));
+  check_bool "star" true (Props.is_star (Families.star 9));
+  check ext "c9 girth" (Ext_int.Fin 9) (Girth.girth (Families.cycle 9));
+  Alcotest.check_raises "cycle too small" (Invalid_argument "Families.cycle: need n >= 3")
+    (fun () -> ignore (Families.cycle 2))
+
+let test_wheel () =
+  let w = Families.wheel 7 in
+  check_int "order" 7 (Graph.order w);
+  check_int "size" 12 (Graph.size w);
+  check_int "hub degree" 6 (Graph.degree w 0);
+  check ext "diameter" (Ext_int.Fin 2) (Apsp.diameter w)
+
+let test_complete_bipartite () =
+  let g = Families.complete_bipartite 3 4 in
+  check_int "size" 12 (Graph.size g);
+  check_bool "bipartite" true (Props.is_bipartite g);
+  check ext "girth 4" (Ext_int.Fin 4) (Girth.girth g)
+
+let test_hypercube () =
+  let q3 = Families.hypercube 3 in
+  check_int "Q3 order" 8 (Graph.order q3);
+  check_int "Q3 size" 12 (Graph.size q3);
+  check (Alcotest.option Alcotest.int) "Q3 cubic" (Some 3) (Props.regularity q3);
+  check ext "Q3 diameter" (Ext_int.Fin 3) (Apsp.diameter q3);
+  check ext "Q4 girth" (Ext_int.Fin 4) (Girth.girth (Families.hypercube 4))
+
+let test_circulant () =
+  let g = Families.circulant 8 [ 1; 2 ] in
+  check (Alcotest.option Alcotest.int) "4-regular" (Some 4) (Props.regularity g);
+  check_int "size" 16 (Graph.size g);
+  (* offset n/2 gives a perfect matching contribution *)
+  let m = Families.circulant 6 [ 3 ] in
+  check_int "matching size" 3 (Graph.size m)
+
+let test_generalized_petersen () =
+  let gp = Families.generalized_petersen 7 2 in
+  check_int "order" 14 (Graph.order gp);
+  check (Alcotest.option Alcotest.int) "cubic" (Some 3) (Props.regularity gp);
+  Alcotest.check_raises "GP(6,3) rejected"
+    (Invalid_argument "Families.generalized_petersen: bad parameters") (fun () ->
+      ignore (Families.generalized_petersen 6 3))
+
+(* ---------------- gallery ---------------- *)
+
+let test_petersen () =
+  let g = Gallery.petersen in
+  check srg "srg(10,3,0,1)" (Some ((10, 3), (0, 1))) (srg_of g);
+  check ext "girth 5" (Ext_int.Fin 5) (Girth.girth g);
+  check ext "diameter 2" (Ext_int.Fin 2) (Apsp.diameter g);
+  check_bool "moore" true (Moore.is_moore_graph g)
+
+let test_mcgee () =
+  let g = Gallery.mcgee in
+  check_int "order 24" 24 (Graph.order g);
+  check_int "size 36" 36 (Graph.size g);
+  check (Alcotest.option Alcotest.int) "cubic" (Some 3) (Props.regularity g);
+  check ext "girth 7" (Ext_int.Fin 7) (Girth.girth g);
+  check ext "diameter 4" (Ext_int.Fin 4) (Apsp.diameter g);
+  (* the (3,7) cage meets the girth Moore bound within the known excess:
+     bound is 22, McGee has 24 *)
+  check_int "cage bound" 22 (Moore.bound_girth 3 7)
+
+let test_octahedron () =
+  check srg "srg(6,4,2,4)" (Some ((6, 4), (2, 4))) (srg_of Gallery.octahedron);
+  check ext "girth 3" (Ext_int.Fin 3) (Girth.girth Gallery.octahedron)
+
+let test_clebsch () =
+  let g = Gallery.clebsch in
+  check srg "srg(16,5,0,2)" (Some ((16, 5), (0, 2))) (srg_of g);
+  check ext "girth 4" (Ext_int.Fin 4) (Girth.girth g);
+  check ext "diameter 2" (Ext_int.Fin 2) (Apsp.diameter g)
+
+let test_hoffman_singleton () =
+  let g = Gallery.hoffman_singleton in
+  check_int "order 50" 50 (Graph.order g);
+  check_int "size 175" 175 (Graph.size g);
+  check srg "srg(50,7,0,1)" (Some ((50, 7), (0, 1))) (srg_of g);
+  check ext "girth 5" (Ext_int.Fin 5) (Girth.girth g);
+  check ext "diameter 2" (Ext_int.Fin 2) (Apsp.diameter g);
+  check_bool "moore" true (Moore.is_moore_graph g)
+
+let test_desargues () =
+  let g = Gallery.desargues in
+  check_int "order 20" 20 (Graph.order g);
+  check_int "size 30" 30 (Graph.size g);
+  check (Alcotest.option Alcotest.int) "cubic" (Some 3) (Props.regularity g);
+  check ext "girth 6" (Ext_int.Fin 6) (Girth.girth g);
+  check ext "diameter 5" (Ext_int.Fin 5) (Apsp.diameter g);
+  check_bool "bipartite" true (Props.is_bipartite g)
+
+let test_dodecahedron () =
+  let g = Gallery.dodecahedron in
+  check_int "order 20" 20 (Graph.order g);
+  check_int "size 30" 30 (Graph.size g);
+  check ext "girth 5" (Ext_int.Fin 5) (Girth.girth g);
+  check ext "diameter 5" (Ext_int.Fin 5) (Apsp.diameter g);
+  check_bool "not bipartite" false (Props.is_bipartite g)
+
+let test_extra_cages () =
+  let expect name ~order ~size ~girth ~diam ~bipartite =
+    let g = List.assoc name Gallery.all in
+    check_int (name ^ " order") order (Graph.order g);
+    check_int (name ^ " size") size (Graph.size g);
+    check (Alcotest.option Alcotest.int) (name ^ " cubic") (Some 3) (Props.regularity g);
+    check ext (name ^ " girth") (Ext_int.Fin girth) (Girth.girth g);
+    check ext (name ^ " diameter") (Ext_int.Fin diam) (Apsp.diameter g);
+    check_bool (name ^ " bipartite") bipartite (Props.is_bipartite g)
+  in
+  expect "heawood" ~order:14 ~size:21 ~girth:6 ~diam:3 ~bipartite:true;
+  expect "pappus" ~order:18 ~size:27 ~girth:6 ~diam:4 ~bipartite:true;
+  expect "moebius-kantor" ~order:16 ~size:24 ~girth:6 ~diam:4 ~bipartite:true;
+  expect "nauru" ~order:24 ~size:36 ~girth:6 ~diam:4 ~bipartite:true;
+  expect "tutte-coxeter" ~order:30 ~size:45 ~girth:8 ~diam:4 ~bipartite:true;
+  (* the two girth-Moore cages meet the cage bound exactly *)
+  check_int "heawood meets (3,6) bound" 14 (Moore.bound_girth 3 6);
+  check_int "tutte-coxeter meets (3,8) bound" 30 (Moore.bound_girth 3 8)
+
+let test_all_connected () =
+  List.iter
+    (fun (name, g) ->
+      check_bool (name ^ " connected") true (Connectivity.is_connected g))
+    Gallery.all
+
+(* ---------------- Moore bounds ---------------- *)
+
+let test_moore_bounds () =
+  check_int "diameter bound (3,2)" 10 (Moore.bound_diameter 3 2);
+  check_int "diameter bound (7,2)" 50 (Moore.bound_diameter 7 2);
+  check_int "diameter bound (57,2)" 3250 (Moore.bound_diameter 57 2);
+  check_int "girth bound (3,5)" 10 (Moore.bound_girth 3 5);
+  check_int "girth bound (7,5)" 50 (Moore.bound_girth 7 5);
+  check_int "girth bound (3,6)" 14 (Moore.bound_girth 3 6);
+  check_int "girth bound (3,8)" 30 (Moore.bound_girth 3 8)
+
+let test_moore_ratio () =
+  check (Alcotest.option (Alcotest.float 1e-9)) "petersen ratio 1"
+    (Some 1.0) (Moore.moore_ratio Gallery.petersen);
+  check_bool "star not regular" true (Moore.moore_ratio (Families.star 5) = None);
+  check_bool "mcgee below 1" true
+    (match Moore.moore_ratio Gallery.mcgee with
+    | Some r -> r < 1.0
+    | None -> false)
+
+let () =
+  Alcotest.run "nf_named"
+    [
+      ( "families",
+        [
+          Alcotest.test_case "complete" `Quick test_complete;
+          Alcotest.test_case "cycle/path/star" `Quick test_cycle_path_star;
+          Alcotest.test_case "wheel" `Quick test_wheel;
+          Alcotest.test_case "complete bipartite" `Quick test_complete_bipartite;
+          Alcotest.test_case "hypercube" `Quick test_hypercube;
+          Alcotest.test_case "circulant" `Quick test_circulant;
+          Alcotest.test_case "generalized petersen" `Quick test_generalized_petersen;
+        ] );
+      ( "gallery",
+        [
+          Alcotest.test_case "petersen" `Quick test_petersen;
+          Alcotest.test_case "mcgee" `Quick test_mcgee;
+          Alcotest.test_case "octahedron" `Quick test_octahedron;
+          Alcotest.test_case "clebsch" `Quick test_clebsch;
+          Alcotest.test_case "hoffman-singleton" `Quick test_hoffman_singleton;
+          Alcotest.test_case "desargues" `Quick test_desargues;
+          Alcotest.test_case "dodecahedron" `Quick test_dodecahedron;
+          Alcotest.test_case "extra cages" `Quick test_extra_cages;
+          Alcotest.test_case "all connected" `Quick test_all_connected;
+        ] );
+      ( "moore",
+        [
+          Alcotest.test_case "bounds" `Quick test_moore_bounds;
+          Alcotest.test_case "ratio" `Quick test_moore_ratio;
+        ] );
+    ]

@@ -1,0 +1,85 @@
+(* Tests for Netform.Proper: the numerical Definition-5 engine. *)
+
+open Netform
+module Families = Nf_named.Families
+
+let check_bool = Alcotest.(check bool)
+
+let analyze_bcg ?(alpha = 2.0) g =
+  Proper.analyze Cost.Bcg ~alpha ~target:(Strategy.of_graph_bcg g) ~iterations:500 ()
+
+let test_stable_profiles_are_proper_limits () =
+  check_bool "star4" true (Proper.is_proper_limit (analyze_bcg (Families.star 4)) ~threshold:0.9);
+  check_bool "K4 at 1/2" true
+    (Proper.is_proper_limit (analyze_bcg ~alpha:0.5 (Families.complete 4)) ~threshold:0.9);
+  check_bool "K3 at 1/2" true
+    (Proper.is_proper_limit (analyze_bcg ~alpha:0.5 (Families.complete 3)) ~threshold:0.9)
+
+let test_witness_alpha_gives_proper_limit () =
+  let c4 = Families.cycle 4 in
+  match Convexity.witness_alpha c4 with
+  | None -> Alcotest.fail "C4 should be link convex"
+  | Some alpha ->
+    check_bool "C4 at witness" true
+      (Proper.is_proper_limit (analyze_bcg ~alpha:(Nf_util.Rat.to_float alpha) c4) ~threshold:0.9)
+
+let test_non_nash_profile_collapses () =
+  (* K4 at alpha=3: dropping an announcement pays, so the all-announce
+     profile loses all its mass *)
+  let reports = analyze_bcg ~alpha:3.0 (Families.complete 4) in
+  check_bool "not a proper limit" false (Proper.is_proper_limit reports ~threshold:0.9);
+  (match List.rev reports with
+  | last :: _ -> check_bool "mass collapsed" true (last.Proper.min_target_mass < 0.01)
+  | [] -> Alcotest.fail "no reports")
+
+let test_nash_but_not_pairwise_survives () =
+  (* the motivating example for pairwise notions: P4 at alpha=3/2 is Nash
+     (and proper) but not pairwise stable *)
+  let p4 = Families.path 4 in
+  let alpha = Nf_util.Rat.make 3 2 in
+  check_bool "not pairwise stable" false (Bcg.is_pairwise_stable ~alpha p4);
+  check_bool "still a proper limit" true
+    (Proper.is_proper_limit (analyze_bcg ~alpha:1.5 p4) ~threshold:0.9)
+
+let test_masses_monotone_in_epsilon () =
+  (* as trembles vanish the target concentrates *)
+  let reports = analyze_bcg (Families.star 4) in
+  let masses = List.map (fun r -> r.Proper.min_target_mass) reports in
+  let rec nondecreasing = function
+    | a :: (b :: _ as rest) -> a <= b +. 1e-9 && nondecreasing rest
+    | _ -> true
+  in
+  check_bool "mass grows as eps shrinks" true (nondecreasing masses)
+
+let test_order_guard () =
+  Alcotest.check_raises "n=5 rejected" (Invalid_argument "Proper.analyze: order out of range")
+    (fun () -> ignore (analyze_bcg (Families.star 5)))
+
+let test_reports_metadata () =
+  let reports =
+    Proper.analyze Cost.Bcg ~alpha:2.0
+      ~target:(Strategy.of_graph_bcg (Families.star 3))
+      ~epsilons:[ 0.2; 0.05 ] ()
+  in
+  Alcotest.(check int) "one report per epsilon" 2 (List.length reports);
+  List.iter
+    (fun r ->
+      check_bool "iterations positive" true (r.Proper.iterations_used > 0);
+      check_bool "masses in [0,1]" true
+        (Array.for_all (fun m -> m >= 0.0 && m <= 1.0) r.Proper.target_mass))
+    reports
+
+let () =
+  Alcotest.run "netform_proper"
+    [
+      ( "proper",
+        [
+          Alcotest.test_case "stable profiles" `Quick test_stable_profiles_are_proper_limits;
+          Alcotest.test_case "witness alpha" `Quick test_witness_alpha_gives_proper_limit;
+          Alcotest.test_case "non-nash collapses" `Quick test_non_nash_profile_collapses;
+          Alcotest.test_case "nash-not-pairwise survives" `Quick test_nash_but_not_pairwise_survives;
+          Alcotest.test_case "mass monotone" `Quick test_masses_monotone_in_epsilon;
+          Alcotest.test_case "order guard" `Quick test_order_guard;
+          Alcotest.test_case "metadata" `Quick test_reports_metadata;
+        ] );
+    ]

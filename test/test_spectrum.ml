@@ -1,0 +1,98 @@
+(* Tests for Nf_graph.Spectrum: known spectra, SRG three-eigenvalue
+   certificates, algebraic connectivity vs connectivity. *)
+
+module Graph = Nf_graph.Graph
+module Spectrum = Nf_graph.Spectrum
+module Families = Nf_named.Families
+module Gallery = Nf_named.Gallery
+module Prng = Nf_util.Prng
+
+let check_bool = Alcotest.(check bool)
+let close ?(eps = 1e-6) a b = Float.abs (a -. b) <= eps
+let check_close name a b = check_bool name true (close a b)
+
+let test_known_spectra () =
+  (* K4: eigenvalues 3, -1 (x3) *)
+  let ev = Spectrum.adjacency_eigenvalues (Families.complete 4) in
+  check_close "K4 min" (-1.0) ev.(0);
+  check_close "K4 second" (-1.0) ev.(2);
+  check_close "K4 max" 3.0 ev.(3);
+  (* C4: 2, 0, 0, -2 *)
+  let c4 = Spectrum.adjacency_eigenvalues (Families.cycle 4) in
+  check_close "C4 min" (-2.0) c4.(0);
+  check_close "C4 mid" 0.0 c4.(1);
+  check_close "C4 max" 2.0 c4.(3);
+  (* star on 5: +/- 2 and zeros *)
+  let s5 = Spectrum.adjacency_eigenvalues (Families.star 5) in
+  check_close "star min" (-2.0) s5.(0);
+  check_close "star max" 2.0 s5.(4)
+
+let test_petersen_spectrum () =
+  (* Petersen: 3 (x1), 1 (x5), -2 (x4) *)
+  let ev = Spectrum.adjacency_eigenvalues Gallery.petersen in
+  check_close "max" 3.0 ev.(9);
+  check_close "middle" 1.0 ev.(8);
+  check_close "middle low" 1.0 ev.(4);
+  check_close "min" (-2.0) ev.(0);
+  check_close "min high" (-2.0) ev.(3);
+  check_bool "three distinct values" true
+    (List.length (Spectrum.distinct_eigenvalues Gallery.petersen) = 3)
+
+let test_srg_three_eigenvalues () =
+  (* connected strongly regular graphs have exactly three distinct
+     adjacency eigenvalues *)
+  List.iter
+    (fun name ->
+      let g = List.assoc name Gallery.all in
+      check_bool (name ^ " three eigenvalues") true
+        (List.length (Spectrum.distinct_eigenvalues g) = 3))
+    [ "petersen"; "octahedron"; "clebsch" ];
+  (* and non-SRG regular graphs have more *)
+  check_bool "mcgee has more" true
+    (List.length (Spectrum.distinct_eigenvalues Gallery.mcgee) > 3)
+
+let test_regular_radius () =
+  check_close "cubic radius" 3.0 (Spectrum.spectral_radius Gallery.mcgee);
+  check_close "7-regular radius" 7.0 (Spectrum.spectral_radius Gallery.hoffman_singleton)
+
+let test_algebraic_connectivity () =
+  check_bool "path connected" true (Spectrum.algebraic_connectivity (Families.path 6) > 1e-9);
+  check_bool "disconnected zero" true
+    (close (Spectrum.algebraic_connectivity (Graph.of_edges 4 [ (0, 1); (2, 3) ])) 0.0);
+  (* K_n has algebraic connectivity n *)
+  check_close "K5 connectivity" 5.0 (Spectrum.algebraic_connectivity (Families.complete 5));
+  (* random cross-check against BFS connectivity *)
+  let rng = Prng.create 2 in
+  for _ = 1 to 60 do
+    let g = Nf_graph.Random_graph.gnp rng (3 + Prng.int rng 8) 0.35 in
+    check_bool "fiedler sign matches connectivity"
+      (Nf_graph.Connectivity.is_connected g)
+      (Spectrum.algebraic_connectivity g > 1e-7)
+  done
+
+let test_trace_invariants () =
+  (* sum of adjacency eigenvalues = trace = 0; sum of squares = 2m *)
+  let rng = Prng.create 9 in
+  for _ = 1 to 40 do
+    let g = Nf_graph.Random_graph.gnp rng (3 + Prng.int rng 9) 0.4 in
+    let ev = Spectrum.adjacency_eigenvalues g in
+    let sum = Array.fold_left ( +. ) 0.0 ev in
+    let sum_sq = Array.fold_left (fun acc v -> acc +. (v *. v)) 0.0 ev in
+    check_bool "trace zero" true (close ~eps:1e-5 sum 0.0);
+    check_bool "sum of squares = 2m" true
+      (close ~eps:1e-4 sum_sq (float_of_int (2 * Graph.size g)))
+  done
+
+let () =
+  Alcotest.run "nf_spectrum"
+    [
+      ( "spectrum",
+        [
+          Alcotest.test_case "known spectra" `Quick test_known_spectra;
+          Alcotest.test_case "petersen" `Quick test_petersen_spectrum;
+          Alcotest.test_case "srg certificate" `Quick test_srg_three_eigenvalues;
+          Alcotest.test_case "regular radius" `Quick test_regular_radius;
+          Alcotest.test_case "algebraic connectivity" `Quick test_algebraic_connectivity;
+          Alcotest.test_case "trace invariants" `Quick test_trace_invariants;
+        ] );
+    ]

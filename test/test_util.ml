@@ -1,0 +1,407 @@
+(* Tests for nf_util: extended integers, rationals, intervals, bitsets,
+   subset iteration, PRNG determinism, statistics, table rendering. *)
+
+open Nf_util
+
+let check = Alcotest.check
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* ---------------- Ext_int ---------------- *)
+
+let ext = Alcotest.testable Ext_int.pp Ext_int.equal
+
+let test_ext_int_add () =
+  check ext "fin+fin" (Ext_int.Fin 5) Ext_int.(add (Fin 2) (Fin 3));
+  check ext "fin+inf" Ext_int.Inf Ext_int.(add (Fin 2) Inf);
+  check ext "inf+inf" Ext_int.Inf Ext_int.(add Inf Inf)
+
+let test_ext_int_sub () =
+  check ext "fin-fin" (Ext_int.Fin (-1)) Ext_int.(sub (Fin 2) (Fin 3));
+  check ext "inf-fin" Ext_int.Inf Ext_int.(sub Inf (Fin 3));
+  Alcotest.check_raises "fin-inf raises"
+    (Invalid_argument "Ext_int.sub: infinite subtrahend") (fun () ->
+      ignore (Ext_int.sub (Ext_int.Fin 1) Ext_int.Inf))
+
+let test_ext_int_mul () =
+  check ext "3*fin" (Ext_int.Fin 12) (Ext_int.mul_int 3 (Ext_int.Fin 4));
+  check ext "0*inf is 0" (Ext_int.Fin 0) (Ext_int.mul_int 0 Ext_int.Inf);
+  check ext "2*inf" Ext_int.Inf (Ext_int.mul_int 2 Ext_int.Inf)
+
+let test_ext_int_compare () =
+  check_bool "fin < inf" true Ext_int.(Fin 1000000 < Inf);
+  check_bool "inf < inf is false" false Ext_int.(Inf < Inf);
+  check_bool "inf <= inf" true Ext_int.(Inf <= Inf);
+  check ext "min" (Ext_int.Fin 1) (Ext_int.min (Ext_int.Fin 1) Ext_int.Inf);
+  check ext "max" Ext_int.Inf (Ext_int.max (Ext_int.Fin 1) Ext_int.Inf);
+  check_bool "to_float inf" true (Ext_int.to_float Ext_int.Inf = infinity)
+
+let test_ext_int_sum () =
+  check ext "sum finite" (Ext_int.Fin 6)
+    (Ext_int.sum [ Ext_int.Fin 1; Ext_int.Fin 2; Ext_int.Fin 3 ]);
+  check ext "sum with inf" Ext_int.Inf (Ext_int.sum [ Ext_int.Fin 1; Ext_int.Inf ]);
+  check ext "empty sum" Ext_int.zero (Ext_int.sum [])
+
+(* ---------------- Rat ---------------- *)
+
+let rat = Alcotest.testable Rat.pp Rat.equal
+
+let test_rat_normalization () =
+  check rat "6/4 = 3/2" (Rat.make 3 2) (Rat.make 6 4);
+  check rat "neg den" (Rat.make (-1) 2) (Rat.make 1 (-2));
+  check_int "den positive" 2 (Rat.den (Rat.make 1 (-2)));
+  check rat "zero" Rat.zero (Rat.make 0 17);
+  check_string "pp integer" "5" (Rat.to_string (Rat.make 10 2));
+  check_string "pp fraction" "-3/7" (Rat.to_string (Rat.make 3 (-7)))
+
+let test_rat_arith () =
+  check rat "add" (Rat.make 5 6) (Rat.add (Rat.make 1 2) (Rat.make 1 3));
+  check rat "sub" (Rat.make 1 6) (Rat.sub (Rat.make 1 2) (Rat.make 1 3));
+  check rat "mul" (Rat.make 1 6) (Rat.mul (Rat.make 1 2) (Rat.make 1 3));
+  check rat "div" (Rat.make 3 2) (Rat.div (Rat.make 1 2) (Rat.make 1 3));
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (Rat.div Rat.one Rat.zero))
+
+let test_rat_compare () =
+  check_bool "1/3 < 1/2" true Rat.(make 1 3 < make 1 2);
+  check_bool "-1/2 < 1/3" true Rat.(make (-1) 2 < make 1 3);
+  check_bool "is_integer" true (Rat.is_integer (Rat.make 4 2));
+  check_bool "not is_integer" false (Rat.is_integer (Rat.make 1 2));
+  check_bool "to_float" true (Rat.to_float (Rat.make 1 2) = 0.5)
+
+let rat_arbitrary =
+  QCheck.map
+    (fun (n, d) -> Rat.make n (if d = 0 then 1 else d))
+    QCheck.(pair (int_range (-50) 50) (int_range (-20) 20))
+
+let prop_rat_add_commutative =
+  QCheck.Test.make ~name:"rat add commutative" ~count:500
+    (QCheck.pair rat_arbitrary rat_arbitrary) (fun (a, b) ->
+      Rat.equal (Rat.add a b) (Rat.add b a))
+
+let prop_rat_mul_distributes =
+  QCheck.Test.make ~name:"rat mul distributes over add" ~count:500
+    (QCheck.triple rat_arbitrary rat_arbitrary rat_arbitrary) (fun (a, b, c) ->
+      Rat.equal (Rat.mul a (Rat.add b c)) (Rat.add (Rat.mul a b) (Rat.mul a c)))
+
+let prop_rat_ordering_total =
+  QCheck.Test.make ~name:"rat compare antisymmetric" ~count:500
+    (QCheck.pair rat_arbitrary rat_arbitrary) (fun (a, b) ->
+      Rat.compare a b = -Rat.compare b a)
+
+(* ---------------- Interval ---------------- *)
+
+let interval = Alcotest.testable Interval.pp Interval.equal
+
+let fin k = Interval.Finite (Rat.of_int k)
+
+let test_interval_mem () =
+  let i = Interval.open_closed (Rat.of_int 1) (fin 5) in
+  check_bool "1 not in (1,5]" false (Interval.mem (Rat.of_int 1) i);
+  check_bool "5 in (1,5]" true (Interval.mem (Rat.of_int 5) i);
+  check_bool "3/2 in (1,5]" true (Interval.mem (Rat.make 3 2) i);
+  check_bool "6 not in (1,5]" false (Interval.mem (Rat.of_int 6) i)
+
+let test_interval_empty () =
+  check_bool "reversed is empty" true
+    (Interval.is_empty
+       (Interval.make ~lo:(fin 5) ~lo_closed:true ~hi:(fin 1) ~hi_closed:true));
+  check_bool "open point is empty" true
+    (Interval.is_empty
+       (Interval.make ~lo:(fin 2) ~lo_closed:false ~hi:(fin 2) ~hi_closed:true));
+  check_bool "closed point non-empty" false (Interval.is_empty (Interval.point Rat.one));
+  check_bool "full nonempty" false (Interval.is_empty Interval.full)
+
+let test_interval_inter () =
+  let a = Interval.closed (Rat.of_int 0) (Rat.of_int 10) in
+  let b = Interval.open_closed (Rat.of_int 5) (fin 20) in
+  check interval "inter" (Interval.open_closed (Rat.of_int 5) (fin 10)) (Interval.inter a b);
+  let disjoint = Interval.closed (Rat.of_int 11) (Rat.of_int 12) in
+  check_bool "disjoint inter empty" true (Interval.is_empty (Interval.inter a disjoint))
+
+let test_interval_unbounded () =
+  let i = Interval.open_closed (Rat.of_int 2) Interval.Pos_inf in
+  check_bool "mem huge" true (Interval.mem (Rat.of_int 1000000) i);
+  check_bool "mem 2 false" false (Interval.mem (Rat.of_int 2) i);
+  check_bool "subset of full" true (Interval.subset i Interval.full)
+
+let test_interval_union_merge () =
+  let u =
+    Interval.Union.of_list
+      [
+        Interval.closed (Rat.of_int 0) (Rat.of_int 2);
+        Interval.closed (Rat.of_int 1) (Rat.of_int 3);
+        Interval.closed (Rat.of_int 5) (Rat.of_int 6);
+      ]
+  in
+  check_int "merged to two pieces" 2 (List.length (Interval.Union.to_list u));
+  check_bool "mem 2.5" true (Interval.Union.mem (Rat.make 5 2) u);
+  check_bool "mem 4 false" false (Interval.Union.mem (Rat.of_int 4) u)
+
+let test_interval_union_touching () =
+  (* (0,1] and (1,2] must merge (shared endpoint covered by the first) *)
+  let u =
+    Interval.Union.of_list
+      [
+        Interval.open_closed (Rat.of_int 0) (fin 1);
+        Interval.open_closed (Rat.of_int 1) (fin 2);
+      ]
+  in
+  check_int "touching merge" 1 (List.length (Interval.Union.to_list u));
+  (* (0,1) and (1,2) must NOT merge: 1 is uncovered *)
+  let v =
+    Interval.Union.of_list
+      [
+        Interval.make ~lo:(fin 0) ~lo_closed:false ~hi:(fin 1) ~hi_closed:false;
+        Interval.make ~lo:(fin 1) ~lo_closed:false ~hi:(fin 2) ~hi_closed:false;
+      ]
+  in
+  check_int "gap preserved" 2 (List.length (Interval.Union.to_list v));
+  check_bool "1 not in union" false (Interval.Union.mem Rat.one v)
+
+(* ---------------- Bitset ---------------- *)
+
+let test_bitset_basics () =
+  let s = Bitset.of_list [ 0; 3; 7 ] in
+  check_int "cardinal" 3 (Bitset.cardinal s);
+  check_bool "mem 3" true (Bitset.mem 3 s);
+  check_bool "mem 4" false (Bitset.mem 4 s);
+  check_int "min_elt" 0 (Bitset.min_elt s);
+  check (Alcotest.list Alcotest.int) "elements" [ 0; 3; 7 ] (Bitset.elements s);
+  check_int "remove" 2 (Bitset.cardinal (Bitset.remove 3 s));
+  check_int "full" 5 (Bitset.cardinal (Bitset.full 5))
+
+let test_bitset_algebra () =
+  let a = Bitset.of_list [ 1; 2; 3 ]
+  and b = Bitset.of_list [ 3; 4 ] in
+  check (Alcotest.list Alcotest.int) "union" [ 1; 2; 3; 4 ]
+    (Bitset.elements (Bitset.union a b));
+  check (Alcotest.list Alcotest.int) "inter" [ 3 ] (Bitset.elements (Bitset.inter a b));
+  check (Alcotest.list Alcotest.int) "diff" [ 1; 2 ] (Bitset.elements (Bitset.diff a b));
+  check_bool "subset" true (Bitset.subset (Bitset.of_list [ 1; 3 ]) a);
+  check_bool "not subset" false (Bitset.subset b a)
+
+(* ---------------- Subset ---------------- *)
+
+let test_subset_count () =
+  let ground = Bitset.of_list [ 0; 2; 5 ] in
+  let seen = ref [] in
+  Subset.iter_subsets ground (fun s -> seen := s :: !seen);
+  check_int "2^3 subsets" 8 (List.length !seen);
+  check_int "all distinct" 8 (List.length (List.sort_uniq compare !seen));
+  List.iter (fun s -> check_bool "subset of ground" true (Bitset.subset s ground)) !seen
+
+let test_subset_by_size () =
+  let ground = Bitset.full 5 in
+  let count = ref 0 in
+  Subset.iter_subsets_of_size ground 2 (fun _ -> incr count);
+  check_int "C(5,2)" 10 !count
+
+let test_iter_pairs () =
+  let count = ref 0 in
+  Subset.iter_pairs 6 (fun i j ->
+      check_bool "ordered" true (i < j);
+      incr count);
+  check_int "C(6,2)" 15 !count
+
+let test_exists_subset () =
+  let ground = Bitset.full 4 in
+  check_bool "finds" true (Subset.exists_subset ground (fun s -> Bitset.cardinal s = 3));
+  check_bool "not found" false (Subset.exists_subset ground (fun s -> Bitset.cardinal s > 4))
+
+(* ---------------- Prng ---------------- *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 42
+  and b = Prng.create 42 in
+  let xs = List.init 20 (fun _ -> Prng.int a 1000)
+  and ys = List.init 20 (fun _ -> Prng.int b 1000) in
+  check (Alcotest.list Alcotest.int) "same seed same stream" xs ys;
+  let c = Prng.create 43 in
+  let zs = List.init 20 (fun _ -> Prng.int c 1000) in
+  check_bool "different seed different stream" true (xs <> zs)
+
+let test_prng_bounds () =
+  let rng = Prng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Prng.int rng 10 in
+    check_bool "in range" true (v >= 0 && v < 10);
+    let f = Prng.float rng 2.0 in
+    check_bool "float in range" true (f >= 0.0 && f < 2.0)
+  done
+
+let test_prng_shuffle_permutes () =
+  let rng = Prng.create 11 in
+  let a = Array.init 20 Fun.id in
+  Prng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check (Alcotest.array Alcotest.int) "is permutation" (Array.init 20 Fun.id) sorted
+
+(* ---------------- Stats ---------------- *)
+
+let test_stats () =
+  let s = Stats.of_list [ 1.0; 2.0; 3.0; 4.0 ] in
+  check_int "count" 4 (Stats.count s);
+  check (Alcotest.float 1e-9) "mean" 2.5 (Stats.mean s);
+  check (Alcotest.float 1e-9) "min" 1.0 (Stats.min s);
+  check (Alcotest.float 1e-9) "max" 4.0 (Stats.max s);
+  check (Alcotest.float 1e-9) "variance" 1.25 (Stats.variance s);
+  check_bool "empty mean nan" true (Float.is_nan (Stats.mean Stats.empty))
+
+(* ---------------- Table / Ascii_plot ---------------- *)
+
+let test_table_render () =
+  let t = Table.create [ "alpha"; "poa" ] in
+  Table.add_row t [ "0.5"; "1.0" ];
+  Table.add_row t [ "12"; "1.25" ];
+  let out = Table.render t in
+  check_bool "has header" true (String.length out > 0);
+  let lines = String.split_on_char '\n' out in
+  check_bool "aligned columns" true
+    (match lines with
+    | header :: _sep :: row :: _ ->
+      String.index header 'p' = String.index row '1' + 2 || String.length row > 0
+    | _ -> false)
+
+let test_ascii_plot_renders () =
+  let series =
+    [
+      { Ascii_plot.label = "ucg"; marker = '*'; points = [ (0., 1.); (1., 2.); (2., 1.5) ] };
+      { Ascii_plot.label = "bcg"; marker = 'o'; points = [ (0., 1.1); (1., 1.9) ] };
+    ]
+  in
+  let out = Ascii_plot.render ~title:"demo" series in
+  check_bool "mentions title" true (String.length out > 4 && String.sub out 0 4 = "demo");
+  check_bool "contains markers" true (String.contains out '*' && String.contains out 'o');
+  (* robust to degenerate inputs *)
+  let empty = Ascii_plot.render ~title:"empty" [ { Ascii_plot.label = "x"; marker = 'x'; points = [] } ] in
+  check_bool "empty handled" true (String.length empty > 0)
+
+(* random intervals over small rationals *)
+let interval_arbitrary =
+  let endpoint =
+    QCheck.Gen.(
+      frequency
+        [
+          (1, return Interval.Neg_inf);
+          (1, return Interval.Pos_inf);
+          (6, map2 (fun n d -> Interval.Finite (Rat.make n (1 + abs d))) (int_range (-20) 20) (int_range 0 6));
+        ])
+  in
+  QCheck.make
+    ~print:(fun i -> Interval.to_string i)
+    QCheck.Gen.(
+      map
+        (fun (lo, lc, hi, hc) -> Interval.make ~lo ~lo_closed:lc ~hi ~hi_closed:hc)
+        (quad endpoint bool endpoint bool))
+
+let rat_points =
+  List.concat_map (fun n -> [ Rat.of_int n; Rat.make n 2; Rat.make n 3 ]) [ -21; -7; -1; 0; 1; 3; 8; 21 ]
+
+let prop_inter_is_conjunction =
+  QCheck.Test.make ~name:"interval inter = pointwise and" ~count:300
+    (QCheck.pair interval_arbitrary interval_arbitrary) (fun (a, b) ->
+      let c = Interval.inter a b in
+      List.for_all
+        (fun x -> Interval.mem x c = (Interval.mem x a && Interval.mem x b))
+        rat_points)
+
+let prop_inter_commutative =
+  QCheck.Test.make ~name:"interval inter commutative" ~count:300
+    (QCheck.pair interval_arbitrary interval_arbitrary) (fun (a, b) ->
+      Interval.equal (Interval.inter a b) (Interval.inter b a))
+
+let prop_subset_via_inter =
+  QCheck.Test.make ~name:"subset consistent with inter" ~count:300
+    (QCheck.pair interval_arbitrary interval_arbitrary) (fun (a, b) ->
+      if Interval.subset a b then Interval.equal (Interval.inter a b) a else true)
+
+let prop_union_mem_disjunction =
+  QCheck.Test.make ~name:"union mem = any member" ~count:300
+    (QCheck.list_of_size (QCheck.Gen.int_range 0 5) interval_arbitrary) (fun intervals ->
+      let u = Interval.Union.of_list intervals in
+      List.for_all
+        (fun x -> Interval.Union.mem x u = List.exists (Interval.mem x) intervals)
+        rat_points)
+
+let prop_union_pieces_disjoint_sorted =
+  QCheck.Test.make ~name:"union normal form" ~count:300
+    (QCheck.list_of_size (QCheck.Gen.int_range 0 6) interval_arbitrary) (fun intervals ->
+      let pieces = Interval.Union.to_list (Interval.Union.of_list intervals) in
+      (* no piece empty, and consecutive pieces neither overlap nor touch *)
+      List.for_all (fun p -> not (Interval.is_empty p)) pieces
+      &&
+      let rec check = function
+        | a :: (b :: _ as rest) ->
+          (match (Interval.bounds a, Interval.bounds b) with
+          | Some (_, _, hi, hi_closed), Some (lo, lo_closed, _, _) ->
+            let c = Interval.compare_endpoint hi lo in
+            (c < 0 || (c = 0 && (not hi_closed) && not lo_closed)) && check rest
+          | _ -> false)
+        | _ -> true
+      in
+      check pieces)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "nf_util"
+    [
+      ( "ext_int",
+        [
+          Alcotest.test_case "add" `Quick test_ext_int_add;
+          Alcotest.test_case "sub" `Quick test_ext_int_sub;
+          Alcotest.test_case "mul_int" `Quick test_ext_int_mul;
+          Alcotest.test_case "compare/min/max" `Quick test_ext_int_compare;
+          Alcotest.test_case "sum" `Quick test_ext_int_sum;
+        ] );
+      ( "rat",
+        [
+          Alcotest.test_case "normalization" `Quick test_rat_normalization;
+          Alcotest.test_case "arithmetic" `Quick test_rat_arith;
+          Alcotest.test_case "compare" `Quick test_rat_compare;
+          qcheck prop_rat_add_commutative;
+          qcheck prop_rat_mul_distributes;
+          qcheck prop_rat_ordering_total;
+        ] );
+      ( "interval",
+        [
+          Alcotest.test_case "mem" `Quick test_interval_mem;
+          Alcotest.test_case "empty" `Quick test_interval_empty;
+          Alcotest.test_case "inter" `Quick test_interval_inter;
+          Alcotest.test_case "unbounded" `Quick test_interval_unbounded;
+          Alcotest.test_case "union merge" `Quick test_interval_union_merge;
+          Alcotest.test_case "union touching" `Quick test_interval_union_touching;
+          qcheck prop_inter_is_conjunction;
+          qcheck prop_inter_commutative;
+          qcheck prop_subset_via_inter;
+          qcheck prop_union_mem_disjunction;
+          qcheck prop_union_pieces_disjoint_sorted;
+        ] );
+      ( "bitset",
+        [
+          Alcotest.test_case "basics" `Quick test_bitset_basics;
+          Alcotest.test_case "algebra" `Quick test_bitset_algebra;
+        ] );
+      ( "subset",
+        [
+          Alcotest.test_case "count" `Quick test_subset_count;
+          Alcotest.test_case "by size" `Quick test_subset_by_size;
+          Alcotest.test_case "iter_pairs" `Quick test_iter_pairs;
+          Alcotest.test_case "exists" `Quick test_exists_subset;
+        ] );
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_prng_bounds;
+          Alcotest.test_case "shuffle" `Quick test_prng_shuffle_permutes;
+        ] );
+      ("stats", [ Alcotest.test_case "summary" `Quick test_stats ]);
+      ( "render",
+        [
+          Alcotest.test_case "table" `Quick test_table_render;
+          Alcotest.test_case "ascii plot" `Quick test_ascii_plot_renders;
+        ] );
+    ]
