@@ -10,9 +10,15 @@
       (BFS, canonical labeling, enumeration, stability intervals, Nash
       orientation search).
 
+   Besides the Bechamel text report, the per-test estimates are written as
+   machine-readable JSON (BENCH_<timestamp>.json, or the path given by
+   NETFORM_BENCH_JSON) so the perf trajectory is tracked across PRs.
+
    Environment:
      NETFORM_BENCH_N     players for the exhaustive experiments (default 6)
-     NETFORM_BENCH_SKIP_EXPERIMENTS=1   timing runs only *)
+     NETFORM_BENCH_SKIP_EXPERIMENTS=1   timing runs only
+     NETFORM_BENCH_JSON  path for the JSON report (default BENCH_<timestamp>.json)
+     NETFORM_JOBS        domain-pool width for the parallel sweeps *)
 
 open Bechamel
 open Toolkit
@@ -140,6 +146,54 @@ let kernel_tests =
         Nf_graph.Graph6.decode (Nf_graph.Graph6.encode g)));
   ]
 
+(* ---------------- machine-readable report ---------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_path () =
+  match Sys.getenv_opt "NETFORM_BENCH_JSON" with
+  | Some path -> path
+  | None ->
+    let tm = Unix.localtime (Unix.time ()) in
+    Printf.sprintf "BENCH_%04d%02d%02d_%02d%02d%02d.json" (tm.Unix.tm_year + 1900)
+      (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+
+let write_json path rows =
+  match open_out path with
+  | exception Sys_error msg ->
+    (* an unwritable report path must not discard the timings just printed *)
+    Printf.eprintf "warning: could not write JSON report: %s\n%!" msg
+  | oc ->
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"schema\": \"netform-bench/1\",\n";
+  Printf.fprintf oc "  \"unix_time\": %.0f,\n" (Unix.time ());
+  Printf.fprintf oc "  \"bench_n\": %d,\n" bench_n;
+  Printf.fprintf oc "  \"jobs\": %d,\n" (Nf_util.Pool.default_jobs ());
+  Printf.fprintf oc "  \"results\": [\n";
+  let last = List.length rows - 1 in
+  List.iteri
+    (fun k (name, estimate) ->
+      Printf.fprintf oc "    { \"name\": \"%s\", \"ns_per_run\": %s }%s\n" (json_escape name)
+        (match estimate with
+        | Some e -> Printf.sprintf "%.1f" e
+        | None -> "null")
+        (if k < last then "," else ""))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "\nwrote %s\n%!" path
+
 let run_benchmarks () =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock ] in
@@ -157,12 +211,21 @@ let run_benchmarks () =
   Printf.printf "------------------------------------\n";
   let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
   let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  let rows =
+    List.map
+      (fun (name, ols) ->
+        match Analyze.OLS.estimates ols with
+        | Some [ estimate ] -> (name, Some estimate)
+        | Some _ | None -> (name, None))
+      rows
+  in
   List.iter
-    (fun (name, ols) ->
-      match Analyze.OLS.estimates ols with
-      | Some [ estimate ] -> Printf.printf "%-55s %14.0f ns/run\n" name estimate
-      | Some _ | None -> Printf.printf "%-55s (no estimate)\n" name)
-    rows
+    (fun (name, estimate) ->
+      match estimate with
+      | Some estimate -> Printf.printf "%-55s %14.0f ns/run\n" name estimate
+      | None -> Printf.printf "%-55s (no estimate)\n" name)
+    rows;
+  write_json (json_path ()) rows
 
 let () =
   if Sys.getenv_opt "NETFORM_BENCH_SKIP_EXPERIMENTS" = None then print_experiments ();

@@ -1,33 +1,42 @@
 module Graph = Nf_graph.Graph
 module Interval = Nf_util.Interval
+module Pool = Nf_util.Pool
 open Netform
 
 let bcg_cache : (int, (Graph.t * Interval.t) list) Hashtbl.t = Hashtbl.create 8
 let ucg_cache : (int, (Graph.t * Interval.Union.t) list) Hashtbl.t = Hashtbl.create 8
 let transfers_cache : (int, (Graph.t * Interval.t) list) Hashtbl.t = Hashtbl.create 8
+let cache_mutex = Mutex.create ()
 
 let clear_cache () =
-  Hashtbl.reset bcg_cache;
-  Hashtbl.reset ucg_cache;
-  Hashtbl.reset transfers_cache
+  Mutex.protect cache_mutex (fun () ->
+      Hashtbl.reset bcg_cache;
+      Hashtbl.reset ucg_cache;
+      Hashtbl.reset transfers_cache)
 
 let memoize cache n compute =
-  match Hashtbl.find_opt cache n with
+  match Mutex.protect cache_mutex (fun () -> Hashtbl.find_opt cache n) with
   | Some annotated -> annotated
   | None ->
+    (* computed outside the lock: annotation fans out across the domain
+       pool, and a duplicated computation on a concurrent miss is benign
+       because annotations are deterministic — first insertion wins *)
     let annotated = compute () in
-    Hashtbl.add cache n annotated;
-    annotated
+    Mutex.protect cache_mutex (fun () ->
+        match Hashtbl.find_opt cache n with
+        | Some existing -> existing
+        | None ->
+          Hashtbl.add cache n annotated;
+          annotated)
 
-let bcg_annotated n =
-  memoize bcg_cache n (fun () ->
-      List.map
-        (fun g -> (g, Bcg.stable_alpha_set g))
-        (Nf_enum.Unlabeled.connected_graphs n))
+(* The enumeration is materialized by the coordinating domain (it has its
+   own cache and internal parallelism); only the per-graph annotation — a
+   pure function of one graph — is fanned out. *)
+let annotate annotate_one n =
+  Pool.parallel_map (fun g -> (g, annotate_one g)) (Nf_enum.Unlabeled.connected_graphs n)
 
-let ucg_annotated n =
-  memoize ucg_cache n (fun () ->
-      List.map (fun g -> (g, Ucg.nash_alpha_set g)) (Nf_enum.Unlabeled.connected_graphs n))
+let bcg_annotated n = memoize bcg_cache n (fun () -> annotate Bcg.stable_alpha_set n)
+let ucg_annotated n = memoize ucg_cache n (fun () -> annotate Ucg.nash_alpha_set n)
 
 let bcg_stable_graphs ~n ~alpha =
   List.filter_map
@@ -40,10 +49,7 @@ let ucg_nash_graphs ~n ~alpha =
     (ucg_annotated n)
 
 let transfers_annotated n =
-  memoize transfers_cache n (fun () ->
-      List.map
-        (fun g -> (g, Transfers.stable_alpha_set g))
-        (Nf_enum.Unlabeled.connected_graphs n))
+  memoize transfers_cache n (fun () -> annotate Transfers.stable_alpha_set n)
 
 let transfers_stable_graphs ~n ~alpha =
   List.filter_map

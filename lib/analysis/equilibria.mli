@@ -4,7 +4,18 @@
     Each isomorphism class is annotated once with its exact BCG stable
     α-set and (separately, because it is much more expensive) its exact
     UCG Nash α-set; per-α queries are then interval-membership lookups.
-    Annotations are memoized per [n]. *)
+    Annotations are memoized per [n].
+
+    Per-graph annotation is fanned out across the default {!Nf_util.Pool}
+    ([NETFORM_JOBS] controls the width, [NETFORM_JOBS=1] forces the
+    sequential path); results are assembled in enumeration order, so the
+    returned lists are identical whatever the pool width.
+
+    {b Thread safety:} the per-[n] caches are mutex-guarded, so every
+    function here may be called from any domain.  Two domains racing on an
+    uncached [n] may both compute the annotation (the deterministic result
+    of the first insertion wins); the annotated lists handed out are
+    immutable and safe to share. *)
 
 val bcg_annotated : int -> (Nf_graph.Graph.t * Nf_util.Interval.t) list
 (** All connected isomorphism classes with their pairwise-stable α-sets.

@@ -739,21 +739,28 @@ let e18_bcg_scaling ?(max_n = 7) () =
   in
   let ok = ref true in
   let crossover_costs = [ Rat.of_int 2; Rat.of_int 4; Rat.of_int 8; Rat.of_int 16 ] in
-  List.iter
-    (fun alpha ->
-      let cells =
-        List.concat_map
-          (fun n ->
-            let stable = Equilibria.bcg_stable_graphs ~n ~alpha in
-            let s = Poa.summarize Cost.Bcg ~alpha:(Rat.to_float alpha) stable in
-            [
-              (if s.Poa.count = 0 then "-" else Printf.sprintf "%.4f" s.Poa.average);
-              string_of_int s.Poa.count;
-            ])
-          sizes
-      in
-      Table.add_row table (Rat.to_string alpha :: cells))
-    (List.sort_uniq Rat.compare (Rat.make 1 2 :: Rat.one :: crossover_costs));
+  (* prewarm: annotation of each size fans out across the domain pool; the
+     per-alpha rows below are then cheap filters over the cached lists and
+     are themselves evaluated through the pool *)
+  List.iter (fun n -> ignore (Equilibria.bcg_annotated n)) sizes;
+  let rows =
+    Nf_util.Pool.parallel_map
+      (fun alpha ->
+        let cells =
+          List.concat_map
+            (fun n ->
+              let stable = Equilibria.bcg_stable_graphs ~n ~alpha in
+              let s = Poa.summarize Cost.Bcg ~alpha:(Rat.to_float alpha) stable in
+              [
+                (if s.Poa.count = 0 then "-" else Printf.sprintf "%.4f" s.Poa.average);
+                string_of_int s.Poa.count;
+              ])
+            sizes
+        in
+        Rat.to_string alpha :: cells)
+      (List.sort_uniq Rat.compare (Rat.make 1 2 :: Rat.one :: crossover_costs))
+  in
+  List.iter (Table.add_row table) rows;
   (* sanity: the efficient graph is always in the stable set, so the best
      PoA is 1 at every size (price of stability 1, as the paper notes) *)
   List.iter
@@ -786,44 +793,54 @@ let e19_sampled_n10 ?(n = 10) ?(attempts = 120) ?(seed = 2005) () =
         "shapes" ]
   in
   let ok = ref true in
-  let rng = Nf_util.Prng.create seed in
-  List.iter
-    (fun c ->
-      (* BCG evaluated at α = c/2, matching the Figure 2/3 alignment *)
-      let alpha = Rat.div c (Rat.of_int 2) in
-      let samples =
-        Nf_dynamics.Bcg_dynamics.sample_stable ~alpha ~rng ~n ~attempts
-      in
-      (* deduplicate up to isomorphism *)
-      let seen = Hashtbl.create 32 in
-      let classes =
-        List.filter
-          (fun g ->
-            let key = Nf_iso.Canon.canonical_key g in
-            if Hashtbl.mem seen key then false
-            else begin
-              Hashtbl.add seen key ();
-              true
-            end)
-          samples
-      in
-      List.iter
-        (fun g ->
-          if not (Bcg.is_pairwise_stable ~alpha g) then ok := false)
-        classes;
-      let s = Poa.summarize Cost.Bcg ~alpha:(Rat.to_float alpha) classes in
-      let cell v = if Float.is_nan v then "-" else Printf.sprintf "%.4f" v in
-      Table.add_row table
-        [
-          Rat.to_string c;
-          string_of_int s.Poa.count;
-          cell s.Poa.average;
-          cell s.Poa.worst;
-          cell s.Poa.average_links;
-          Shapes.census_to_string (Shapes.census classes);
-        ])
+  let costs =
     [ Rat.make 1 2; Rat.one; Rat.of_int 2; Rat.of_int 4; Rat.of_int 8; Rat.of_int 16;
-      Rat.of_int 32; Rat.of_int 64 ];
+      Rat.of_int 32; Rat.of_int 64 ]
+  in
+  (* one independent generator per cost row, derived deterministically from
+     the seed, so the rows can run concurrently on the domain pool and the
+     table is identical whatever the pool width *)
+  let rows =
+    Nf_util.Pool.parallel_map
+      (fun (row, c) ->
+        let rng = Nf_util.Prng.create (seed + (1000003 * (row + 1))) in
+        (* BCG evaluated at α = c/2, matching the Figure 2/3 alignment *)
+        let alpha = Rat.div c (Rat.of_int 2) in
+        let samples =
+          Nf_dynamics.Bcg_dynamics.sample_stable ~alpha ~rng ~n ~attempts
+        in
+        (* deduplicate up to isomorphism *)
+        let seen = Hashtbl.create 32 in
+        let classes =
+          List.filter
+            (fun g ->
+              let key = Nf_iso.Canon.canonical_key g in
+              if Hashtbl.mem seen key then false
+              else begin
+                Hashtbl.add seen key ();
+                true
+              end)
+            samples
+        in
+        let row_ok = List.for_all (fun g -> Bcg.is_pairwise_stable ~alpha g) classes in
+        let s = Poa.summarize Cost.Bcg ~alpha:(Rat.to_float alpha) classes in
+        let cell v = if Float.is_nan v then "-" else Printf.sprintf "%.4f" v in
+        ( [
+            Rat.to_string c;
+            string_of_int s.Poa.count;
+            cell s.Poa.average;
+            cell s.Poa.worst;
+            cell s.Poa.average_links;
+            Shapes.census_to_string (Shapes.census classes);
+          ],
+          row_ok ))
+      (List.mapi (fun row c -> (row, c)) costs)
+  in
+  List.iter
+    (fun (cells, row_ok) ->
+      if not row_ok then ok := false;
+      Table.add_row table cells)
+    rows;
   {
     id = "E19";
     title =
@@ -899,28 +916,36 @@ let e21_stochastic_stability ?(n = 5) () =
         "surviving classes" ]
   in
   let ok = ref true in
+  (* each α's perturbed-dynamics analysis is independent: fan the rows out
+     across the domain pool and assemble the table in grid order *)
+  let rows =
+    Nf_util.Pool.parallel_map
+      (fun alpha ->
+        let v = Nf_dynamics.Stochastic.analyze ~alpha ~n in
+        let ss = v.Nf_dynamics.Stochastic.stochastically_stable in
+        let connected_stable =
+          List.filter Nf_graph.Connectivity.is_connected v.Nf_dynamics.Stochastic.stable
+        in
+        let same =
+          List.length ss = List.length connected_stable
+          && List.for_all Nf_graph.Connectivity.is_connected ss
+        in
+        let classes = Nf_dynamics.Stochastic.stochastically_stable_classes v in
+        ( [
+            Rat.to_string alpha;
+            string_of_int (List.length v.Nf_dynamics.Stochastic.stable);
+            string_of_int (List.length ss);
+            string_of_bool same;
+            Shapes.census_to_string (Shapes.census classes);
+          ],
+          same ))
+      [ Rat.make 3 2; Rat.of_int 2; Rat.of_int 4; Rat.of_int 8 ]
+  in
   List.iter
-    (fun alpha ->
-      let v = Nf_dynamics.Stochastic.analyze ~alpha ~n in
-      let ss = v.Nf_dynamics.Stochastic.stochastically_stable in
-      let connected_stable =
-        List.filter Nf_graph.Connectivity.is_connected v.Nf_dynamics.Stochastic.stable
-      in
-      let same =
-        List.length ss = List.length connected_stable
-        && List.for_all Nf_graph.Connectivity.is_connected ss
-      in
+    (fun (cells, same) ->
       if not same then ok := false;
-      let classes = Nf_dynamics.Stochastic.stochastically_stable_classes v in
-      Table.add_row table
-        [
-          Rat.to_string alpha;
-          string_of_int (List.length v.Nf_dynamics.Stochastic.stable);
-          string_of_int (List.length ss);
-          string_of_bool same;
-          Shapes.census_to_string (Shapes.census classes);
-        ])
-    [ Rat.make 3 2; Rat.of_int 2; Rat.of_int 4; Rat.of_int 8 ];
+      Table.add_row table cells)
+    rows;
   {
     id = "E21";
     title =

@@ -1,5 +1,6 @@
 module Graph = Nf_graph.Graph
 module Bfs = Nf_graph.Bfs
+module Apsp = Nf_graph.Apsp
 module Ext_int = Nf_util.Ext_int
 module Rat = Nf_util.Rat
 module Interval = Nf_util.Interval
@@ -26,21 +27,88 @@ let severance_loss g i j =
        weak deletion inequality of Definition 3 always holds *)
     Ext_int.Inf
 
-(* [min(benefit_i, benefit_j)] — the willingness of the less interested
-   endpoint, which is what consent requires. *)
-let pair_benefit g i j = Ext_int.min (addition_benefit g i j) (addition_benefit g j i)
+(* ---- BFS-sharing kernel -------------------------------------------------
+   Every stability threshold is a difference between a perturbed distance
+   sum and the base distance sum of the same endpoint.  The base sums are
+   computed once per graph (one BFS per vertex, Apsp.distance_sums) and
+   shared across all edge toggles, after which each (endpoint, edge-toggle)
+   pair costs exactly one fresh BFS on the perturbed graph — the per-pair
+   entry points above re-run the base BFS every call and stay around only
+   as the readable specification (and for external one-off queries). *)
+
+let benefit_from ~base after =
+  match base, after with
+  | Ext_int.Fin b, Ext_int.Fin a -> Ext_int.Fin (b - a)
+  | Ext_int.Inf, Ext_int.Fin _ -> Ext_int.Inf
+  | Ext_int.Inf, Ext_int.Inf -> Ext_int.Fin 0
+  | Ext_int.Fin _, Ext_int.Inf -> assert false (* adding cannot disconnect *)
+
+let loss_from ~base after =
+  match base, after with
+  | Ext_int.Fin b, Ext_int.Fin a -> Ext_int.Fin (a - b)
+  | Ext_int.Fin _, Ext_int.Inf -> Ext_int.Inf (* bridge *)
+  | Ext_int.Inf, _ -> Ext_int.Inf
 
 let alpha_min g =
+  let base = Apsp.distance_sums g in
   let worst = ref (Ext_int.Fin 0) in
-  Graph.iter_non_edges g (fun i j -> worst := Ext_int.max !worst (pair_benefit g i j));
+  Graph.iter_non_edges g (fun i j ->
+      let added = Graph.add_edge g i j in
+      worst :=
+        Ext_int.max !worst
+          (Ext_int.min
+             (benefit_from ~base:base.(i) (Bfs.distance_sum added i))
+             (benefit_from ~base:base.(j) (Bfs.distance_sum added j))));
   !worst
 
 let alpha_max g =
+  let base = Apsp.distance_sums g in
   let best = ref Ext_int.Inf in
   Graph.iter_edges g (fun i j ->
-      best := Ext_int.min !best (severance_loss g i j);
-      best := Ext_int.min !best (severance_loss g j i));
+      let removed = Graph.remove_edge g i j in
+      best := Ext_int.min !best (loss_from ~base:base.(i) (Bfs.distance_sum removed i));
+      best := Ext_int.min !best (loss_from ~base:base.(j) (Bfs.distance_sum removed j)));
   !best
+
+(* One pass over the non-edges computes α_min and the attainment flag
+   together: track the running maximum of the pairwise willingness and
+   whether every pair attaining it is a tie (both endpoints equally
+   interested) — a new strict maximum resets the flag, an equal one refines
+   it, smaller pairs cannot matter.  Each perturbed BFS runs exactly once. *)
+type scan = {
+  scan_alpha_min : Ext_int.t;
+  scan_alpha_max : Ext_int.t;
+  scan_lo_closed : bool;
+}
+
+let scan_stability g =
+  let base = Apsp.distance_sums g in
+  let lo = ref (Ext_int.Fin 0) in
+  let tied = ref true in
+  Graph.iter_non_edges g (fun i j ->
+      let added = Graph.add_edge g i j in
+      let bi = benefit_from ~base:base.(i) (Bfs.distance_sum added i)
+      and bj = benefit_from ~base:base.(j) (Bfs.distance_sum added j) in
+      let m = Ext_int.min bi bj in
+      let c = Ext_int.compare m !lo in
+      if c > 0 then begin
+        lo := m;
+        tied := Ext_int.equal bi bj
+      end
+      else if c = 0 && not (Ext_int.equal bi bj) then tied := false);
+  let hi = ref Ext_int.Inf in
+  Graph.iter_edges g (fun i j ->
+      let removed = Graph.remove_edge g i j in
+      hi := Ext_int.min !hi (loss_from ~base:base.(i) (Bfs.distance_sum removed i));
+      hi := Ext_int.min !hi (loss_from ~base:base.(j) (Bfs.distance_sum removed j)));
+  {
+    scan_alpha_min = !lo;
+    scan_alpha_max = !hi;
+    scan_lo_closed =
+      (match !lo with
+      | Ext_int.Inf -> false
+      | Ext_int.Fin _ -> !tied);
+  }
 
 let endpoint_of_ext = function
   | Ext_int.Fin k -> Interval.Finite (Rat.of_int k)
@@ -49,30 +117,20 @@ let endpoint_of_ext = function
 let positive = Interval.open_closed Rat.zero Interval.Pos_inf
 
 let stability_interval g =
+  let s = scan_stability g in
   Interval.inter positive
-    (Interval.make ~lo:(endpoint_of_ext (alpha_min g)) ~lo_closed:false
-       ~hi:(endpoint_of_ext (alpha_max g)) ~hi_closed:true)
+    (Interval.make ~lo:(endpoint_of_ext s.scan_alpha_min) ~lo_closed:false
+       ~hi:(endpoint_of_ext s.scan_alpha_max) ~hi_closed:true)
 
 let stable_alpha_set g =
-  let lo = alpha_min g in
   (* The left end is attained exactly when every missing edge whose
      less-interested benefit equals α_min is a tie (both endpoints equally
      interested): at α = benefit the strict "ci < ci" premise of
      Definition 3 fails on both sides. *)
-  let lo_closed =
-    match lo with
-    | Ext_int.Inf -> false
-    | Ext_int.Fin _ ->
-      let closed = ref true in
-      Graph.iter_non_edges g (fun i j ->
-          if Ext_int.equal (pair_benefit g i j) lo then
-            if not (Ext_int.equal (addition_benefit g i j) (addition_benefit g j i))
-            then closed := false);
-      !closed
-  in
+  let s = scan_stability g in
   Interval.inter positive
-    (Interval.make ~lo:(endpoint_of_ext lo) ~lo_closed ~hi:(endpoint_of_ext (alpha_max g))
-       ~hi_closed:true)
+    (Interval.make ~lo:(endpoint_of_ext s.scan_alpha_min) ~lo_closed:s.scan_lo_closed
+       ~hi:(endpoint_of_ext s.scan_alpha_max) ~hi_closed:true)
 
 (* α compared against an integer-or-infinite threshold, exactly. *)
 let rat_lt alpha = function
@@ -83,19 +141,69 @@ let rat_le alpha = function
   | Ext_int.Inf -> true
   | Ext_int.Fin k -> Rat.(alpha <= of_int k)
 
-let is_pairwise_stable ~alpha g =
-  let deletions_ok = rat_le alpha (alpha_max g) in
-  deletions_ok
-  &&
+(* unstable when one endpoint strictly gains (α < b) and the other does not
+   strictly lose (α ≤ b) *)
+let addition_blocks alpha bi bj =
+  (rat_lt alpha bi && rat_le alpha bj) || (rat_lt alpha bj && rat_le alpha bi)
+
+let no_improving_addition ~alpha ~base g =
   let ok = ref true in
   Graph.iter_non_edges g (fun i j ->
-      let bi = addition_benefit g i j
-      and bj = addition_benefit g j i in
-      (* unstable when one endpoint strictly gains (α < b) and the other
-         does not strictly lose (α ≤ b) *)
-      if (rat_lt alpha bi && rat_le alpha bj) || (rat_lt alpha bj && rat_le alpha bi)
-      then ok := false);
+      if !ok then begin
+        let added = Graph.add_edge g i j in
+        let bi = benefit_from ~base:base.(i) (Bfs.distance_sum added i)
+        and bj = benefit_from ~base:base.(j) (Bfs.distance_sum added j) in
+        if addition_blocks alpha bi bj then ok := false
+      end);
   !ok
+
+(* α ≤ α_max unfolded pairwise, sharing [base] and exiting early *)
+let no_improving_deletion ~alpha ~base g =
+  let ok = ref true in
+  Graph.iter_edges g (fun i j ->
+      if !ok then begin
+        let removed = Graph.remove_edge g i j in
+        if
+          (not (rat_le alpha (loss_from ~base:base.(i) (Bfs.distance_sum removed i))))
+          || not (rat_le alpha (loss_from ~base:base.(j) (Bfs.distance_sum removed j)))
+        then ok := false
+      end);
+  !ok
+
+let is_pairwise_stable ~alpha g =
+  let base = Apsp.distance_sums g in
+  no_improving_deletion ~alpha ~base g && no_improving_addition ~alpha ~base g
+
+(* distance increase to player i from severing the whole neighbor set B *)
+let group_severance_loss ~base g i nbrs =
+  let without = Nf_util.Bitset.fold (fun j acc -> Graph.remove_edge acc i j) nbrs g in
+  match base.(i), Bfs.distance_sum without i with
+  | Ext_int.Fin b, Ext_int.Fin a -> Ext_int.Fin (a - b)
+  | Ext_int.Fin _, Ext_int.Inf -> Ext_int.Inf
+  | Ext_int.Inf, _ -> Ext_int.Inf
+
+let is_pairwise_nash ~alpha g =
+  (* Nash part: no player gains by dropping any subset of its links (a
+     unilateral deviation can only sever in the BCG — announcing new links
+     without consent just costs α per announcement). *)
+  let base = Apsp.distance_sums g in
+  let n = Graph.order g in
+  let nash_ok = ref true in
+  for i = 0 to n - 1 do
+    Nf_util.Subset.iter_subsets (Graph.neighbors g i) (fun nbrs ->
+        if not (Nf_util.Bitset.is_empty nbrs) then begin
+          let k = Nf_util.Bitset.cardinal nbrs in
+          (* improving iff ΔD < α·k *)
+          match group_severance_loss ~base g i nbrs with
+          | Ext_int.Inf -> ()
+          | Ext_int.Fin delta ->
+            if Rat.(of_int delta < mul (of_int k) alpha) then nash_ok := false
+        end)
+  done;
+  !nash_ok
+  &&
+  (* pairwise part: identical to the addition half of pairwise stability *)
+  no_improving_addition ~alpha ~base g
 
 let is_pairwise_stable_f ~alpha g =
   (* dyadic floats convert exactly; reject anything that does not *)
@@ -105,57 +213,27 @@ let is_pairwise_stable_f ~alpha g =
     is_pairwise_stable ~alpha:(Rat.make (int_of_float scaled) denom) g
   else invalid_arg "Bcg.is_pairwise_stable_f: alpha not dyadic with denominator <= 4096"
 
-(* distance increase to player i from severing the whole neighbor set B *)
-let group_severance_loss g i nbrs =
-  let without = Nf_util.Bitset.fold (fun j acc -> Graph.remove_edge acc i j) nbrs g in
-  match Bfs.distance_sum g i, Bfs.distance_sum without i with
-  | Ext_int.Fin b, Ext_int.Fin a -> Ext_int.Fin (a - b)
-  | Ext_int.Fin _, Ext_int.Inf -> Ext_int.Inf
-  | Ext_int.Inf, _ -> Ext_int.Inf
-
-let is_pairwise_nash ~alpha g =
-  (* Nash part: no player gains by dropping any subset of its links (a
-     unilateral deviation can only sever in the BCG — announcing new links
-     without consent just costs α per announcement). *)
-  let n = Graph.order g in
-  let nash_ok = ref true in
-  for i = 0 to n - 1 do
-    Nf_util.Subset.iter_subsets (Graph.neighbors g i) (fun nbrs ->
-        if not (Nf_util.Bitset.is_empty nbrs) then begin
-          let k = Nf_util.Bitset.cardinal nbrs in
-          (* improving iff ΔD < α·k *)
-          match group_severance_loss g i nbrs with
-          | Ext_int.Inf -> ()
-          | Ext_int.Fin delta ->
-            if Rat.(of_int delta < mul (of_int k) alpha) then nash_ok := false
-        end)
-  done;
-  !nash_ok
-  &&
-  (* pairwise part: identical to the addition half of pairwise stability *)
-  let ok = ref true in
-  Graph.iter_non_edges g (fun i j ->
-      let bi = addition_benefit g i j
-      and bj = addition_benefit g j i in
-      if (rat_lt alpha bi && rat_le alpha bj) || (rat_lt alpha bj && rat_le alpha bi)
-      then ok := false);
-  !ok
-
 let improving_addition ~alpha g =
+  let base = Apsp.distance_sums g in
   let found = ref None in
   Graph.iter_non_edges g (fun i j ->
       if !found = None then begin
-        let bi = addition_benefit g i j
-        and bj = addition_benefit g j i in
-        if (rat_lt alpha bi && rat_le alpha bj) || (rat_lt alpha bj && rat_le alpha bi)
-        then found := Some (i, j)
+        let added = Graph.add_edge g i j in
+        let bi = benefit_from ~base:base.(i) (Bfs.distance_sum added i)
+        and bj = benefit_from ~base:base.(j) (Bfs.distance_sum added j) in
+        if addition_blocks alpha bi bj then found := Some (i, j)
       end);
   !found
 
 let improving_deletion ~alpha g =
+  let base = Apsp.distance_sums g in
   let found = ref None in
   Graph.iter_edges g (fun i j ->
-      if !found = None then
-        if not (rat_le alpha (severance_loss g i j)) then found := Some (i, j)
-        else if not (rat_le alpha (severance_loss g j i)) then found := Some (j, i));
+      if !found = None then begin
+        let removed = Graph.remove_edge g i j in
+        if not (rat_le alpha (loss_from ~base:base.(i) (Bfs.distance_sum removed i))) then
+          found := Some (i, j)
+        else if not (rat_le alpha (loss_from ~base:base.(j) (Bfs.distance_sum removed j)))
+        then found := Some (j, i)
+      end);
   !found

@@ -1,4 +1,6 @@
 module Graph = Nf_graph.Graph
+module Bfs = Nf_graph.Bfs
+module Apsp = Nf_graph.Apsp
 module Ext_int = Nf_util.Ext_int
 module Rat = Nf_util.Rat
 module Interval = Nf_util.Interval
@@ -9,25 +11,57 @@ let joint_addition_benefit g i j =
 let joint_severance_loss g i j =
   Ext_int.add (Bcg.severance_loss g i j) (Bcg.severance_loss g j i)
 
+(* Base-sharing twins of the per-pair functions above: the base distance
+   sums are computed once per graph and the perturbed graph is built once
+   per pair, so every (endpoint, edge-toggle) costs exactly one fresh BFS —
+   the per-pair entry points re-run the base BFS of both endpoints on every
+   call (and each evaluation of [joint_addition_benefit] builds the
+   perturbed graph twice). *)
+
+let benefit_from ~base after =
+  match base, after with
+  | Ext_int.Fin b, Ext_int.Fin a -> Ext_int.Fin (b - a)
+  | Ext_int.Inf, Ext_int.Fin _ -> Ext_int.Inf
+  | Ext_int.Inf, Ext_int.Inf -> Ext_int.Fin 0
+  | Ext_int.Fin _, Ext_int.Inf -> assert false (* adding cannot disconnect *)
+
+let loss_from ~base after =
+  match base, after with
+  | Ext_int.Fin b, Ext_int.Fin a -> Ext_int.Fin (a - b)
+  | Ext_int.Fin _, Ext_int.Inf -> Ext_int.Inf (* bridge *)
+  | Ext_int.Inf, _ -> Ext_int.Inf
+
+let joint_benefit_from ~base g i j =
+  let added = Graph.add_edge g i j in
+  Ext_int.add
+    (benefit_from ~base:base.(i) (Bfs.distance_sum added i))
+    (benefit_from ~base:base.(j) (Bfs.distance_sum added j))
+
+let joint_loss_from ~base g i j =
+  let removed = Graph.remove_edge g i j in
+  Ext_int.add
+    (loss_from ~base:base.(i) (Bfs.distance_sum removed i))
+    (loss_from ~base:base.(j) (Bfs.distance_sum removed j))
+
 let half = function
   | Ext_int.Fin k -> Interval.Finite (Rat.make k 2)
   | Ext_int.Inf -> Interval.Pos_inf
 
-let alpha_min_ext g =
+let alpha_min_ext ~base g =
   let worst = ref (Ext_int.Fin 0) in
   Graph.iter_non_edges g (fun i j ->
-      worst := Ext_int.max !worst (joint_addition_benefit g i j));
+      worst := Ext_int.max !worst (joint_benefit_from ~base g i j));
   !worst
 
-let alpha_max_ext g =
+let alpha_max_ext ~base g =
   let best = ref Ext_int.Inf in
-  Graph.iter_edges g (fun i j -> best := Ext_int.min !best (joint_severance_loss g i j));
+  Graph.iter_edges g (fun i j -> best := Ext_int.min !best (joint_loss_from ~base g i j));
   !best
 
 let alpha_min g =
   if Graph.is_complete g then None
   else
-    match alpha_min_ext g with
+    match alpha_min_ext ~base:(Apsp.distance_sums g) g with
     | Ext_int.Fin k -> Some (Rat.make k 2)
     | Ext_int.Inf -> None
 
@@ -37,11 +71,13 @@ let positive = Interval.open_closed Rat.zero Interval.Pos_inf
    Definition 3), so stability to additions is α >= benefit/2: closed.
    A link survives when joint loss >= 2α: α <= loss/2, closed. *)
 let stable_alpha_set g =
+  let base = Apsp.distance_sums g in
   Interval.inter positive
-    (Interval.make ~lo:(half (alpha_min_ext g)) ~lo_closed:true ~hi:(half (alpha_max_ext g))
-       ~hi_closed:true)
+    (Interval.make ~lo:(half (alpha_min_ext ~base g)) ~lo_closed:true
+       ~hi:(half (alpha_max_ext ~base g)) ~hi_closed:true)
 
 let is_stable ~alpha g =
+  let base = Apsp.distance_sums g in
   let two_alpha = Rat.mul (Rat.of_int 2) alpha in
   let le_ext r = function
     | Ext_int.Inf -> true
@@ -53,10 +89,10 @@ let is_stable ~alpha g =
   in
   let additions_ok = ref true in
   Graph.iter_non_edges g (fun i j ->
-      if lt_ext two_alpha (joint_addition_benefit g i j) then additions_ok := false);
+      if lt_ext two_alpha (joint_benefit_from ~base g i j) then additions_ok := false);
   !additions_ok
   &&
   let severances_ok = ref true in
   Graph.iter_edges g (fun i j ->
-      if not (le_ext two_alpha (joint_severance_loss g i j)) then severances_ok := false);
+      if not (le_ext two_alpha (joint_loss_from ~base g i j)) then severances_ok := false);
   !severances_ok

@@ -2,10 +2,11 @@ module Graph = Nf_graph.Graph
 module Ahu = Nf_iso.Ahu
 
 let cache : (int, Graph.t list) Hashtbl.t = Hashtbl.create 8
+let cache_mutex = Mutex.create ()
 
 let rec unlabeled_trees n =
   if n < 1 then invalid_arg "Trees.unlabeled_trees: need n >= 1";
-  match Hashtbl.find_opt cache n with
+  match Mutex.protect cache_mutex (fun () -> Hashtbl.find_opt cache n) with
   | Some trees -> trees
   | None ->
     let trees =
@@ -28,8 +29,12 @@ let rec unlabeled_trees n =
         List.rev !acc
       end
     in
-    Hashtbl.add cache n trees;
-    trees
+    Mutex.protect cache_mutex (fun () ->
+        match Hashtbl.find_opt cache n with
+        | Some existing -> existing
+        | None ->
+          Hashtbl.add cache n trees;
+          trees)
 
 let count_unlabeled n = List.length (unlabeled_trees n)
 

@@ -7,7 +7,10 @@
 
 val unlabeled_trees : int -> Nf_graph.Graph.t list
 (** All isomorphism classes of free trees on [n ≥ 1] vertices (leaf
-    augmentation, deduplicated with AHU encodings); memoized. *)
+    augmentation, deduplicated with AHU encodings); memoized. The memo
+    table is mutex-guarded, so concurrent callers from several domains
+    are safe (a race at worst duplicates the computation; the first
+    insertion wins). *)
 
 val count_unlabeled : int -> int
 

@@ -1,37 +1,64 @@
 module Graph = Nf_graph.Graph
 module Canon = Nf_iso.Canon
 module Bitset = Nf_util.Bitset
+module Pool = Nf_util.Pool
 
 let cache : (int, Graph.t list) Hashtbl.t = Hashtbl.create 8
+let cache_mutex = Mutex.create ()
+let clear_cache () = Mutex.protect cache_mutex (fun () -> Hashtbl.reset cache)
 
-let clear_cache () = Hashtbl.reset cache
+(* Candidates are canonized through the domain pool in fixed-size batches
+   (bounding live memory at one batch of graphs); deduplication stays
+   sequential and in candidate order, so the output list is identical to
+   the sequential enumeration whatever the pool width. *)
+let batch_size = 4096
+
+let level n smaller =
+  let seen = Hashtbl.create 1024 in
+  let acc = ref [] in
+  let batch = ref [] in
+  let batch_len = ref 0 in
+  let flush () =
+    if !batch_len > 0 then begin
+      let candidates = Array.of_list (List.rev !batch) in
+      batch := [];
+      batch_len := 0;
+      let canons = Pool.parallel_map_array Canon.canonical_form candidates in
+      Array.iter
+        (fun canon ->
+          let key = Graph.adjacency_key canon in
+          if not (Hashtbl.mem seen key) then begin
+            Hashtbl.add seen key ();
+            acc := canon :: !acc
+          end)
+        canons
+    end
+  in
+  List.iter
+    (fun g ->
+      Nf_util.Subset.iter_subsets (Bitset.full (n - 1)) (fun nbrs ->
+          batch := Graph.add_vertex g nbrs :: !batch;
+          incr batch_len;
+          if !batch_len >= batch_size then flush ()))
+    smaller;
+  flush ();
+  List.rev !acc
 
 let rec all_graphs n =
   if n < 0 || n > 10 then invalid_arg "Unlabeled.all_graphs: order out of range";
-  match Hashtbl.find_opt cache n with
+  match Mutex.protect cache_mutex (fun () -> Hashtbl.find_opt cache n) with
   | Some graphs -> graphs
   | None ->
-    let graphs =
-      if n = 0 then [ Graph.empty 0 ]
-      else begin
-        let seen = Hashtbl.create 1024 in
-        let acc = ref [] in
-        List.iter
-          (fun smaller ->
-            Nf_util.Subset.iter_subsets (Bitset.full (n - 1)) (fun nbrs ->
-                let candidate = Graph.add_vertex smaller nbrs in
-                let canon = Canon.canonical_form candidate in
-                let key = Graph.adjacency_key canon in
-                if not (Hashtbl.mem seen key) then begin
-                  Hashtbl.add seen key ();
-                  acc := canon :: !acc
-                end))
-          (all_graphs (n - 1));
-        List.rev !acc
-      end
-    in
-    Hashtbl.add cache n graphs;
-    graphs
+    (* computed outside the lock: the level fans out across the domain pool,
+       and a duplicated computation on a concurrent miss is benign because
+       canonical forms are deterministic — first insertion wins *)
+    let graphs = if n = 0 then [ Graph.empty 0 ] else level n (all_graphs (n - 1)) in
+    Mutex.protect cache_mutex (fun () ->
+        match Hashtbl.find_opt cache n with
+        | Some existing -> existing
+        | None ->
+          Hashtbl.add cache n graphs;
+          graphs)
 
 let connected_graphs n = List.filter Nf_graph.Connectivity.is_connected (all_graphs n)
 let iter_connected n f = List.iter f (connected_graphs n)

@@ -6,7 +6,18 @@
     choice of neighborhood, so enumerating level by level and deduplicating
     with canonical forms visits each isomorphism class exactly once in the
     output (at the cost of [|graphs on k| · 2^k] canonical-form calls per
-    level).  Levels are memoized: repeated queries are free. *)
+    level).  Levels are memoized: repeated queries are free.
+
+    Canonical forms are computed in parallel across the default
+    {!Nf_util.Pool} (batched, [NETFORM_JOBS] controls the width);
+    deduplication stays sequential in candidate order, so the returned
+    lists are identical whatever the pool width.
+
+    {b Thread safety:} the level cache is mutex-guarded, so every function
+    here may be called from any domain.  Two domains racing on an uncached
+    level may both compute it (the deterministic result of the first
+    insertion wins); list values handed out are immutable and safe to
+    share. *)
 
 val all_graphs : int -> Nf_graph.Graph.t list
 (** All isomorphism classes of simple graphs on [n] vertices, as canonical

@@ -3,6 +3,8 @@ module Ext_int = Nf_util.Ext_int
 let all_distances g =
   Array.init (Graph.order g) (fun v -> Bfs.distances g v)
 
+let distance_sums g = Array.init (Graph.order g) (fun v -> Bfs.distance_sum g v)
+
 let fold_over_sources g combine init =
   let acc = ref init in
   for v = 0 to Graph.order g - 1 do

@@ -4,6 +4,12 @@ val all_distances : Graph.t -> int array array
 (** [all_distances g] is the matrix of hop distances, [-1] when
     unreachable. *)
 
+val distance_sums : Graph.t -> Nf_util.Ext_int.t array
+(** [distance_sums g] is [Bfs.distance_sum g v] for every vertex, one BFS
+    per vertex.  The stability kernels compute this once per graph and
+    reuse it as the base cost of every endpoint, so each edge toggle costs
+    a single fresh BFS instead of a base/perturbed pair. *)
+
 val diameter : Graph.t -> Nf_util.Ext_int.t
 (** Greatest finite distance, or [Inf] when disconnected.  The diameter of
     the one-vertex graph is 0. *)

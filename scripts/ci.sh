@@ -1,0 +1,18 @@
+#!/bin/sh
+# CI smoke job: build, then run the full @runtest alias on both the forced
+# sequential path and an oversubscribed parallel domain pool, so the
+# jobs=1 / jobs=N parity that the library promises (identical results
+# whatever the pool width) is exercised on every PR.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest (NETFORM_JOBS=1, sequential path) =="
+NETFORM_JOBS=1 dune runtest --force
+
+echo "== dune runtest (NETFORM_JOBS=4, parallel path) =="
+NETFORM_JOBS=4 dune runtest --force
+
+echo "ci.sh: all green"
