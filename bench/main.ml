@@ -17,6 +17,7 @@
    Environment:
      NETFORM_BENCH_N     players for the exhaustive experiments (default 6)
      NETFORM_BENCH_SKIP_EXPERIMENTS=1   timing runs only
+     NETFORM_BENCH_QUICK=1              minimal quota (the ci.sh smoke pass)
      NETFORM_BENCH_JSON  path for the JSON report (default BENCH_<timestamp>.json)
      NETFORM_JOBS        domain-pool width for the parallel sweeps *)
 
@@ -128,6 +129,25 @@ let kernel_tests =
     Test.make ~name:"enumerate_unlabeled_n6" (Staged.stage (fun () ->
         Nf_enum.Unlabeled.clear_cache ();
         Nf_enum.Unlabeled.count_all 6));
+    (* the perf-trajectory record for the canonical-augmentation engine:
+       cold full enumerations at n=7/8, and a streaming smoke at n=9 (the
+       first 2000 classes off a warm n=8 parent level; a full n=9 pass
+       belongs in ci.sh, not in a timing loop) *)
+    Test.make ~name:"enumerate_all_n7_cold" (Staged.stage (fun () ->
+        Nf_enum.Unlabeled.clear_cache ();
+        Nf_enum.Unlabeled.count_all 7));
+    Test.make ~name:"enumerate_all_n8_cold" (Staged.stage (fun () ->
+        Nf_enum.Unlabeled.clear_cache ();
+        Nf_enum.Unlabeled.count_all 8));
+    Test.make ~name:"enumerate_stream_n9_smoke" (Staged.stage (fun () ->
+        ignore (Nf_enum.Unlabeled.all_graphs 8);
+        let seen = ref 0 in
+        (try
+           Nf_enum.Unlabeled.iter_graphs 9 (fun _ ->
+               incr seen;
+               if !seen >= 2000 then raise Exit)
+         with Exit -> ());
+        !seen));
     Test.make ~name:"stable_alpha_set_petersen" (Staged.stage (fun () ->
         Bcg.stable_alpha_set Gallery.petersen));
     Test.make ~name:"is_pairwise_stable_clebsch" (Staged.stage (fun () ->
@@ -197,7 +217,13 @@ let write_json path rows =
 let run_benchmarks () =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false () in
+  (* NETFORM_BENCH_QUICK=1: the ci.sh smoke pass — each staged kernel still
+     runs (so the JSON perf record has every row) but with a minimal quota *)
+  let quick = Sys.getenv_opt "NETFORM_BENCH_QUICK" = Some "1" in
+  let cfg =
+    if quick then Benchmark.cfg ~limit:25 ~quota:(Time.second 0.05) ~stabilize:false ()
+    else Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
   let grouped =
     Test.make_grouped ~name:"netform"
       [

@@ -29,11 +29,20 @@ let memoize cache n compute =
           Hashtbl.add cache n annotated;
           annotated)
 
-(* The enumeration is materialized by the coordinating domain (it has its
-   own cache and internal parallelism); only the per-graph annotation — a
-   pure function of one graph — is fanned out. *)
+(* The enumeration streams through the coordinating domain in chunks (the
+   producer has its own cache and internal parallelism); only the per-graph
+   annotation — a pure function of one graph — is fanned out, one chunk at a
+   time, so the full graph level is never materialized even at orders where
+   the annotated list itself is the largest live object.  Chunked fan-out of
+   a pure function preserves input order, so the result is byte-identical to
+   annotating the materialized list. *)
+let annotation_chunk = 1024
+
 let annotate annotate_one n =
-  Pool.parallel_map (fun g -> (g, annotate_one g)) (Nf_enum.Unlabeled.connected_graphs n)
+  let chunks = ref [] in
+  Nf_enum.Unlabeled.iter_connected_chunked ~chunk:annotation_chunk n (fun graphs ->
+      chunks := Pool.parallel_map_array (fun g -> (g, annotate_one g)) graphs :: !chunks);
+  List.concat_map Array.to_list (List.rev !chunks)
 
 let bcg_annotated n = memoize bcg_cache n (fun () -> annotate Bcg.stable_alpha_set n)
 let ucg_annotated n = memoize ucg_cache n (fun () -> annotate Ucg.nash_alpha_set n)

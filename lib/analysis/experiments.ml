@@ -506,6 +506,8 @@ let e13_eq5_bound ?(n = 6) () =
   let total = ref 0
   and tight = ref 0
   and violations = ref 0 in
+  (* iter_connected streams off the canonical-augmentation enumerator, so
+     this check scales to n = 9 without materializing the level *)
   Nf_enum.Unlabeled.iter_connected n (fun g ->
       incr total;
       let bound = Cost.social_cost_lower_bound ~alpha n (Graph.size g) in

@@ -1,5 +1,9 @@
 let table values n = if n >= 0 && n < Array.length values then Some values.(n) else None
 
-let graphs = table [| 1; 1; 2; 4; 11; 34; 156; 1044; 12346; 274668 |]
-let connected_graphs = table [| 1; 1; 1; 2; 6; 21; 112; 853; 11117; 261080 |]
+let graphs =
+  table [| 1; 1; 2; 4; 11; 34; 156; 1044; 12346; 274668; 12005168; 1018997864 |]
+
+let connected_graphs =
+  table [| 1; 1; 1; 2; 6; 21; 112; 853; 11117; 261080; 11716571; 1006700565 |]
+
 let trees = table [| 1; 1; 1; 1; 2; 3; 6; 11; 23; 47; 106; 235; 551 |]

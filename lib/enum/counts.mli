@@ -1,10 +1,10 @@
 (** Reference sequence values for validating the enumerators. *)
 
 val graphs : int -> int option
-(** OEIS A000088: number of graphs on [n] unlabeled vertices (n ≤ 9). *)
+(** OEIS A000088: number of graphs on [n] unlabeled vertices (n ≤ 11). *)
 
 val connected_graphs : int -> int option
-(** OEIS A001349 (n ≤ 9). *)
+(** OEIS A001349 (n ≤ 11). *)
 
 val trees : int -> int option
 (** OEIS A000055: free trees (n ≤ 12). *)

@@ -1,19 +1,50 @@
 module Graph = Nf_graph.Graph
 module Canon = Nf_iso.Canon
+module Refine = Nf_iso.Refine
 module Bitset = Nf_util.Bitset
 module Pool = Nf_util.Pool
 
-let cache : (int, Graph.t list) Hashtbl.t = Hashtbl.create 8
-let cache_mutex = Mutex.create ()
-let clear_cache () = Mutex.protect cache_mutex (fun () -> Hashtbl.reset cache)
+let max_order = 11
 
-(* Candidates are canonized through the domain pool in fixed-size batches
-   (bounding live memory at one batch of graphs); deduplication stays
-   sequential and in candidate order, so the output list is identical to
-   the sequential enumeration whatever the pool width. *)
+(* The reference (canonize + dedup) path serves every order up to this; it
+   also fixes the historical output order that downstream annotation caches
+   and golden outputs depend on.  Larger orders go through canonical
+   augmentation. *)
+let reference_max = 7
+
+let cache : (int, Graph.t list) Hashtbl.t = Hashtbl.create 8
+let connected_cache : (int, Graph.t list) Hashtbl.t = Hashtbl.create 8
+let cache_mutex = Mutex.create ()
+
+let clear_cache () =
+  Mutex.protect cache_mutex (fun () ->
+      Hashtbl.reset cache;
+      Hashtbl.reset connected_cache)
+
+let cached table n = Mutex.protect cache_mutex (fun () -> Hashtbl.find_opt table n)
+
+(* computed outside the lock: levels fan out across the domain pool, and a
+   duplicated computation on a concurrent miss is benign because the result
+   is deterministic — first insertion wins *)
+let store table n value =
+  Mutex.protect cache_mutex (fun () ->
+      match Hashtbl.find_opt table n with
+      | Some existing -> existing
+      | None ->
+        Hashtbl.add table n value;
+        value)
+
+(* ---------------- reference enumerator (generate, canonize, dedup) ------
+   Every graph on [k+1] vertices is some graph on [k] vertices plus one more
+   vertex with a choice of neighborhood; materialize all |G(k)| * 2^k
+   augmentations, canonize them (in parallel, fixed-size batches), and keep
+   the first representative of each canonical form.  Quadratic in rejected
+   duplicates, but exact and order-stable: the parity oracle for the
+   canonical-augmentation path below. *)
+
 let batch_size = 4096
 
-let level n smaller =
+let reference_level n smaller =
   let seen = Hashtbl.create 1024 in
   let acc = ref [] in
   let batch = ref [] in
@@ -44,23 +75,224 @@ let level n smaller =
   flush ();
   List.rev !acc
 
+(* ---------------- canonical augmentation (McKay) -------------------------
+
+   Isomorph-free generation without a seen-table.  A child on [k+1] vertices
+   is [parent + new vertex with neighborhood S]; each isomorphism class is
+   produced exactly once because
+
+   - neighborhoods [S] range only over orbit representatives of the
+     parent's automorphism group acting on subsets, so a parent never
+     produces two isomorphic children through symmetric neighborhoods, and
+   - a child is accepted only if its new vertex lies in the {e canonical
+     deleted-vertex orbit}: an isomorphism-invariant choice of one vertex
+     orbit per child class (see [accepts]).  Deleting that orbit's vertex
+     recovers the unique parent class, so distinct parents never produce
+     isomorphic children either.
+
+   The invariant vertex choice is made in two stages so that the expensive
+   automorphism search runs only on ties: the chosen orbit is defined to lie
+   inside the last cell of the child's equitable degree refinement (an
+   isomorphism-invariant cell, since refinement is equivariant and cell
+   order depends only on invariants).  If the new vertex is outside that
+   cell the child is rejected outright; if the cell is the singleton [new
+   vertex] it is a full orbit and the child is accepted outright.  Only
+   when the cell has >= 2 vertices including the new one do we canonize the
+   child and compare orbits: the chosen orbit is then the orbit of the
+   cell's vertex with the largest canonical label (well defined up to
+   automorphism, hence invariant). *)
+
+let last_cell partition =
+  let rec go = function
+    | [ cell ] -> cell
+    | _ :: rest -> go rest
+    | [] -> invalid_arg "Unlabeled.last_cell: empty partition"
+  in
+  go partition
+
+(* Cell order survives refinement (splitting replaces a cell by sub-groups
+   in place), so the last refined cell always sits inside the last cell of
+   the seed degree partition — the minimum-degree vertices.  A new vertex of
+   non-minimal degree can therefore be rejected before refining. *)
+let min_degree g =
+  let n = Graph.order g in
+  let m = ref max_int in
+  for v = 0 to n - 1 do
+    let d = Graph.degree g v in
+    if d < !m then m := d
+  done;
+  !m
+
+let accepts child =
+  let v = Graph.order child - 1 in
+  Graph.degree child v = min_degree child
+  &&
+  let cell = last_cell (Refine.refine child (Refine.degree_partition child)) in
+  match cell with
+  | [ u ] -> u = v
+  | cell when not (List.mem v cell) -> false
+  | cell ->
+    let f = Canon.full child in
+    let w =
+      List.fold_left (fun w u -> if f.Canon.perm.(u) > f.Canon.perm.(w) then u else w) v cell
+    in
+    f.Canon.orbits.(v) = f.Canon.orbits.(w)
+
+(* Orbit representatives (smallest mask per orbit, in ascending mask order)
+   of the parent's automorphism group acting on neighbor subsets.  [None]
+   for the common rigid case: every subset is its own orbit. *)
+let subset_orbit_reps k generators =
+  if generators = [] then None
+  else begin
+    let total = 1 lsl k in
+    let seen = Bytes.make total '\000' in
+    let image gen mask =
+      Bitset.fold (fun v acc -> Bitset.add gen.(v) acc) mask Bitset.empty
+    in
+    let reps = ref [] in
+    for mask = total - 1 downto 0 do
+      if Bytes.get seen mask = '\000' then begin
+        reps := mask :: !reps;
+        let stack = ref [ mask ] in
+        Bytes.set seen mask '\001';
+        while !stack <> [] do
+          match !stack with
+          | [] -> ()
+          | m :: rest ->
+            stack := rest;
+            List.iter
+              (fun gen ->
+                let im = image gen m in
+                if Bytes.get seen im = '\000' then begin
+                  Bytes.set seen im '\001';
+                  stack := im :: !stack
+                end)
+              generators
+        done
+      end
+    done;
+    Some !reps
+  end
+
+(* All accepted children of one parent, in ascending neighborhood-mask
+   order.  Children keep the parent's labeling with the new vertex last, so
+   a representative's every prefix is the representative chain that
+   produced it; representatives are deterministic but (unlike the reference
+   path) not canonical forms. *)
+let children parent =
+  let k = Graph.order parent in
+  let generators = (Canon.full parent).Canon.generators in
+  let add acc mask =
+    let child = Graph.add_vertex parent mask in
+    if accepts child then child :: acc else acc
+  in
+  let acc =
+    match subset_orbit_reps k generators with
+    | None ->
+      let acc = ref [] in
+      for mask = 0 to (1 lsl k) - 1 do
+        acc := add !acc mask
+      done;
+      !acc
+    | Some reps -> List.fold_left add [] reps
+  in
+  List.rev acc
+
+(* Stream one level: parents are fanned across the domain pool in
+   contiguous chunks (each worker computes its parents' child lists), and
+   [f] consumes the children sequentially in (parent, mask) order — the
+   stream is deterministic and identical whatever the pool width. *)
+let parent_chunk = 256
+
+let iter_level_children parents f =
+  let parents = Array.of_list parents in
+  let total = Array.length parents in
+  let pos = ref 0 in
+  while !pos < total do
+    let len = min parent_chunk (total - !pos) in
+    let slice = Array.sub parents !pos len in
+    pos := !pos + len;
+    let per_parent = Pool.parallel_map_array children slice in
+    Array.iter (fun cs -> List.iter f cs) per_parent
+  done
+
+let augmentation_level parents =
+  let acc = ref [] in
+  iter_level_children parents (fun h -> acc := h :: !acc);
+  List.rev !acc
+
+(* ---------------- levels, materialized and streaming ------------------- *)
+
+let check_order name n =
+  if n < 0 || n > max_order then
+    invalid_arg (Printf.sprintf "Unlabeled.%s: order out of range" name)
+
 let rec all_graphs n =
-  if n < 0 || n > 10 then invalid_arg "Unlabeled.all_graphs: order out of range";
-  match Mutex.protect cache_mutex (fun () -> Hashtbl.find_opt cache n) with
+  check_order "all_graphs" n;
+  match cached cache n with
   | Some graphs -> graphs
   | None ->
-    (* computed outside the lock: the level fans out across the domain pool,
-       and a duplicated computation on a concurrent miss is benign because
-       canonical forms are deterministic — first insertion wins *)
-    let graphs = if n = 0 then [ Graph.empty 0 ] else level n (all_graphs (n - 1)) in
-    Mutex.protect cache_mutex (fun () ->
-        match Hashtbl.find_opt cache n with
-        | Some existing -> existing
-        | None ->
-          Hashtbl.add cache n graphs;
-          graphs)
+    let graphs =
+      if n = 0 then [ Graph.empty 0 ]
+      else if n <= reference_max then reference_level n (all_graphs (n - 1))
+      else augmentation_level (all_graphs (n - 1))
+    in
+    store cache n graphs
 
-let connected_graphs n = List.filter Nf_graph.Connectivity.is_connected (all_graphs n)
-let iter_connected n f = List.iter f (connected_graphs n)
-let count_all n = List.length (all_graphs n)
-let count_connected n = List.length (connected_graphs n)
+(* Above this order a level is streamed off its (materialized) parent level
+   instead of being built and cached: level n has ~22x more classes than
+   level n-1, so holding the parents is cheap while the level itself is
+   not. *)
+let stream_above = 8
+
+let fold_graphs n f init =
+  check_order "fold_graphs" n;
+  match cached cache n with
+  | Some graphs -> List.fold_left f init graphs
+  | None ->
+    if n <= stream_above then List.fold_left f init (all_graphs n)
+    else begin
+      let acc = ref init in
+      iter_level_children (all_graphs (n - 1)) (fun h -> acc := f !acc h);
+      !acc
+    end
+
+let iter_graphs n f = fold_graphs n (fun () g -> f g) ()
+
+let connected_graphs n =
+  match cached connected_cache n with
+  | Some graphs -> graphs
+  | None ->
+    let graphs = List.filter Nf_graph.Connectivity.is_connected (all_graphs n) in
+    store connected_cache n graphs
+
+let iter_connected n f =
+  match cached connected_cache n with
+  | Some graphs -> List.iter f graphs
+  | None -> iter_graphs n (fun g -> if Nf_graph.Connectivity.is_connected g then f g)
+
+let iter_connected_chunked ?(chunk = 1024) n f =
+  if chunk < 1 then invalid_arg "Unlabeled.iter_connected_chunked: chunk < 1";
+  let buf = ref [] in
+  let len = ref 0 in
+  let flush () =
+    if !len > 0 then begin
+      let arr = Array.of_list (List.rev !buf) in
+      buf := [];
+      len := 0;
+      f arr
+    end
+  in
+  iter_connected n (fun g ->
+      buf := g :: !buf;
+      incr len;
+      if !len >= chunk then flush ());
+  flush ()
+
+let count_all n = fold_graphs n (fun acc _ -> acc + 1) 0
+
+let count_connected n =
+  match cached connected_cache n with
+  | Some graphs -> List.length graphs
+  | None ->
+    fold_graphs n (fun acc g -> if Nf_graph.Connectivity.is_connected g then acc + 1 else acc) 0

@@ -3,32 +3,82 @@
     This substrate implements the paper's footnote-8 workload: "enumeration
     of all connected topologies on [n] vertices".  Every graph on [k+1]
     vertices is some graph on [k] vertices plus one more vertex with a
-    choice of neighborhood, so enumerating level by level and deduplicating
-    with canonical forms visits each isomorphism class exactly once in the
-    output (at the cost of [|graphs on k| · 2^k] canonical-form calls per
-    level).  Levels are memoized: repeated queries are free.
+    choice of neighborhood; two engines walk that augmentation tree:
 
-    Canonical forms are computed in parallel across the default
-    {!Nf_util.Pool} (batched, [NETFORM_JOBS] controls the width);
-    deduplication stays sequential in candidate order, so the returned
-    lists are identical whatever the pool width.
+    - a {b reference enumerator} (orders [n <= 7]): materialize every
+      [|graphs on k| * 2^k] augmentation, canonize each (batched across the
+      {!Nf_util.Pool} domains) and deduplicate by canonical form.  Exact but
+      quadratic in rejected duplicates; kept as the parity oracle and to
+      preserve the historical output order at small [n].
+    - {b canonical augmentation} (McKay-style, orders [n >= 8]):
+      neighborhoods range only over orbit representatives of the parent's
+      automorphism group (generators exposed by {!Nf_iso.Canon.full}), and a
+      child survives only if its new vertex lies in the canonical
+      deleted-vertex orbit — an isomorphism-invariant choice resolved by the
+      child's equitable refinement, with a full automorphism search only on
+      ties.  No seen-table, no duplicate canonizations: each class is
+      produced exactly once, in a deterministic order, at near-output-linear
+      cost.  Representatives are deterministic per class but, unlike the
+      reference path, not canonical forms (canonize explicitly if needed).
 
-    {b Thread safety:} the level cache is mutex-guarded, so every function
+    Both engines fan work across the default {!Nf_util.Pool}
+    ([NETFORM_JOBS] controls the width); consumption stays sequential in
+    (parent, neighborhood) order, so results are identical whatever the pool
+    width.
+
+    {b Thread safety:} the level caches are mutex-guarded, so every function
     here may be called from any domain.  Two domains racing on an uncached
     level may both compute it (the deterministic result of the first
     insertion wins); list values handed out are immutable and safe to
     share. *)
 
 val all_graphs : int -> Nf_graph.Graph.t list
-(** All isomorphism classes of simple graphs on [n] vertices, as canonical
-    representatives.  Practical up to [n = 8] in a few seconds ([n = 9]
-    takes minutes and ~275k graphs).
-    @raise Invalid_argument when [n < 0] or [n > 10]. *)
+(** All isomorphism classes of simple graphs on [n] vertices, one
+    representative per class, memoized per level.  [n = 8] (12 346 classes)
+    takes well under a second; [n = 9] (274 668 classes) completes in
+    seconds but is memory-heavy — prefer {!fold_graphs} /
+    {!iter_connected_chunked} there.
+    @raise Invalid_argument when [n < 0] or [n > 11]. *)
+
+val fold_graphs : int -> ('a -> Nf_graph.Graph.t -> 'a) -> 'a -> 'a
+(** [fold_graphs n f init] folds [f] over every isomorphism class on [n]
+    vertices in {!all_graphs} order {e without materializing the level}
+    when [n >= 9] (only the parent level is held; the level itself streams
+    straight out of the augmentation engine).  Cached levels are reused.
+    @raise Invalid_argument when [n < 0] or [n > 11]. *)
+
+val iter_graphs : int -> (Nf_graph.Graph.t -> unit) -> unit
+(** [iter_graphs n f] is [fold_graphs] with a unit accumulator. *)
 
 val connected_graphs : int -> Nf_graph.Graph.t list
+(** Connected classes only, memoized (the filter used to rerun on every
+    call).  Materializes the full level; see {!iter_connected_chunked} for
+    the streaming alternative at [n >= 9]. *)
+
 val iter_connected : int -> (Nf_graph.Graph.t -> unit) -> unit
+(** Streaming iteration over connected classes in enumeration order; uses
+    the {!connected_graphs} cache when warm and streams off {!fold_graphs}
+    otherwise. *)
+
+val iter_connected_chunked : ?chunk:int -> int -> (Nf_graph.Graph.t array -> unit) -> unit
+(** [iter_connected_chunked ~chunk n f] batches the {!iter_connected}
+    stream into arrays of at most [chunk] graphs (default 1024, in
+    enumeration order) — the fan-out unit for pipelines that annotate each
+    chunk across the {!Nf_util.Pool} without holding the whole level.
+    @raise Invalid_argument when [chunk < 1]. *)
+
 val count_all : int -> int
 val count_connected : int -> int
+(** Class counts via {!fold_graphs}: streaming at [n >= 9], so counting to
+    the OEIS oracles needs no level materialization. *)
+
+val augmentation_level : Nf_graph.Graph.t list -> Nf_graph.Graph.t list
+(** One level of the canonical-augmentation engine: given exactly one
+    representative per isomorphism class on [k] vertices, the accepted
+    children — exactly one representative per class on [k+1] vertices, in
+    deterministic (parent, neighborhood-mask) order.  Exposed for parity
+    tests against the reference enumerator and for callers that manage
+    their own level storage. *)
 
 val clear_cache : unit -> unit
 (** Drop memoized levels (for benchmarks that need cold runs). *)

@@ -2,7 +2,9 @@
 # CI smoke job: build, then run the full @runtest alias on both the forced
 # sequential path and an oversubscribed parallel domain pool, so the
 # jobs=1 / jobs=N parity that the library promises (identical results
-# whatever the pool width) is exercised on every PR.
+# whatever the pool width) is exercised on every PR.  A quick bench pass
+# then writes BENCH_<ts>.json — the machine-readable perf-trajectory
+# record tracked across PRs.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -14,5 +16,8 @@ NETFORM_JOBS=1 dune runtest --force
 
 echo "== dune runtest (NETFORM_JOBS=4, parallel path) =="
 NETFORM_JOBS=4 dune runtest --force
+
+echo "== bench smoke pass (perf-trajectory JSON) =="
+NETFORM_BENCH_SKIP_EXPERIMENTS=1 NETFORM_BENCH_QUICK=1 dune exec bench/main.exe
 
 echo "ci.sh: all green"

@@ -35,7 +35,9 @@ let test_labeled_rejects_large () =
 (* ---------------- Unlabeled vs OEIS ---------------- *)
 
 let test_unlabeled_counts_oeis () =
-  for n = 0 to 7 do
+  (* n <= 7 exercises the reference enumerator, n = 8 the
+     canonical-augmentation engine *)
+  for n = 0 to 8 do
     check_int
       (Printf.sprintf "A000088(%d)" n)
       (Option.get (Counts.graphs n))
@@ -45,6 +47,69 @@ let test_unlabeled_counts_oeis () =
       (Option.get (Counts.connected_graphs n))
       (Unlabeled.count_connected n)
   done
+
+let test_unlabeled_counts_n9_streaming () =
+  (* the raised order ceiling: stream level 9 off the augmentation engine
+     (never materialized) and check both OEIS oracles in one pass *)
+  let all, connected =
+    Unlabeled.fold_graphs 9
+      (fun (a, c) g ->
+        (a + 1, if Nf_graph.Connectivity.is_connected g then c + 1 else c))
+      (0, 0)
+  in
+  check_int "A000088(9)" (Option.get (Counts.graphs 9)) all;
+  check_int "A001349(9)" (Option.get (Counts.connected_graphs 9)) connected
+
+(* ---------------- canonical augmentation vs reference ---------------- *)
+
+let canonical_keys graphs = List.sort compare (List.map Canon.canonical_key graphs)
+
+let test_augmentation_parity_reference () =
+  (* the augmentation engine must produce exactly the classes of the
+     reference (canonize + dedup) enumerator, level by level, through n=7 *)
+  for n = 1 to 7 do
+    Alcotest.(check (list string))
+      (Printf.sprintf "classes at n=%d" n)
+      (canonical_keys (Unlabeled.all_graphs n))
+      (canonical_keys (Unlabeled.augmentation_level (Unlabeled.all_graphs (n - 1))))
+  done
+
+let test_augmentation_distinct_n8 () =
+  (* exactly-once generation: beyond the count matching the oracle, no two
+     representatives at n=8 may share a canonical form *)
+  let keys = canonical_keys (Unlabeled.all_graphs 8) in
+  check_int "pairwise distinct classes" (Option.get (Counts.graphs 8))
+    (List.length (List.sort_uniq compare keys))
+
+(* ---------------- streaming API ---------------- *)
+
+let test_fold_matches_all_graphs () =
+  List.iter
+    (fun n ->
+      let folded = List.rev (Unlabeled.fold_graphs n (fun acc g -> g :: acc) []) in
+      check_bool
+        (Printf.sprintf "fold order n=%d" n)
+        true
+        (List.for_all2 Graph.equal (Unlabeled.all_graphs n) folded))
+    [ 0; 4; 6; 7 ]
+
+let test_iter_connected_chunked () =
+  List.iter
+    (fun chunk ->
+      let streamed = ref [] in
+      let max_seen = ref 0 in
+      Unlabeled.iter_connected_chunked ~chunk 6 (fun arr ->
+          max_seen := max !max_seen (Array.length arr);
+          check_bool "chunk within bound" true (Array.length arr <= chunk && Array.length arr > 0);
+          Array.iter (fun g -> streamed := g :: !streamed) arr);
+      let streamed = List.rev !streamed in
+      let expected = Unlabeled.connected_graphs 6 in
+      check_int "same count" (List.length expected) (List.length streamed);
+      check_bool "same graphs in same order" true (List.for_all2 Graph.equal expected streamed))
+    [ 1; 7; 100; 1000 ];
+  Alcotest.check_raises "chunk=0 rejected"
+    (Invalid_argument "Unlabeled.iter_connected_chunked: chunk < 1") (fun () ->
+      Unlabeled.iter_connected_chunked ~chunk:0 3 ignore)
 
 let test_unlabeled_all_canonical_distinct () =
   let graphs = Unlabeled.all_graphs 6 in
@@ -119,8 +184,16 @@ let () =
       ( "unlabeled",
         [
           Alcotest.test_case "OEIS counts" `Slow test_unlabeled_counts_oeis;
+          Alcotest.test_case "OEIS counts n=9 (streaming)" `Slow test_unlabeled_counts_n9_streaming;
           Alcotest.test_case "distinct canonical" `Quick test_unlabeled_all_canonical_distinct;
           Alcotest.test_case "labeled coverage" `Quick test_unlabeled_agrees_with_labeled;
+        ] );
+      ( "augmentation",
+        [
+          Alcotest.test_case "parity with reference" `Slow test_augmentation_parity_reference;
+          Alcotest.test_case "distinct at n=8" `Slow test_augmentation_distinct_n8;
+          Alcotest.test_case "fold order" `Quick test_fold_matches_all_graphs;
+          Alcotest.test_case "connected chunks" `Quick test_iter_connected_chunked;
         ] );
       ( "trees",
         [

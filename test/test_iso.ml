@@ -127,6 +127,102 @@ let test_canonical_key_matches_form () =
     (Nf_graph.Graph6.encode (Canon.canonical_form g))
     (Canon.canonical_key g)
 
+(* ---------------- Canon.full: automorphism generators ---------------- *)
+
+let is_automorphism g gen =
+  let n = Graph.order g in
+  Array.length gen = n
+  && List.sort_uniq compare (Array.to_list gen) = List.init n Fun.id
+  && (let ok = ref true in
+      Nf_util.Subset.iter_pairs n (fun i j ->
+          if Graph.has_edge g i j <> Graph.has_edge g gen.(i) gen.(j) then ok := false);
+      !ok)
+
+(* close the generator set under composition (BFS on the Cayley graph); the
+   groups under test are small, so the full element list is affordable *)
+let group_closure n generators =
+  let key p = String.init n (fun i -> Char.chr p.(i)) in
+  let seen = Hashtbl.create 64 in
+  let identity = Array.init n Fun.id in
+  Hashtbl.add seen (key identity) identity;
+  let queue = Queue.create () in
+  Queue.add identity queue;
+  while not (Queue.is_empty queue) do
+    let p = Queue.pop queue in
+    List.iter
+      (fun gen ->
+        let q = Array.init n (fun v -> gen.(p.(v))) in
+        let k = key q in
+        if not (Hashtbl.mem seen k) then begin
+          Hashtbl.add seen k q;
+          Queue.add q queue
+        end)
+      generators
+  done;
+  Hashtbl.fold (fun _ p acc -> p :: acc) seen []
+
+let full_fixtures () =
+  let module Unlabeled = Nf_enum.Unlabeled in
+  List.concat_map Unlabeled.all_graphs [ 3; 4; 5 ]
+  @ [ petersen; cycle 6; star 7; complete 6; path 7 ]
+
+let test_full_matches_canonical () =
+  List.iter
+    (fun g ->
+      let f = Canon.full g in
+      check graph "form = canonical_form" (Canon.canonical_form g) f.Canon.form;
+      check graph "perm realizes form" f.Canon.form (Graph.relabel g f.Canon.perm))
+    (full_fixtures ())
+
+let test_full_generators_are_automorphisms () =
+  List.iter
+    (fun g ->
+      List.iter
+        (fun gen ->
+          check_bool "generator preserves adjacency" true (is_automorphism g gen))
+        (Canon.full g).Canon.generators)
+    (full_fixtures ())
+
+let test_full_generators_complete () =
+  (* the exposed generators must generate the FULL automorphism group:
+     closure order = backtracking count, and the union-find orbits must
+     match the closure's orbit partition exactly.  Canonical augmentation
+     is sound only under both. *)
+  List.iter
+    (fun g ->
+      let n = Graph.order g in
+      let f = Canon.full g in
+      let closure = group_closure n f.Canon.generators in
+      check_int "closure order = automorphism count"
+        (Canon.automorphism_count g) (List.length closure);
+      let same_orbit u v = List.exists (fun p -> p.(u) = v) closure in
+      Nf_util.Subset.iter_pairs n (fun u v ->
+          check_bool "orbit partition matches closure"
+            (same_orbit u v)
+            (f.Canon.orbits.(u) = f.Canon.orbits.(v)));
+      (* orbit–stabilizer: |orbit(v)| * |Stab(v)| = |Aut| for every vertex *)
+      for v = 0 to n - 1 do
+        let orbit_size =
+          let c = ref 0 in
+          Array.iter (fun r -> if r = f.Canon.orbits.(v) then incr c) f.Canon.orbits;
+          !c
+        in
+        let stab_size = List.length (List.filter (fun p -> p.(v) = v) closure) in
+        check_int "orbit-stabilizer identity"
+          (List.length closure) (orbit_size * stab_size)
+      done)
+    (full_fixtures ())
+
+let test_orbits_of_generators_basic () =
+  (* one 3-cycle and a fixed point *)
+  let orbits = Canon.orbits_of_generators 4 [ [| 1; 2; 0; 3 |] ] in
+  check_bool "0~1" true (orbits.(0) = orbits.(1));
+  check_bool "1~2" true (orbits.(1) = orbits.(2));
+  check_bool "3 fixed" false (orbits.(3) = orbits.(0));
+  let trivial = Canon.orbits_of_generators 3 [] in
+  check_int "no generators: all singletons" 3
+    (List.length (List.sort_uniq compare (Array.to_list trivial)))
+
 (* ---------------- AHU ---------------- *)
 
 let test_centers () =
@@ -211,6 +307,13 @@ let () =
           Alcotest.test_case "automorphism counts" `Quick test_automorphism_counts;
           Alcotest.test_case "complete graph fast" `Quick test_canonical_complete_fast;
           Alcotest.test_case "key consistency" `Quick test_canonical_key_matches_form;
+        ] );
+      ( "canon-full",
+        [
+          Alcotest.test_case "matches canonical" `Quick test_full_matches_canonical;
+          Alcotest.test_case "generators sound" `Quick test_full_generators_are_automorphisms;
+          Alcotest.test_case "generators complete" `Quick test_full_generators_complete;
+          Alcotest.test_case "orbits basic" `Quick test_orbits_of_generators_basic;
         ] );
       ( "ahu",
         [
