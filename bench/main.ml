@@ -19,7 +19,12 @@
      NETFORM_BENCH_SKIP_EXPERIMENTS=1   timing runs only
      NETFORM_BENCH_QUICK=1              minimal quota (the ci.sh smoke pass)
      NETFORM_BENCH_JSON  path for the JSON report (default BENCH_<timestamp>.json)
-     NETFORM_JOBS        domain-pool width for the parallel sweeps *)
+     NETFORM_BENCH_STORE_N  players for the store cold/warm pair (default 7; 6 in quick mode)
+     NETFORM_JOBS        domain-pool width for the parallel sweeps
+
+   The JSON report carries provenance (git commit, jobs width, OCaml
+   version) so the perf trajectory stays interpretable across machines
+   and checkouts. *)
 
 open Bechamel
 open Toolkit
@@ -28,6 +33,8 @@ let bench_n =
   match Sys.getenv_opt "NETFORM_BENCH_N" with
   | Some s -> (try max 4 (min 7 (int_of_string s)) with _ -> 6)
   | None -> 6
+
+let quick = Sys.getenv_opt "NETFORM_BENCH_QUICK" = Some "1"
 
 (* ---------------- part 1: reproduce the paper ---------------- *)
 
@@ -166,6 +173,48 @@ let kernel_tests =
         Nf_graph.Graph6.decode (Nf_graph.Graph6.encode g)));
   ]
 
+(* ---------------- store cold/warm trajectory ---------------- *)
+
+(* The nf_store acceptance record: a one-shot timed cold build (the full
+   annotation sweep into a fresh store) against a warm figure
+   regeneration from that store (index load + Query.figure_points over
+   the paper grid).  One-shot wall-clock rather than a Bechamel staged
+   loop because the cold build at n=7 runs for ~10s, far past any
+   sensible quota; a single run is plenty to witness the cold/warm
+   ratio. *)
+let store_n =
+  match Sys.getenv_opt "NETFORM_BENCH_STORE_N" with
+  | Some s -> (try max 4 (min 7 (int_of_string s)) with _ -> if quick then 6 else 7)
+  | None -> if quick then 6 else 7
+
+let store_rows () =
+  let path = Filename.temp_file "netform_bench_store" ".nfs" in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> if Sys.file_exists p then Sys.remove p)
+        [ path; path ^ ".part" ])
+    (fun () ->
+      let outcome, cold =
+        time (fun () -> Nf_store.Build.build ~path ~n:store_n ~force:true ())
+      in
+      let points, warm =
+        time (fun () ->
+            let index = Nf_store.Index.load ~path in
+            Nf_store.Query.figure_points index ())
+      in
+      assert (points <> []);
+      Printf.printf
+        "\nstore trajectory: n=%d, %d classes; cold build %.2fs, warm figures %.4fs (%.0fx)\n%!"
+        store_n outcome.Nf_store.Build.records cold warm (cold /. warm);
+      [ (Printf.sprintf "netform/store/cold_build_n%d" store_n, Some (cold *. 1e9));
+        (Printf.sprintf "netform/store/warm_figures_n%d" store_n, Some (warm *. 1e9)) ])
+
 (* ---------------- machine-readable report ---------------- *)
 
 let json_escape s =
@@ -189,6 +238,15 @@ let json_path () =
     Printf.sprintf "BENCH_%04d%02d%02d_%02d%02d%02d.json" (tm.Unix.tm_year + 1900)
       (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
 
+let git_commit () =
+  match Unix.open_process_in "git rev-parse HEAD 2>/dev/null" with
+  | exception _ -> None
+  | ic ->
+    let line = try String.trim (input_line ic) with End_of_file -> "" in
+    (match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> Some line
+    | _ -> None)
+
 let write_json path rows =
   match open_out path with
   | exception Sys_error msg ->
@@ -200,6 +258,11 @@ let write_json path rows =
   Printf.fprintf oc "  \"unix_time\": %.0f,\n" (Unix.time ());
   Printf.fprintf oc "  \"bench_n\": %d,\n" bench_n;
   Printf.fprintf oc "  \"jobs\": %d,\n" (Nf_util.Pool.default_jobs ());
+  Printf.fprintf oc "  \"git_commit\": %s,\n"
+    (match git_commit () with
+    | Some h -> Printf.sprintf "\"%s\"" (json_escape h)
+    | None -> "null");
+  Printf.fprintf oc "  \"ocaml_version\": \"%s\",\n" (json_escape Sys.ocaml_version);
   Printf.fprintf oc "  \"results\": [\n";
   let last = List.length rows - 1 in
   List.iteri
@@ -219,7 +282,6 @@ let run_benchmarks () =
   let instances = Instance.[ monotonic_clock ] in
   (* NETFORM_BENCH_QUICK=1: the ci.sh smoke pass — each staged kernel still
      runs (so the JSON perf record has every row) but with a minimal quota *)
-  let quick = Sys.getenv_opt "NETFORM_BENCH_QUICK" = Some "1" in
   let cfg =
     if quick then Benchmark.cfg ~limit:25 ~quota:(Time.second 0.05) ~stabilize:false ()
     else Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false ()
@@ -245,6 +307,7 @@ let run_benchmarks () =
         | Some _ | None -> (name, None))
       rows
   in
+  let rows = rows @ store_rows () in
   List.iter
     (fun (name, estimate) ->
       match estimate with

@@ -8,7 +8,9 @@
      sweep        Figures 2 & 3 (tables + ASCII plots + optional CSV)
      dynamics     run improving-path / best-response dynamics
      annotate     export the equilibrium atlas (graph6 + exact regions)
-     experiments  run the full E1-E20 reproduction suite *)
+     experiments  run the full E1-E20 reproduction suite
+     store        persistent equilibrium-atlas store (build | resume |
+                  query | verify | export) *)
 
 open Cmdliner
 module Graph = Nf_graph.Graph
@@ -18,6 +20,33 @@ open Netform
 let setup_logs () =
   Fmt_tty.setup_std_outputs ();
   Logs.set_reporter (Logs_fmt.reporter ())
+
+(* every subcommand accepts --jobs; it replaces the default domain pool
+   before any sweep starts, overriding NETFORM_JOBS.  --jobs 1 is the
+   exact sequential path: no domains are spawned and all library entry
+   points degrade to plain left-to-right code. *)
+let jobs_opt =
+  let pos_int =
+    let parse s =
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> Ok n
+      | Some _ | None -> Error (`Msg "JOBS must be a positive integer")
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  Arg.(
+    value
+    & opt (some pos_int) None
+    & info [ "j"; "jobs" ]
+        ~docv:"N"
+        ~doc:
+          "Width of the domain pool used for parallel sweeps (default: the \
+           $(b,NETFORM_JOBS) environment variable, else the machine's core count). \
+           $(b,--jobs 1) forces the exact sequential path.")
+
+let setup jobs =
+  setup_logs ();
+  Option.iter Nf_util.Pool.set_default_jobs jobs
 
 (* ---------------- shared argument parsing ---------------- *)
 
@@ -43,8 +72,8 @@ let n_arg default =
 
 (* ---------------- stability ---------------- *)
 
-let stability graph =
-  setup_logs ();
+let stability jobs graph =
+  setup jobs;
   Printf.printf "graph: %s\n" (Nf_graph.Pp.summary graph);
   Printf.printf "BCG pairwise-stable alpha set: %s\n"
     (Nf_util.Interval.to_string (Bcg.stable_alpha_set graph));
@@ -61,7 +90,7 @@ let stability graph =
 let stability_cmd =
   Cmd.v
     (Cmd.info "stability" ~doc:"Exact stability/Nash link-cost regions of a graph")
-    Term.(const stability $ graph_arg)
+    Term.(const stability $ jobs_opt $ graph_arg)
 
 (* ---------------- named ---------------- *)
 
@@ -77,8 +106,8 @@ let named_cmd =
 
 (* ---------------- enumerate ---------------- *)
 
-let enumerate n alpha =
-  setup_logs ();
+let enumerate jobs n alpha =
+  setup jobs;
   let bcg = Nf_analysis.Equilibria.bcg_stable_graphs ~n ~alpha in
   Printf.printf "connected isomorphism classes on %d vertices: %d\n" n
     (Nf_enum.Unlabeled.count_connected n);
@@ -104,13 +133,23 @@ let alpha_opt =
 let enumerate_cmd =
   Cmd.v
     (Cmd.info "enumerate" ~doc:"Count equilibrium topologies exhaustively")
-    Term.(const enumerate $ n_arg 6 $ alpha_opt)
+    Term.(const enumerate $ jobs_opt $ n_arg 6 $ alpha_opt)
 
 (* ---------------- sweep ---------------- *)
 
-let sweep n csv =
-  setup_logs ();
-  let points = Nf_analysis.Figures.sweep ~n () in
+let sweep jobs n csv store =
+  setup jobs;
+  let points =
+    match store with
+    | Some path ->
+      (* warm path: the annotation is read from the atlas store, never
+         recomputed; only the PoA summaries run here *)
+      let index = Nf_store.Index.load ~path in
+      Printf.printf "(figures served from %s: n=%d, %d classes)\n\n" path
+        (Nf_store.Index.n index) (Nf_store.Index.length index);
+      Nf_store.Query.figure_points index ()
+    | None -> Nf_analysis.Figures.sweep ~n ()
+  in
   print_string (Nf_analysis.Figures.figure2_table points);
   print_newline ();
   print_string (Nf_analysis.Figures.figure2_plot points);
@@ -130,15 +169,24 @@ let sweep n csv =
 let csv_opt =
   Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc:"Write CSV data.")
 
+let store_src_opt =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ] ~docv:"STORE"
+        ~doc:
+          "Serve the figure curves from an equilibrium-atlas store (see $(b,netform store \
+           build)) instead of recomputing the annotation; $(b,-n) is ignored.")
+
 let sweep_cmd =
   Cmd.v
     (Cmd.info "sweep" ~doc:"Reproduce Figures 2 and 3 (average PoA / links vs link cost)")
-    Term.(const sweep $ n_arg 6 $ csv_opt)
+    Term.(const sweep $ jobs_opt $ n_arg 6 $ csv_opt $ store_src_opt)
 
 (* ---------------- dynamics ---------------- *)
 
-let dynamics game_str n alpha seed steps =
-  setup_logs ();
+let dynamics jobs game_str n alpha seed steps =
+  setup jobs;
   let rng = Nf_util.Prng.create seed in
   (match String.lowercase_ascii game_str with
   | "bcg" ->
@@ -171,12 +219,12 @@ let dynamics_cmd =
   let steps = Arg.(value & opt int 10000 & info [ "max-steps" ] ~docv:"K") in
   Cmd.v
     (Cmd.info "dynamics" ~doc:"Run improving-path (BCG) or best-response (UCG) dynamics")
-    Term.(const dynamics $ game $ n_arg 8 $ alpha_opt $ seed $ steps)
+    Term.(const dynamics $ jobs_opt $ game $ n_arg 8 $ alpha_opt $ seed $ steps)
 
 (* ---------------- annotate ---------------- *)
 
-let annotate n out with_ucg =
-  setup_logs ();
+let annotate jobs n out with_ucg =
+  setup jobs;
   let with_ucg = Option.value ~default:(n <= 7) with_ucg in
   Logs.info (fun m -> m "annotating %d connected classes on %d vertices (ucg=%b)"
                 (Nf_enum.Unlabeled.count_connected n) n with_ucg);
@@ -201,12 +249,12 @@ let annotate_cmd =
   Cmd.v
     (Cmd.info "annotate"
        ~doc:"Export the equilibrium atlas: every connected class with its exact regions")
-    Term.(const annotate $ n_arg 6 $ out $ with_ucg)
+    Term.(const annotate $ jobs_opt $ n_arg 6 $ out $ with_ucg)
 
 (* ---------------- experiments ---------------- *)
 
-let experiments n only out =
-  setup_logs ();
+let experiments jobs n only out store =
+  setup jobs;
   let results = Nf_analysis.Experiments.run_all ~n () in
   let results =
     match only with
@@ -219,7 +267,11 @@ let experiments n only out =
   print_string (Nf_analysis.Experiments.render_all results);
   (match out with
   | Some dir ->
-    let points = Nf_analysis.Figures.sweep ~n () in
+    let points =
+      match store with
+      | Some path -> Nf_store.Query.figure_points (Nf_store.Index.load ~path) ()
+      | None -> Nf_analysis.Figures.sweep ~n ()
+    in
     let written = Nf_analysis.Report.write_all ~dir ~results ~points () in
     Printf.printf "\nwrote %d artifacts under %s\n" (List.length written) dir
   | None -> ());
@@ -240,7 +292,199 @@ let out_dir_opt =
 let experiments_cmd =
   Cmd.v
     (Cmd.info "experiments" ~doc:"Run the full paper-reproduction suite (E1-E20)")
-    Term.(const experiments $ n_arg 6 $ only_opt $ out_dir_opt)
+    Term.(const experiments $ jobs_opt $ n_arg 6 $ only_opt $ out_dir_opt $ store_src_opt)
+
+(* ---------------- store ---------------- *)
+
+let store_path_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"STORE" ~doc:"Path of the equilibrium-atlas store file.")
+
+let report_line line = Printf.eprintf "%s\n%!" line
+
+let print_outcome verb (o : Nf_store.Build.outcome) =
+  Printf.printf "%s %s: n=%d ucg=%b, %d classes in %d chunks (%d resumed) in %.2fs\n" verb
+    o.Nf_store.Build.path o.Nf_store.Build.n o.Nf_store.Build.with_ucg o.Nf_store.Build.records
+    o.Nf_store.Build.chunks o.Nf_store.Build.resumed_records o.Nf_store.Build.seconds
+
+let store_build jobs n out with_ucg chunk force quiet =
+  setup jobs;
+  let report = if quiet then ignore else report_line in
+  match Nf_store.Build.build ?with_ucg ~chunk ~force ~report ~path:out ~n () with
+  | outcome ->
+    print_outcome "built" outcome;
+    0
+  | exception Failure msg ->
+    Printf.eprintf "error: %s\n" msg;
+    1
+
+let store_build_cmd =
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"STORE" ~doc:"Store file to create.")
+  in
+  let with_ucg =
+    Arg.(
+      value
+      & opt (some bool) None
+      & info [ "ucg" ] ~docv:"BOOL" ~doc:"Include UCG Nash sets (default: n <= 7).")
+  in
+  let chunk =
+    Arg.(
+      value
+      & opt int 512
+      & info [ "chunk" ] ~docv:"K"
+          ~doc:"Classes per chunk: the append/recovery granularity and the pool fan-out unit.")
+  in
+  let force = Arg.(value & flag & info [ "force" ] ~doc:"Overwrite an existing store.") in
+  let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No per-chunk progress lines.") in
+  Cmd.v
+    (Cmd.info "build" ~doc:"Annotate every connected class on N vertices into a store")
+    Term.(const store_build $ jobs_opt $ n_arg 6 $ out $ with_ucg $ chunk $ force $ quiet)
+
+let store_resume jobs out quiet =
+  setup jobs;
+  let report = if quiet then ignore else report_line in
+  match Nf_store.Build.resume ~report ~path:out () with
+  | outcome ->
+    print_outcome "resumed" outcome;
+    0
+  | exception Failure msg ->
+    Printf.eprintf "error: %s\n" msg;
+    1
+
+let store_resume_cmd =
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"STORE"
+          ~doc:"Store file whose interrupted build ($(i,STORE).part) should be continued.")
+  in
+  let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No per-chunk progress lines.") in
+  Cmd.v
+    (Cmd.info "resume"
+       ~doc:"Continue a build killed mid-sweep from the last complete chunk (byte-identical)")
+    Term.(const store_resume $ jobs_opt $ out $ quiet)
+
+let store_verify path =
+  setup_logs ();
+  match Nf_store.Reader.verify ~path with
+  | Ok scan ->
+    let h = scan.Nf_store.Reader.header in
+    Printf.printf "%s: ok (schema %d, n=%d, ucg=%b, %d classes in %d chunks of %d, all CRCs valid)\n"
+      path Nf_store.Layout.schema_version h.Nf_store.Layout.n h.Nf_store.Layout.with_ucg
+      scan.Nf_store.Reader.records scan.Nf_store.Reader.chunks h.Nf_store.Layout.chunk_size;
+    0
+  | Error msg ->
+    Printf.eprintf "%s: CORRUPT: %s\n" path msg;
+    1
+
+let store_verify_cmd =
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Strict integrity check: header/chunk/footer CRCs, record parses, totals")
+    Term.(const store_verify $ store_path_arg)
+
+let store_query jobs path alpha game figures csv list_graphs =
+  setup jobs;
+  let index = Nf_store.Index.load ~path in
+  Printf.printf "%s: n=%d, %d annotated classes, ucg=%b\n" path (Nf_store.Index.n index)
+    (Nf_store.Index.length index) (Nf_store.Index.with_ucg index);
+  (match alpha with
+  | Some alpha ->
+    let graphs, cost_model =
+      match String.lowercase_ascii game with
+      | "bcg" -> (Nf_store.Query.bcg_stable_graphs index ~alpha, Cost.Bcg)
+      | "ucg" -> (Nf_store.Query.ucg_nash_graphs index ~alpha, Cost.Ucg)
+      | other -> invalid_arg (Printf.sprintf "unknown game %S: use bcg or ucg" other)
+    in
+    Printf.printf "%s equilibria at alpha=%s: %d\n" (String.uppercase_ascii game)
+      (Rat.to_string alpha) (List.length graphs);
+    Format.printf "  %a@." Poa.pp_summary
+      (Poa.summarize cost_model ~alpha:(Rat.to_float alpha) graphs);
+    if list_graphs then
+      List.iter (fun g -> print_endline (Nf_graph.Graph6.encode g)) graphs
+  | None -> ());
+  if figures then begin
+    let points = Nf_store.Query.figure_points index () in
+    print_newline ();
+    print_string (Nf_analysis.Figures.figure2_table points);
+    print_newline ();
+    print_string (Nf_analysis.Figures.figure2_plot points);
+    print_newline ();
+    print_string (Nf_analysis.Figures.figure3_table points);
+    print_newline ();
+    print_string (Nf_analysis.Figures.figure3_plot points);
+    match csv with
+    | Some file ->
+      let oc = open_out file in
+      output_string oc (Nf_analysis.Figures.to_csv points);
+      close_out oc;
+      Printf.printf "\nwrote %s\n" file
+    | None -> ()
+  end;
+  0
+
+let store_query_cmd =
+  let alpha =
+    Arg.(
+      value
+      & opt (some alpha_conv) None
+      & info [ "a"; "alpha" ] ~docv:"ALPHA" ~doc:"Report the equilibrium set at this link cost.")
+  in
+  let game =
+    Arg.(value & opt string "bcg" & info [ "game" ] ~docv:"GAME" ~doc:"bcg or ucg.")
+  in
+  let figures =
+    Arg.(value & flag & info [ "figures" ] ~doc:"Regenerate the Figure 2/3 series from the store.")
+  in
+  let list_graphs =
+    Arg.(value & flag & info [ "list" ] ~doc:"Print the graph6 of each equilibrium class.")
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"Serve alpha-queries and figure curves from a store, with no recomputation")
+    Term.(
+      const store_query $ jobs_opt $ store_path_arg $ alpha $ game $ figures $ csv_opt
+      $ list_graphs)
+
+let store_export jobs path out =
+  setup jobs;
+  let index = Nf_store.Index.load ~path in
+  let csv = Nf_store.Query.to_csv index in
+  (match out with
+  | Some file ->
+    let oc = open_out file in
+    output_string oc csv;
+    close_out oc;
+    Printf.printf "wrote %d annotated classes to %s\n" (Nf_store.Index.length index) file
+  | None -> print_string csv);
+  0
+
+let store_export_cmd =
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output CSV (default: stdout).")
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Dump a store as the annotate-compatible CSV atlas (byte-identical to Dataset.to_csv)")
+    Term.(const store_export $ jobs_opt $ store_path_arg $ out)
+
+let store_cmd =
+  Cmd.group
+    (Cmd.info "store"
+       ~doc:
+         "Persistent, crash-resumable equilibrium-atlas store: build once, query the annotation \
+          forever")
+    [ store_build_cmd; store_resume_cmd; store_query_cmd; store_verify_cmd; store_export_cmd ]
 
 let main_cmd =
   Cmd.group
@@ -248,7 +492,7 @@ let main_cmd =
        ~doc:"Bilateral vs unilateral network formation (Corbo & Parkes, PODC 2005)")
     [
       stability_cmd; named_cmd; enumerate_cmd; sweep_cmd; dynamics_cmd; annotate_cmd;
-      experiments_cmd;
+      experiments_cmd; store_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -40,13 +40,19 @@ let interval_to_string i =
       (endpoint_to_string lo) (endpoint_to_string hi)
       (if hi_closed then ']' else ')')
 
+let int_field what v =
+  match int_of_string_opt v with
+  | Some k -> k
+  | None -> invalid_arg (Printf.sprintf "Dataset.rat_of_string: bad %s %S" what v)
+
 let rat_of_string s =
   match String.index_opt s '/' with
   | Some k ->
-    Rat.make
-      (int_of_string (String.sub s 0 k))
-      (int_of_string (String.sub s (k + 1) (String.length s - k - 1)))
-  | None -> Rat.of_int (int_of_string s)
+    let num = int_field "numerator" (String.sub s 0 k)
+    and den = int_field "denominator" (String.sub s (k + 1) (String.length s - k - 1)) in
+    if den = 0 then invalid_arg (Printf.sprintf "Dataset.rat_of_string: zero denominator in %S" s);
+    Rat.make num den
+  | None -> Rat.of_int (int_field "integer" s)
 
 let endpoint_of_string = function
   | "-inf" -> Interval.Neg_inf
@@ -122,7 +128,10 @@ let of_csv text =
             bcg_stable = interval_of_string stable;
             ucg_nash = (if nash = "-" then None else Some (union_of_string nash));
           }
-        | _ -> invalid_arg "Dataset.of_csv: bad row")
+        | fields ->
+          invalid_arg
+            (Printf.sprintf "Dataset.of_csv: bad row (%d fields, expected 5): %s"
+               (List.length fields) row))
       (List.filter (fun r -> String.trim r <> "") rows)
 
 let save ~path entries =

@@ -7,19 +7,25 @@ type point = {
   bcg : Poa.summary;
 }
 
-let sweep ~n ?(grid = Sweep.paper_grid) () =
+let sweep_via ~bcg ~ucg ?(grid = Sweep.paper_grid) () =
   List.map
     (fun c ->
       let alpha_ucg = c
       and alpha_bcg = Rat.div c (Rat.of_int 2) in
-      let ucg_graphs = Equilibria.ucg_nash_graphs ~n ~alpha:alpha_ucg in
-      let bcg_graphs = Equilibria.bcg_stable_graphs ~n ~alpha:alpha_bcg in
+      let ucg_graphs = ucg ~alpha:alpha_ucg in
+      let bcg_graphs = bcg ~alpha:alpha_bcg in
       {
         total_link_cost = c;
         ucg = Poa.summarize Cost.Ucg ~alpha:(Rat.to_float alpha_ucg) ucg_graphs;
         bcg = Poa.summarize Cost.Bcg ~alpha:(Rat.to_float alpha_bcg) bcg_graphs;
       })
     grid
+
+let sweep ~n ?grid () =
+  sweep_via
+    ~bcg:(fun ~alpha -> Equilibria.bcg_stable_graphs ~n ~alpha)
+    ~ucg:(fun ~alpha -> Equilibria.ucg_nash_graphs ~n ~alpha)
+    ?grid ()
 
 let fmt_or_dash v = if Float.is_nan v then "-" else Printf.sprintf "%.4f" v
 

@@ -16,6 +16,19 @@ val sweep : n:int -> ?grid:Nf_util.Rat.t list -> unit -> point list
 (** Exhaustive equilibrium sweep on [n] players over the grid (default
     {!Sweep.paper_grid}). *)
 
+val sweep_via :
+  bcg:(alpha:Nf_util.Rat.t -> Nf_graph.Graph.t list) ->
+  ucg:(alpha:Nf_util.Rat.t -> Nf_graph.Graph.t list) ->
+  ?grid:Nf_util.Rat.t list ->
+  unit ->
+  point list
+(** {!sweep} with the equilibrium sets supplied by the caller rather than
+    recomputed — the hook a persistent equilibrium atlas (the [nf_store]
+    query engine) uses to regenerate the figure curves without
+    re-annotating.  The α convention is applied here: at grid value [c]
+    the [ucg] provider is asked for [α = c] and the [bcg] provider for
+    [α = c/2]. *)
+
 val figure2_table : point list -> string
 (** α, equilibrium counts, and average PoA per game, as an aligned
     table. *)

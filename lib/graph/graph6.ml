@@ -41,11 +41,19 @@ let decode s =
   let bits = n * (n - 1) / 2 in
   let expected = 1 + ((bits + 5) / 6) in
   if len <> expected then invalid_arg "Graph6.decode: wrong length";
-  let bit k =
-    let byte = Char.code s.[1 + (k / 6)] - 63 in
-    if byte < 0 || byte > 63 then invalid_arg "Graph6.decode: bad byte";
-    byte lsr (5 - (k mod 6)) land 1
-  in
+  (* validate the whole body up front: every byte must be printable
+     63..126 and the padding bits of the final byte must be zero, so
+     decode accepts exactly the strings encode can produce (and
+     [encode (decode s) = s] whenever decode succeeds) *)
+  for k = 1 to len - 1 do
+    let c = Char.code s.[k] in
+    if c < 63 || c > 126 then
+      invalid_arg (Printf.sprintf "Graph6.decode: byte %d (0x%02x) outside printable 63..126" k c)
+  done;
+  let pad = (6 - (bits mod 6)) mod 6 in
+  if pad > 0 && (Char.code s.[len - 1] - 63) land ((1 lsl pad) - 1) <> 0 then
+    invalid_arg "Graph6.decode: nonzero padding bits";
+  let bit k = (Char.code s.[1 + (k / 6)] - 63) lsr (5 - (k mod 6)) land 1 in
   let g = ref (Graph.empty n) in
   let k = ref 0 in
   for j = 1 to n - 1 do

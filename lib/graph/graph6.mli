@@ -7,4 +7,10 @@
 
 val encode : Graph.t -> string
 val decode : string -> Graph.t
-(** @raise Invalid_argument on malformed input. *)
+(** Strict inverse of {!encode}: the header must be an order in
+    [0..62], the body exactly the right length with every byte in the
+    printable 63..126 range, and the final byte's padding bits zero.
+    Consequently [decode] accepts exactly the image of {!encode}, and
+    [encode (decode s) = s] whenever [decode s] succeeds — corrupted or
+    truncated strings never decode silently.
+    @raise Invalid_argument on malformed input. *)

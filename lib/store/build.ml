@@ -1,0 +1,91 @@
+module Graph = Nf_graph.Graph
+module Pool = Nf_util.Pool
+module Stats = Nf_util.Stats
+open Netform
+
+type outcome = {
+  path : string;
+  n : int;
+  with_ucg : bool;
+  chunks : int;
+  records : int;
+  resumed_records : int;
+  seconds : float;
+}
+
+let annotate_record ~with_ucg g =
+  {
+    Layout.graph6 = Nf_graph.Graph6.encode g;
+    bcg = Bcg.stable_alpha_set g;
+    ucg = (if with_ucg then Some (Ucg.nash_alpha_set g) else None);
+  }
+
+(* The sweep: stream connected classes in chunks off the enumeration
+   engine (never materializing the level), annotate each chunk across the
+   domain pool, and append it.  Chunk boundaries come from the header's
+   chunk size, so a resumed run regenerates exactly the chunks the
+   interrupted one would have written next — the enumeration order and
+   the annotation are deterministic, which makes resume byte-exact. *)
+let run ~writer ~skip_chunks ~report =
+  let header = writer.Writer.header in
+  let n = header.Layout.n
+  and with_ucg = header.Layout.with_ucg
+  and chunk = header.Layout.chunk_size in
+  let start = Unix.gettimeofday () in
+  let resumed_records = writer.Writer.records in
+  let meter =
+    Stats.Progress.create
+      ?total:(Nf_enum.Counts.connected_graphs n)
+      ~initial:resumed_records ~now:Unix.gettimeofday ()
+  in
+  let ci = ref 0 in
+  Nf_enum.Unlabeled.iter_connected_chunked ~chunk n (fun graphs ->
+      let i = !ci in
+      incr ci;
+      if i >= skip_chunks then begin
+        let records = Pool.parallel_map_array (annotate_record ~with_ucg) graphs in
+        Writer.append_chunk writer records;
+        Stats.Progress.tick meter (Array.length graphs);
+        report
+          (Printf.sprintf "chunk %d: %d classes annotated  %s" i (Array.length graphs)
+             (Stats.Progress.line meter))
+      end);
+  Writer.finalize writer;
+  {
+    path = writer.Writer.final_path;
+    n;
+    with_ucg;
+    chunks = writer.Writer.chunks;
+    records = writer.Writer.records;
+    resumed_records;
+    seconds = Unix.gettimeofday () -. start;
+  }
+
+let build ?with_ucg ?(chunk = 512) ?(force = false) ?(report = ignore) ~path ~n () =
+  if n < 1 || n > 11 then invalid_arg "Build.build: n out of range (1..11)";
+  if chunk < 1 then invalid_arg "Build.build: chunk < 1";
+  let with_ucg = Option.value ~default:(n <= 7) with_ucg in
+  if Sys.file_exists path && not force then
+    failwith (Printf.sprintf "%s already exists (pass force to rebuild)" path);
+  let writer = Writer.create ~path ~header:{ Layout.n; with_ucg; chunk_size = chunk } in
+  match run ~writer ~skip_chunks:0 ~report with
+  | outcome -> outcome
+  | exception e ->
+    Writer.abort writer;
+    raise e
+
+let resume ?(report = ignore) ~path () =
+  let part = Writer.part_path path in
+  if not (Sys.file_exists part) then
+    if Sys.file_exists path then
+      failwith (Printf.sprintf "%s is already a complete store (no part file to resume)" path)
+    else failwith (Printf.sprintf "nothing to resume: neither %s nor %s exists" part path);
+  let writer, scan = Writer.reopen ~path in
+  report
+    (Printf.sprintf "resuming %s: %d records in %d complete chunks survive" part
+       scan.Reader.records scan.Reader.chunks);
+  match run ~writer ~skip_chunks:scan.Reader.chunks ~report with
+  | outcome -> outcome
+  | exception e ->
+    Writer.abort writer;
+    raise e

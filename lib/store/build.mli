@@ -1,0 +1,45 @@
+(** Building (and crash-resuming) equilibrium-atlas stores.
+
+    A build streams every connected isomorphism class on [n] vertices
+    out of {!Nf_enum.Unlabeled.iter_connected_chunked}, annotates each
+    chunk across the {!Nf_util.Pool} domains with the exact BCG stable
+    interval (and, when [with_ucg], the UCG Nash α-set), and appends it
+    through {!Writer}.  Progress/throughput/ETA lines are emitted per
+    chunk through the [report] callback via {!Nf_util.Stats.Progress}.
+
+    {b Crash-resume parity.}  Chunk boundaries are fixed by the chunk
+    size recorded in the header and both the enumeration order and the
+    annotation are deterministic, so [resume] — which truncates the part
+    file to its longest valid chunk prefix and re-enters the stream at
+    the next chunk — produces a store byte-identical to an uninterrupted
+    build, whatever the pool width and wherever the interruption fell. *)
+
+type outcome = {
+  path : string;
+  n : int;
+  with_ucg : bool;
+  chunks : int;
+  records : int;  (** total annotated classes in the finished store *)
+  resumed_records : int;  (** of which were inherited from a part file *)
+  seconds : float;  (** wall-clock time of this run *)
+}
+
+val build :
+  ?with_ucg:bool ->
+  ?chunk:int ->
+  ?force:bool ->
+  ?report:(string -> unit) ->
+  path:string ->
+  n:int ->
+  unit ->
+  outcome
+(** Build a fresh store at [path].  [with_ucg] defaults to [n <= 7]
+    (matching {!Nf_analysis.Dataset.build}); [chunk] is the records-per-
+    chunk fan-out unit (default 512).  Any stale part file is discarded.
+    @raise Invalid_argument when [n] is outside [1..11] or [chunk < 1].
+    @raise Failure when [path] already exists and [force] is not set. *)
+
+val resume : ?report:(string -> unit) -> path:string -> unit -> outcome
+(** Continue an interrupted build from [path ^ ".part"].
+    @raise Failure when there is nothing to resume.
+    @raise Layout.Corrupt when the part file's header is invalid. *)

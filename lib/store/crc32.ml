@@ -1,0 +1,25 @@
+(* CRC-32 (IEEE 802.3, polynomial 0xEDB88320 reflected), table-driven.
+   The store keeps one checksum per chunk and per header/footer; this is
+   the standard zlib/PNG variant so external tools can re-verify files. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun i ->
+         let c = ref i in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let update crc s ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Crc32.update: substring out of bounds";
+  let table = Lazy.force table in
+  let c = ref (crc lxor 0xFFFFFFFF) in
+  for k = pos to pos + len - 1 do
+    c := table.((!c lxor Char.code s.[k]) land 0xFF) lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+let sub s ~pos ~len = update 0 s ~pos ~len
+let string s = sub s ~pos:0 ~len:(String.length s)

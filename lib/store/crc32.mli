@@ -1,0 +1,16 @@
+(** CRC-32 checksums (IEEE 802.3 / zlib variant) for store integrity.
+
+    Values are unsigned 32-bit checksums held in an OCaml [int]
+    (always in [0, 2^32)). *)
+
+val string : string -> int
+(** Checksum of a whole string. *)
+
+val sub : string -> pos:int -> len:int -> int
+(** Checksum of a substring.
+    @raise Invalid_argument when the range is out of bounds. *)
+
+val update : int -> string -> pos:int -> len:int -> int
+(** [update crc s ~pos ~len] extends a running checksum, so
+    [update (sub a ...) b ...] equals the checksum of the
+    concatenation. *)

@@ -1,0 +1,32 @@
+module Graph = Nf_graph.Graph
+module Interval = Nf_util.Interval
+
+type t = {
+  path : string;
+  header : Layout.header;
+  entries : Layout.record array;
+  mutable graphs : Graph.t array option;
+}
+
+let load ~path =
+  let header, entries = Reader.load ~path in
+  { path; header; entries; graphs = None }
+
+let path t = t.path
+let n t = t.header.Layout.n
+let with_ucg t = t.header.Layout.with_ucg
+let length t = Array.length t.entries
+let entries t = t.entries
+
+(* decoded representatives, one array shared by every query — decoding
+   261k graph6 strings at n = 9 is cheap but not free, so it happens at
+   most once per loaded index, fanned across the pool *)
+let graphs t =
+  match t.graphs with
+  | Some gs -> gs
+  | None ->
+    let gs =
+      Nf_util.Pool.parallel_map_array (fun r -> Nf_graph.Graph6.decode r.Layout.graph6) t.entries
+    in
+    t.graphs <- Some gs;
+    gs

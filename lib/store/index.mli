@@ -1,0 +1,21 @@
+(** The warm in-memory face of a store: records loaded once, graphs
+    decoded lazily (and at most once), ready for repeated α-queries. *)
+
+type t
+
+val load : path:string -> t
+(** Load a complete store's records into memory.
+    @raise Layout.Corrupt when the store is incomplete or invalid. *)
+
+val path : t -> string
+val n : t -> int
+val with_ucg : t -> bool
+val length : t -> int
+(** Number of annotated classes. *)
+
+val entries : t -> Layout.record array
+(** The records in enumeration order.  Callers must not mutate. *)
+
+val graphs : t -> Nf_graph.Graph.t array
+(** Decoded representatives aligned with {!entries}, memoized on first
+    use. *)

@@ -1,0 +1,248 @@
+module Interval = Nf_util.Interval
+module Rat = Nf_util.Rat
+
+(* On-disk layout of an equilibrium-atlas store (all integers little
+   endian, fixed width; no timestamps or other machine-dependent bytes, so
+   identical inputs always produce identical files):
+
+     header   "NFATLAS1" | u16 schema | u16 n | u32 flags | u32 chunk
+              | u32 crc(preceding 20 bytes)
+     chunk*   "CHNK" | u32 index | u32 #records | u32 body_len | body
+              | u32 crc(header+body)
+     footer   "FEND" | u32 #chunks | u32 #records | u32 crc(preceding 12)
+
+   flags bit 0: records carry a UCG Nash α-set after the BCG interval.
+   Record body:  u16 len | graph6 bytes | interval | [union].
+   Interval:     u8 0 (empty) or u8 1 | endpoint | u8 lo_closed
+                 | endpoint | u8 hi_closed.
+   Endpoint:     u8 0 (-inf) / 2 (+inf), or u8 1 | i64 num | i64 den.
+   Union:        u16 #pieces | pieces (each a non-empty interval). *)
+
+let magic = "NFATLAS1"
+let chunk_magic = "CHNK"
+let footer_magic = "FEND"
+let schema_version = 1
+let header_size = 24
+let chunk_header_size = 16
+let footer_size = 16
+
+type header = { n : int; with_ucg : bool; chunk_size : int }
+type record = { graph6 : string; bcg : Interval.t; ucg : Interval.Union.t option }
+
+exception Corrupt of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Corrupt m)) fmt
+
+(* --- primitive writes --------------------------------------------------- *)
+
+let add_u16 buf v = Buffer.add_uint16_le buf v
+let add_u32 buf v = Buffer.add_int32_le buf (Int32.of_int v)
+let add_i64 buf v = Buffer.add_int64_le buf (Int64.of_int v)
+
+(* --- primitive reads (bounds-checked: decoding must never walk off the
+   end of a truncated or corrupted file, it must raise {!Corrupt}) -------- *)
+
+let need s pos len what =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    fail "unexpected end of data reading %s at byte %d" what pos
+
+let get_u8 s pos what =
+  need s pos 1 what;
+  Char.code s.[pos]
+
+let get_u16 s pos what =
+  need s pos 2 what;
+  String.get_uint16_le s pos
+
+let get_u32 s pos what =
+  need s pos 4 what;
+  Int32.to_int (String.get_int32_le s pos) land 0xFFFFFFFF
+
+let get_i64 s pos what =
+  need s pos 8 what;
+  Int64.to_int (String.get_int64_le s pos)
+
+(* --- intervals ---------------------------------------------------------- *)
+
+let add_endpoint buf = function
+  | Interval.Neg_inf -> Buffer.add_char buf '\000'
+  | Interval.Finite r ->
+    Buffer.add_char buf '\001';
+    add_i64 buf (Rat.num r);
+    add_i64 buf (Rat.den r)
+  | Interval.Pos_inf -> Buffer.add_char buf '\002'
+
+let get_endpoint s pos =
+  match get_u8 s pos "endpoint tag" with
+  | 0 -> (Interval.Neg_inf, pos + 1)
+  | 2 -> (Interval.Pos_inf, pos + 1)
+  | 1 ->
+    let num = get_i64 s (pos + 1) "endpoint numerator" in
+    let den = get_i64 s (pos + 9) "endpoint denominator" in
+    if den <= 0 then fail "non-positive endpoint denominator at byte %d" (pos + 9);
+    (Interval.Finite (Rat.make num den), pos + 17)
+  | tag -> fail "bad endpoint tag %d at byte %d" tag pos
+
+let add_interval buf i =
+  match Interval.bounds i with
+  | None -> Buffer.add_char buf '\000'
+  | Some (lo, lo_closed, hi, hi_closed) ->
+    Buffer.add_char buf '\001';
+    add_endpoint buf lo;
+    Buffer.add_char buf (if lo_closed then '\001' else '\000');
+    add_endpoint buf hi;
+    Buffer.add_char buf (if hi_closed then '\001' else '\000')
+
+let get_bool s pos what =
+  match get_u8 s pos what with
+  | 0 -> false
+  | 1 -> true
+  | v -> fail "bad boolean %d for %s at byte %d" v what pos
+
+let get_interval s pos =
+  match get_u8 s pos "interval tag" with
+  | 0 -> (Interval.empty, pos + 1)
+  | 1 ->
+    let lo, pos = get_endpoint s (pos + 1) in
+    let lo_closed = get_bool s pos "lo_closed" in
+    let hi, pos = get_endpoint s (pos + 1) in
+    let hi_closed = get_bool s pos "hi_closed" in
+    (Interval.make ~lo ~lo_closed ~hi ~hi_closed, pos + 1)
+  | tag -> fail "bad interval tag %d at byte %d" tag pos
+
+let add_union buf u =
+  let pieces = Interval.Union.to_list u in
+  add_u16 buf (List.length pieces);
+  List.iter (add_interval buf) pieces
+
+let get_union s pos =
+  let count = get_u16 s pos "union piece count" in
+  let pos = ref (pos + 2) in
+  let pieces =
+    List.init count (fun _ ->
+        let i, next = get_interval s !pos in
+        pos := next;
+        i)
+  in
+  (Interval.Union.of_list pieces, !pos)
+
+(* --- records ------------------------------------------------------------ *)
+
+let add_record buf ~with_ucg r =
+  if String.length r.graph6 > 0xFFFF then invalid_arg "Layout.add_record: graph6 too long";
+  add_u16 buf (String.length r.graph6);
+  Buffer.add_string buf r.graph6;
+  add_interval buf r.bcg;
+  match (with_ucg, r.ucg) with
+  | true, Some u -> add_union buf u
+  | false, None -> ()
+  | true, None -> invalid_arg "Layout.add_record: UCG payload required by header flags"
+  | false, Some _ -> invalid_arg "Layout.add_record: unexpected UCG payload"
+
+let get_record s pos ~with_ucg =
+  let len = get_u16 s pos "graph6 length" in
+  need s (pos + 2) len "graph6 string";
+  let graph6 = String.sub s (pos + 2) len in
+  if len = 0 then fail "empty graph6 string at byte %d" pos;
+  let bcg, pos = get_interval s (pos + 2 + len) in
+  if with_ucg then
+    let u, pos = get_union s pos in
+    ({ graph6; bcg; ucg = Some u }, pos)
+  else ({ graph6; bcg; ucg = None }, pos)
+
+(* --- header ------------------------------------------------------------- *)
+
+let encode_header h =
+  if h.n < 1 || h.n > 62 then invalid_arg "Layout.encode_header: n out of range";
+  if h.chunk_size < 1 then invalid_arg "Layout.encode_header: chunk_size < 1";
+  let buf = Buffer.create header_size in
+  Buffer.add_string buf magic;
+  add_u16 buf schema_version;
+  add_u16 buf h.n;
+  add_u32 buf (if h.with_ucg then 1 else 0);
+  add_u32 buf h.chunk_size;
+  let body = Buffer.contents buf in
+  add_u32 buf (Crc32.string body);
+  Buffer.contents buf
+
+let decode_header s =
+  need s 0 header_size "header";
+  if String.sub s 0 8 <> magic then fail "bad magic (not an nf_store file)";
+  let stored_crc = get_u32 s 20 "header crc" in
+  let actual_crc = Crc32.sub s ~pos:0 ~len:20 in
+  if stored_crc <> actual_crc then
+    fail "header crc mismatch (stored %08x, computed %08x)" stored_crc actual_crc;
+  let schema = get_u16 s 8 "schema version" in
+  if schema <> schema_version then fail "unsupported schema version %d" schema;
+  let n = get_u16 s 10 "n" in
+  if n < 1 || n > 62 then fail "n = %d out of range" n;
+  let flags = get_u32 s 12 "flags" in
+  if flags land lnot 1 <> 0 then fail "unknown flag bits %x" flags;
+  let chunk_size = get_u32 s 16 "chunk size" in
+  if chunk_size < 1 then fail "chunk size %d < 1" chunk_size;
+  { n; with_ucg = flags land 1 = 1; chunk_size }
+
+(* --- chunks ------------------------------------------------------------- *)
+
+let encode_chunk ~index ~with_ucg records =
+  let body = Buffer.create 4096 in
+  Array.iter (add_record body ~with_ucg) records;
+  let buf = Buffer.create (Buffer.length body + chunk_header_size + 4) in
+  Buffer.add_string buf chunk_magic;
+  add_u32 buf index;
+  add_u32 buf (Array.length records);
+  add_u32 buf (Buffer.length body);
+  Buffer.add_buffer buf body;
+  let framed = Buffer.contents buf in
+  add_u32 buf (Crc32.string framed);
+  Buffer.contents buf
+
+let decode_chunk ~with_ucg s ~pos =
+  need s pos chunk_header_size "chunk header";
+  if String.sub s pos 4 <> chunk_magic then fail "bad chunk magic at byte %d" pos;
+  let index = get_u32 s (pos + 4) "chunk index" in
+  let count = get_u32 s (pos + 8) "chunk record count" in
+  let body_len = get_u32 s (pos + 12) "chunk body length" in
+  let framed_len = chunk_header_size + body_len in
+  need s pos (framed_len + 4) "chunk body";
+  let stored_crc = get_u32 s (pos + framed_len) "chunk crc" in
+  let actual_crc = Crc32.sub s ~pos ~len:framed_len in
+  if stored_crc <> actual_crc then
+    fail "chunk %d crc mismatch at byte %d (stored %08x, computed %08x)" index pos stored_crc
+      actual_crc;
+  let body_end = pos + framed_len in
+  let cursor = ref (pos + chunk_header_size) in
+  let records =
+    Array.init count (fun _ ->
+        let r, next = get_record s !cursor ~with_ucg in
+        cursor := next;
+        r)
+  in
+  if !cursor <> body_end then
+    fail "chunk %d body length mismatch (%d bytes of records, %d declared)" index
+      (!cursor - pos - chunk_header_size) body_len;
+  (index, records, body_end + 4)
+
+(* --- footer ------------------------------------------------------------- *)
+
+let encode_footer ~chunks ~records =
+  let buf = Buffer.create footer_size in
+  Buffer.add_string buf footer_magic;
+  add_u32 buf chunks;
+  add_u32 buf records;
+  let body = Buffer.contents buf in
+  add_u32 buf (Crc32.string body);
+  Buffer.contents buf
+
+let is_footer_at s pos = pos + 4 <= String.length s && String.sub s pos 4 = footer_magic
+
+let decode_footer s ~pos =
+  need s pos footer_size "footer";
+  if String.sub s pos 4 <> footer_magic then fail "bad footer magic at byte %d" pos;
+  let stored_crc = get_u32 s (pos + 12) "footer crc" in
+  let actual_crc = Crc32.sub s ~pos ~len:12 in
+  if stored_crc <> actual_crc then
+    fail "footer crc mismatch (stored %08x, computed %08x)" stored_crc actual_crc;
+  let chunks = get_u32 s (pos + 4) "footer chunk count" in
+  let records = get_u32 s (pos + 8) "footer record count" in
+  (chunks, records, pos + footer_size)

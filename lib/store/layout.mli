@@ -1,0 +1,62 @@
+(** Binary on-disk layout of the equilibrium-atlas store.
+
+    A store file is a fixed header keyed by [(n, game flags, schema
+    version)], a run of self-describing CRC-32-framed chunks of records
+    (one record per connected isomorphism class: graph6 string, exact BCG
+    stable interval, optional UCG Nash α-set), and a footer with the
+    totals.  All integers are little endian and nothing machine- or
+    time-dependent is ever written, so a store's bytes are a pure
+    function of [(n, flags, chunk size)] — the property the
+    crash-resume parity guarantee rests on.
+
+    Decoding never trusts the input: every read is bounds-checked and
+    every frame is CRC-verified before its records are parsed, so
+    truncated or corrupted files raise {!Corrupt} rather than producing
+    garbage (or a crash). *)
+
+type header = {
+  n : int;  (** number of players / vertices, [1..62] *)
+  with_ucg : bool;  (** records carry a UCG Nash α-set *)
+  chunk_size : int;  (** records per full chunk (the last may be short) *)
+}
+
+type record = {
+  graph6 : string;
+  bcg : Nf_util.Interval.t;
+  ucg : Nf_util.Interval.Union.t option;
+      (** [Some] iff the header's [with_ucg] flag is set *)
+}
+
+exception Corrupt of string
+(** Raised by every [decode_*] function on malformed input. *)
+
+val magic : string
+val schema_version : int
+val header_size : int
+val chunk_header_size : int
+val footer_size : int
+
+val encode_header : header -> string
+(** @raise Invalid_argument when [n] or [chunk_size] is out of range. *)
+
+val decode_header : string -> header
+(** Validates magic, CRC, schema version and field ranges on the first
+    {!header_size} bytes. *)
+
+val encode_chunk : index:int -> with_ucg:bool -> record array -> string
+(** One framed chunk: header, record bodies, trailing CRC over the
+    whole frame.
+    @raise Invalid_argument when a record's UCG payload contradicts
+    [with_ucg]. *)
+
+val decode_chunk : with_ucg:bool -> string -> pos:int -> int * record array * int
+(** [decode_chunk ~with_ucg s ~pos] is [(index, records, next_pos)].
+    The CRC is verified {e before} any record is parsed. *)
+
+val encode_footer : chunks:int -> records:int -> string
+val decode_footer : string -> pos:int -> int * int * int
+(** [(chunks, records, next_pos)]. *)
+
+val is_footer_at : string -> int -> bool
+(** Whether the footer magic starts at this offset (peek only — the
+    footer may still fail {!decode_footer}). *)

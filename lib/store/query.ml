@@ -1,0 +1,50 @@
+module Graph = Nf_graph.Graph
+module Interval = Nf_util.Interval
+module Rat = Nf_util.Rat
+
+let stable_entries index ~alpha =
+  let entries = Index.entries index in
+  let out = ref [] in
+  for i = Array.length entries - 1 downto 0 do
+    if Interval.mem alpha entries.(i).Layout.bcg then out := i :: !out
+  done;
+  !out
+
+let nash_entries index ~alpha =
+  if not (Index.with_ucg index) then
+    invalid_arg "Query.nash_entries: store was built without UCG annotations";
+  let entries = Index.entries index in
+  let out = ref [] in
+  for i = Array.length entries - 1 downto 0 do
+    match entries.(i).Layout.ucg with
+    | Some u when Interval.Union.mem alpha u -> out := i :: !out
+    | _ -> ()
+  done;
+  !out
+
+let graphs_of index idxs =
+  let gs = Index.graphs index in
+  List.map (fun i -> gs.(i)) idxs
+
+let bcg_stable_graphs index ~alpha = graphs_of index (stable_entries index ~alpha)
+let ucg_nash_graphs index ~alpha = graphs_of index (nash_entries index ~alpha)
+
+let figure_points index ?grid () =
+  Nf_analysis.Figures.sweep_via
+    ~bcg:(fun ~alpha -> bcg_stable_graphs index ~alpha)
+    ~ucg:(fun ~alpha -> ucg_nash_graphs index ~alpha)
+    ?grid ()
+
+let to_entries index =
+  let gs = Index.graphs index in
+  Array.to_list
+    (Array.mapi
+       (fun i r ->
+         {
+           Nf_analysis.Dataset.graph = gs.(i);
+           bcg_stable = r.Layout.bcg;
+           ucg_nash = r.Layout.ucg;
+         })
+       (Index.entries index))
+
+let to_csv index = Nf_analysis.Dataset.to_csv (to_entries index)

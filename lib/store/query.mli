@@ -1,0 +1,32 @@
+(** α-queries and figure curves served from a loaded store — no
+    stability interval or Nash α-set is ever recomputed here; the whole
+    point of the atlas is that the expensive annotation is read, not
+    re-derived.
+
+    Exactness carries over: the stored regions have exact rational
+    endpoints, so membership tests agree bit-for-bit with a fresh
+    {!Nf_analysis.Equilibria} sweep. *)
+
+val bcg_stable_graphs : Index.t -> alpha:Nf_util.Rat.t -> Nf_graph.Graph.t list
+(** All classes pairwise stable at [alpha], in enumeration order —
+    the store-backed [Equilibria.bcg_stable_graphs]. *)
+
+val ucg_nash_graphs : Index.t -> alpha:Nf_util.Rat.t -> Nf_graph.Graph.t list
+(** @raise Invalid_argument when the store carries no UCG annotations. *)
+
+val stable_entries : Index.t -> alpha:Nf_util.Rat.t -> int list
+val nash_entries : Index.t -> alpha:Nf_util.Rat.t -> int list
+(** Entry indices rather than decoded graphs, for callers that want the
+    stored payloads too. *)
+
+val figure_points :
+  Index.t -> ?grid:Nf_util.Rat.t list -> unit -> Nf_analysis.Figures.point list
+(** The paper's Figure 2/3 series (default grid {!Nf_analysis.Sweep.paper_grid})
+    regenerated straight from the store via {!Nf_analysis.Figures.sweep_via}. *)
+
+val to_entries : Index.t -> Nf_analysis.Dataset.entry list
+(** The store as a {!Nf_analysis.Dataset} atlas. *)
+
+val to_csv : Index.t -> string
+(** Byte-identical to [Dataset.to_csv] over the same annotation — the
+    CSV interop format is shared, only the substrate differs. *)

@@ -1,0 +1,127 @@
+type scan = {
+  header : Layout.header;
+  chunks : int;
+  records : int;
+  data_end : int;
+  complete : bool;
+}
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+(* Tolerant prefix scan: the longest valid prefix [header; chunk 0; ...;
+   chunk k-1] is identified and anything after it — a partially written
+   chunk from a killed build, or trailing corruption — is ignored.  The
+   chunks themselves are still CRC-verified and fully parsed, so the
+   prefix a resume continues from is known-good. *)
+let scan_string s =
+  let header = Layout.decode_header s in
+  let len = String.length s in
+  let pos = ref Layout.header_size in
+  let data_end = ref Layout.header_size in
+  let chunks = ref 0 in
+  let records = ref 0 in
+  let complete = ref false in
+  let stop = ref false in
+  while not !stop do
+    if !pos >= len then stop := true
+    else if Layout.is_footer_at s !pos then begin
+      (match Layout.decode_footer s ~pos:!pos with
+      | total_chunks, total_records, next ->
+        if total_chunks = !chunks && total_records = !records && next = len then complete := true
+      | exception Layout.Corrupt _ -> ());
+      stop := true
+    end
+    else
+      match Layout.decode_chunk ~with_ucg:header.Layout.with_ucg s ~pos:!pos with
+      | index, recs, next ->
+        if index <> !chunks then stop := true
+        else begin
+          chunks := !chunks + 1;
+          records := !records + Array.length recs;
+          pos := next;
+          data_end := next
+        end
+      | exception Layout.Corrupt _ -> stop := true
+  done;
+  { header; chunks = !chunks; records = !records; data_end = !data_end; complete = !complete }
+
+let scan ~path = scan_string (read_file path)
+
+(* Strict verification: every byte of the file must be accounted for by a
+   valid header, consecutively numbered CRC-clean chunks, and a footer
+   whose totals match.  Each record's graph must decode to a graph6
+   string of the header's order, so a flipped byte anywhere — header,
+   chunk framing, chunk body, footer — is reported. *)
+let verify_string s =
+  try
+    let header = Layout.decode_header s in
+    let len = String.length s in
+    let pos = ref Layout.header_size in
+    let chunks = ref 0 in
+    let records = ref 0 in
+    while !pos < len && not (Layout.is_footer_at s !pos) do
+      let index, recs, next = Layout.decode_chunk ~with_ucg:header.Layout.with_ucg s ~pos:!pos in
+      if index <> !chunks then
+        raise (Layout.Corrupt (Printf.sprintf "chunk %d out of sequence (expected %d)" index !chunks));
+      if Array.length recs = 0 then
+        raise (Layout.Corrupt (Printf.sprintf "chunk %d is empty" index));
+      if Array.length recs > header.Layout.chunk_size then
+        raise
+          (Layout.Corrupt
+             (Printf.sprintf "chunk %d holds %d records, above the declared chunk size %d" index
+                (Array.length recs) header.Layout.chunk_size));
+      Array.iter
+        (fun r ->
+          match Nf_graph.Graph6.decode r.Layout.graph6 with
+          | g ->
+            if Nf_graph.Graph.order g <> header.Layout.n then
+              raise
+                (Layout.Corrupt
+                   (Printf.sprintf "record in chunk %d has order %d, store is for n = %d" index
+                      (Nf_graph.Graph.order g) header.Layout.n))
+          | exception Invalid_argument msg ->
+            raise (Layout.Corrupt (Printf.sprintf "bad graph6 in chunk %d: %s" index msg)))
+        recs;
+      chunks := !chunks + 1;
+      records := !records + Array.length recs;
+      pos := next
+    done;
+    if !pos >= len then raise (Layout.Corrupt "missing footer (incomplete build?)");
+    let total_chunks, total_records, next = Layout.decode_footer s ~pos:!pos in
+    if total_chunks <> !chunks then
+      raise
+        (Layout.Corrupt
+           (Printf.sprintf "footer declares %d chunks, file holds %d" total_chunks !chunks));
+    if total_records <> !records then
+      raise
+        (Layout.Corrupt
+           (Printf.sprintf "footer declares %d records, file holds %d" total_records !records));
+    if next <> len then
+      raise (Layout.Corrupt (Printf.sprintf "%d trailing bytes after footer" (len - next)));
+    Ok { header; chunks = !chunks; records = !records; data_end = !pos; complete = true }
+  with Layout.Corrupt msg -> Error msg
+
+let verify ~path =
+  match read_file path with
+  | s -> verify_string s
+  | exception Sys_error msg -> Error msg
+
+let load ~path =
+  let s = read_file path in
+  let header = Layout.decode_header s in
+  let scan = scan_string s in
+  if not scan.complete then
+    raise
+      (Layout.Corrupt
+         (Printf.sprintf "%s: incomplete store (%d records in %d complete chunks; resume the build)"
+            path scan.records scan.chunks));
+  let out = Array.make scan.records { Layout.graph6 = ""; bcg = Nf_util.Interval.empty; ucg = None } in
+  let pos = ref Layout.header_size in
+  let filled = ref 0 in
+  for _ = 1 to scan.chunks do
+    let _, recs, next = Layout.decode_chunk ~with_ucg:header.Layout.with_ucg s ~pos:!pos in
+    Array.blit recs 0 out !filled (Array.length recs);
+    filled := !filled + Array.length recs;
+    pos := next
+  done;
+  (header, out)

@@ -1,0 +1,37 @@
+(** Reading, scanning and verifying store files.
+
+    Two disciplines over the same bytes:
+
+    - {!scan} is {e tolerant}: it identifies the longest valid
+      [header; chunk 0 .. k-1] prefix and ignores whatever follows (a
+      partially written chunk from a killed build, trailing garbage).
+      This is what crash-resume builds on — every chunk in the reported
+      prefix is CRC-verified and fully parsed.
+    - {!verify} is {e strict}: every byte must be accounted for by a
+      valid header, consecutively numbered CRC-clean chunks whose graphs
+      decode to the header's order, and a footer with matching totals.
+      A single flipped byte anywhere in the file yields [Error]. *)
+
+type scan = {
+  header : Layout.header;
+  chunks : int;  (** complete chunks in the valid prefix *)
+  records : int;  (** records in those chunks *)
+  data_end : int;  (** byte offset just past the last complete chunk *)
+  complete : bool;  (** a valid footer with matching totals ends the file *)
+}
+
+val scan : path:string -> scan
+(** Tolerant prefix scan.
+    @raise Layout.Corrupt when even the header is invalid.
+    @raise Sys_error when the file cannot be read. *)
+
+val verify : path:string -> (scan, string) result
+(** Strict whole-file verification; never raises. *)
+
+val load : path:string -> Layout.header * Layout.record array
+(** All records of a {e complete} store, in enumeration order.
+    @raise Layout.Corrupt when the store is incomplete or invalid. *)
+
+val scan_string : string -> scan
+val verify_string : string -> (scan, string) result
+(** In-memory variants, exposed for tests. *)

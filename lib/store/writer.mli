@@ -1,0 +1,47 @@
+(** Append-only store writer with crash-safe, atomic publication.
+
+    Chunks stream to [path ^ ".part"], flushed per append; the final
+    path only ever receives a complete store, via footer + fsync +
+    atomic rename in {!finalize}.  A killed build is resumed by
+    {!reopen}, which truncates the part file back to its longest valid
+    chunk prefix (found by {!Reader.scan}) and appends from there —
+    because the layout contains nothing machine- or time-dependent and
+    chunk boundaries are deterministic, the resumed store is
+    byte-identical to an uninterrupted one. *)
+
+type t = {
+  oc : out_channel;
+  final_path : string;
+  part : string;
+  header : Layout.header;
+  mutable chunks : int;
+  mutable records : int;
+  mutable closed : bool;
+}
+
+val part_path : string -> string
+(** [path ^ ".part"], where in-progress builds live. *)
+
+val create : path:string -> header:Layout.header -> t
+(** Start a fresh part file (truncating any previous one) with the
+    encoded header written and flushed. *)
+
+val reopen : path:string -> t * Reader.scan
+(** Resume an interrupted build: scan the part file, truncate the torn
+    tail, and return a writer positioned after the last complete chunk
+    plus the scan it resumed from.
+    @raise Layout.Corrupt when the part file's header is invalid.
+    @raise Sys_error when the part file cannot be read.
+    @raise Invalid_argument when the part file is already complete. *)
+
+val append_chunk : t -> Layout.record array -> unit
+(** Frame, append and flush one chunk (records must respect the
+    header's [with_ucg] flag).
+    @raise Invalid_argument on an empty chunk or a closed writer. *)
+
+val finalize : t -> unit
+(** Footer, flush, fsync, atomic rename part → final path. *)
+
+val abort : t -> unit
+(** Close without publishing; the part file is left for a later
+    {!reopen}.  Idempotent. *)

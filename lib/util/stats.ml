@@ -35,3 +35,64 @@ let sum t = t.sum
 let pp ppf t =
   Format.fprintf ppf "n=%d mean=%.4f sd=%.4f min=%.4f max=%.4f" t.count (mean t)
     (stddev t) t.min t.max
+
+module Progress = struct
+  type meter = {
+    now : unit -> float;
+    start : float;
+    total : int option;
+    initial : int;
+    mutable count : int;
+  }
+
+  let create ?total ?(initial = 0) ~now () =
+    (match total with
+    | Some t when t < 0 -> invalid_arg "Stats.Progress.create: negative total"
+    | _ -> ());
+    if initial < 0 then invalid_arg "Stats.Progress.create: negative initial";
+    { now; start = now (); total; initial; count = initial }
+
+  let tick m k =
+    if k < 0 then invalid_arg "Stats.Progress.tick: negative increment";
+    m.count <- m.count + k
+
+  let count m = m.count
+
+  (* throughput of the work done *by this meter* — items carried in via
+     [initial] (a resumed prefix) are excluded, so a resume reports the
+     honest rate of the remaining work, not one inflated by prior chunks *)
+  let rate m =
+    let elapsed = m.now () -. m.start in
+    if elapsed <= 0. then nan else float_of_int (m.count - m.initial) /. elapsed
+
+  let eta m =
+    match m.total with
+    | None -> None
+    | Some total ->
+      let r = rate m in
+      if Float.is_nan r || r <= 0. then None
+      else Some (float_of_int (Stdlib.max 0 (total - m.count)) /. r)
+
+  let fmt_seconds s =
+    if s < 60. then Printf.sprintf "%.1fs" s
+    else if s < 3600. then Printf.sprintf "%dm%02ds" (int_of_float s / 60) (int_of_float s mod 60)
+    else Printf.sprintf "%dh%02dm" (int_of_float s / 3600) (int_of_float s mod 3600 / 60)
+
+  let line m =
+    let position =
+      match m.total with
+      | Some total when total > 0 ->
+        Printf.sprintf "%d/%d (%.0f%%)" m.count total
+          (100. *. float_of_int m.count /. float_of_int total)
+      | Some total -> Printf.sprintf "%d/%d" m.count total
+      | None -> string_of_int m.count
+    in
+    let r = rate m in
+    let throughput = if Float.is_nan r then "" else Printf.sprintf "  %.1f/s" r in
+    let remaining =
+      match eta m with
+      | Some s -> "  ETA " ^ fmt_seconds s
+      | None -> ""
+    in
+    position ^ throughput ^ remaining
+end

@@ -17,3 +17,35 @@ val min : t -> float
 val max : t -> float
 val sum : t -> float
 val pp : Format.formatter -> t -> unit
+
+(** Progress / throughput / ETA reporting for long streaming sweeps.
+
+    The clock is injected ([now], typically [Unix.gettimeofday]) so this
+    module stays dependency-free and deterministic under test.  A meter
+    created with [initial > 0] (a resumed run) counts the carried-over
+    items toward its position but {e not} toward its throughput, so the
+    reported rate and ETA reflect only the work actually performed. *)
+module Progress : sig
+  type meter
+
+  val create : ?total:int -> ?initial:int -> now:(unit -> float) -> unit -> meter
+  (** @raise Invalid_argument when [total] or [initial] is negative. *)
+
+  val tick : meter -> int -> unit
+  (** [tick m k] records [k] more completed items.
+      @raise Invalid_argument when [k < 0]. *)
+
+  val count : meter -> int
+  (** Current position, including the [initial] carry-over. *)
+
+  val rate : meter -> float
+  (** Items per second since creation, excluding the carry-over; [nan]
+      when no time has elapsed. *)
+
+  val eta : meter -> float option
+  (** Estimated seconds to reach [total]; [None] without a total or
+      before any throughput is observable. *)
+
+  val line : meter -> string
+  (** One-line rendering: ["912/1044 (87%)  210.4/s  ETA 0.6s"]. *)
+end

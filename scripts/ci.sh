@@ -17,6 +17,29 @@ NETFORM_JOBS=1 dune runtest --force
 echo "== dune runtest (NETFORM_JOBS=4, parallel path) =="
 NETFORM_JOBS=4 dune runtest --force
 
+# Store smoke: a full n=6 atlas build, a simulated crash (the part file
+# truncated to 2/3 of the finished bytes), resume, CRC verification, and
+# a byte-for-byte diff against the uninterrupted build — under both pool
+# widths, since resume parity must hold whatever the domain fan-out.
+echo "== store smoke (build / crash / resume / verify, both pool widths) =="
+store_dir=$(mktemp -d)
+trap 'rm -rf "$store_dir"' EXIT
+for jobs in 1 4; do
+  pristine="$store_dir/pristine_j$jobs.nfs"
+  crashed="$store_dir/crashed_j$jobs.nfs"
+  NETFORM_JOBS=$jobs dune exec bin/netform_cli.exe -- store build -n 6 --chunk 16 \
+    -o "$pristine" --quiet
+  dune exec bin/netform_cli.exe -- store verify "$pristine"
+  size=$(wc -c < "$pristine")
+  head -c $((size * 2 / 3)) "$pristine" > "$crashed.part"
+  NETFORM_JOBS=$jobs dune exec bin/netform_cli.exe -- store resume -o "$crashed" --quiet
+  dune exec bin/netform_cli.exe -- store verify "$crashed"
+  cmp "$pristine" "$crashed"
+  echo "store smoke (jobs=$jobs): resumed store byte-identical"
+done
+cmp "$store_dir/pristine_j1.nfs" "$store_dir/pristine_j4.nfs"
+echo "store smoke: jobs=1 and jobs=4 builds byte-identical"
+
 echo "== bench smoke pass (perf-trajectory JSON) =="
 NETFORM_BENCH_SKIP_EXPERIMENTS=1 NETFORM_BENCH_QUICK=1 dune exec bench/main.exe
 

@@ -165,6 +165,24 @@ let test_dataset_interval_syntax () =
     (Invalid_argument "Dataset.interval_of_string: bad opening bracket") (fun () ->
       ignore (Dataset.interval_of_string "zzzzz"))
 
+let test_dataset_csv_errors () =
+  let module Dataset = Nf_analysis.Dataset in
+  let header = "graph6,n,m,bcg_stable,ucg_nash" in
+  let rejects what text =
+    check_bool what true
+      (match Dataset.of_csv text with exception Invalid_argument _ -> true | _ -> false)
+  in
+  rejects "bad header" "not,a,dataset\nD??,5,0,empty,-";
+  rejects "wrong field count" (header ^ "\nD??,5,0,empty");
+  rejects "corrupt graph6 field" (header ^ "\n\x01\x02,5,0,empty,-");
+  rejects "malformed interval" (header ^ "\nD??,5,0,zzzzz,-");
+  rejects "malformed rational" (header ^ "\nD??,5,0,[1;x],-");
+  rejects "zero denominator" (header ^ "\nD??,5,0,[1/0;2],-");
+  rejects "malformed union piece" (header ^ "\nD??,5,0,empty,[1;2]|junk");
+  (* and the happy path still parses, so the guards are not over-eager *)
+  let entries = Dataset.of_csv (header ^ "\nD??,5,0,[1/2;2),(0;1]|[3;inf)") in
+  check_int "one row" 1 (List.length entries)
+
 let test_parse_alpha () =
   let module Parse = Nf_analysis.Parse in
   let ok s expected =
@@ -257,6 +275,7 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_dataset_roundtrip;
           Alcotest.test_case "interval syntax" `Quick test_dataset_interval_syntax;
+          Alcotest.test_case "csv errors" `Quick test_dataset_csv_errors;
         ] );
       ( "parse",
         [

@@ -242,6 +242,21 @@ let test_graph6_roundtrip_random () =
     check graph "roundtrip" g (Graph6.decode (Graph6.encode g))
   done
 
+let test_graph6_rejects_malformed () =
+  let rejects what s =
+    check_bool what true
+      (match Graph6.decode s with exception Invalid_argument _ -> true | _ -> false)
+  in
+  rejects "empty string" "";
+  rejects "order byte below range" "\x3e";
+  rejects "truncated body" "C";
+  rejects "overlong body" "C~~";
+  rejects "body byte below 63" "C\x20";
+  rejects "body byte above 126" "C\x7f";
+  (* n=5 has 10 adjacency bits in 2 bytes, so the last 2 bits are padding;
+     '@' = 64 puts a 1 in them *)
+  rejects "nonzero padding bits" "D?@"
+
 (* ---------------- Prüfer ---------------- *)
 
 let test_prufer_known () =
@@ -341,6 +356,42 @@ let prop_graph6_roundtrip =
       let g = graph_of params in
       Graph.equal g (Graph6.decode (Graph6.encode g)))
 
+let prop_graph6_strict_inverse =
+  (* decode accepts exactly encode's image: an arbitrary byte string
+     either fails to decode or re-encodes to itself *)
+  QCheck.Test.make ~name:"graph6 decode is a strict inverse" ~count:500
+    QCheck.(string_of_size Gen.(int_range 0 12))
+    (fun s ->
+      match Graph6.decode s with
+      | exception Invalid_argument _ -> true
+      | g -> Graph6.encode g = s)
+
+let prop_graph6_truncations_rejected =
+  QCheck.Test.make ~name:"graph6 truncations rejected" ~count:300 graph_arbitrary
+    (fun params ->
+      let s = Graph6.encode (graph_of params) in
+      List.for_all
+        (fun cut ->
+          match Graph6.decode (String.sub s 0 cut) with
+          | exception Invalid_argument _ -> true
+          | _ -> false)
+        (List.init (String.length s) Fun.id))
+
+let prop_graph6_out_of_range_byte_rejected =
+  QCheck.Test.make ~name:"graph6 unprintable corruption rejected" ~count:300
+    QCheck.(pair graph_arbitrary (pair small_nat (Gen.int_range 0 62 |> make)))
+    (fun (params, (pos, bad)) ->
+      let s = Graph6.encode (graph_of params) in
+      String.length s < 2
+      ||
+      let pos = 1 + (pos mod (String.length s - 1)) in
+      let b = Bytes.of_string s in
+      (* every byte value outside 63..126 must be rejected, wherever it lands *)
+      Bytes.set b pos (Char.chr bad);
+      match Graph6.decode (Bytes.to_string b) with
+      | exception Invalid_argument _ -> true
+      | _ -> false)
+
 let prop_bridges_are_acyclic_edges =
   QCheck.Test.make ~name:"bridge iff not on a cycle" ~count:150 graph_arbitrary
     (fun params ->
@@ -418,6 +469,7 @@ let () =
         [
           Alcotest.test_case "known" `Quick test_graph6_known;
           Alcotest.test_case "random roundtrip" `Quick test_graph6_roundtrip_random;
+          Alcotest.test_case "rejects malformed" `Quick test_graph6_rejects_malformed;
         ] );
       ( "prufer",
         [
@@ -436,6 +488,9 @@ let () =
           qcheck prop_triangle_inequality;
           qcheck prop_handshake;
           qcheck prop_graph6_roundtrip;
+          qcheck prop_graph6_strict_inverse;
+          qcheck prop_graph6_truncations_rejected;
+          qcheck prop_graph6_out_of_range_byte_rejected;
           qcheck prop_bridges_are_acyclic_edges;
           qcheck prop_eccentricity_bounds;
           qcheck prop_complement_involution;

@@ -1,0 +1,476 @@
+(* Tests for nf_store: CRC32, the binary layout codecs, tolerant scan
+   vs strict verify, crash-resume byte parity, and query/export parity
+   with the live nf_analysis sweep. *)
+
+module Rat = Nf_util.Rat
+module Interval = Nf_util.Interval
+module Pool = Nf_util.Pool
+module Graph = Nf_graph.Graph
+module Graph6 = Nf_graph.Graph6
+open Nf_store
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+let interval = Alcotest.testable Interval.pp Interval.equal
+let graph = Alcotest.testable Graph.pp Graph.equal
+
+(* --- fixtures ----------------------------------------------------------- *)
+
+let temp_store () =
+  let path = Filename.temp_file "nf_store_test" ".nfs" in
+  Sys.remove path;
+  path
+
+let cleanup path =
+  List.iter (fun p -> if Sys.file_exists p then Sys.remove p) [ path; Writer.part_path path ]
+
+let with_store ?with_ucg ?(chunk = 4) n f =
+  let path = temp_store () in
+  Fun.protect
+    ~finally:(fun () -> cleanup path)
+    (fun () ->
+      let outcome = Build.build ?with_ucg ~chunk ~path ~n () in
+      f path outcome)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
+
+let raises_invalid what f =
+  check_bool what true (match f () with exception Invalid_argument _ -> true | _ -> false)
+
+let raises_corrupt what f =
+  check_bool what true (match f () with exception Layout.Corrupt _ -> true | _ -> false)
+
+(* --- CRC32 -------------------------------------------------------------- *)
+
+let test_crc32_vectors () =
+  (* standard check values for the IEEE 802.3 / zlib polynomial *)
+  check_int "empty" 0 (Crc32.string "");
+  check_int "123456789" 0xCBF43926 (Crc32.string "123456789");
+  check_int "a" 0xE8B7BE43 (Crc32.string "a")
+
+let test_crc32_compose () =
+  let s = "the quick brown fox jumps over the lazy dog" in
+  let whole = Crc32.string s in
+  for cut = 0 to String.length s do
+    let left = Crc32.sub s ~pos:0 ~len:cut in
+    let joined = Crc32.update left s ~pos:cut ~len:(String.length s - cut) in
+    check_int "split point" whole joined
+  done;
+  raises_invalid "bad range" (fun () -> Crc32.sub s ~pos:0 ~len:(String.length s + 1))
+
+(* --- layout codecs ------------------------------------------------------ *)
+
+let test_header_roundtrip () =
+  List.iter
+    (fun h ->
+      let s = Layout.encode_header h in
+      check_int "header size" Layout.header_size (String.length s);
+      let h' = Layout.decode_header s in
+      check_int "n" h.Layout.n h'.Layout.n;
+      check_bool "ucg flag" h.Layout.with_ucg h'.Layout.with_ucg;
+      check_int "chunk size" h.Layout.chunk_size h'.Layout.chunk_size)
+    [
+      { Layout.n = 1; with_ucg = false; chunk_size = 1 };
+      { Layout.n = 7; with_ucg = true; chunk_size = 512 };
+      { Layout.n = 62; with_ucg = false; chunk_size = 100_000 };
+    ];
+  raises_invalid "n out of range" (fun () ->
+      Layout.encode_header { Layout.n = 63; with_ucg = false; chunk_size = 1 });
+  raises_invalid "chunk out of range" (fun () ->
+      Layout.encode_header { Layout.n = 5; with_ucg = false; chunk_size = 0 });
+  let good = Layout.encode_header { Layout.n = 5; with_ucg = true; chunk_size = 8 } in
+  raises_corrupt "bad magic" (fun () -> Layout.decode_header ("X" ^ String.sub good 1 23));
+  raises_corrupt "short" (fun () -> Layout.decode_header (String.sub good 0 10))
+
+let sample_records with_ucg =
+  let mk g bcg ucg =
+    { Layout.graph6 = Graph6.encode g;
+      bcg;
+      ucg = (if with_ucg then Some ucg else None) }
+  in
+  let path4 = Graph.of_edges 4 [ (0, 1); (1, 2); (2, 3) ] in
+  let k3 = Graph.of_edges 3 [ (0, 1); (1, 2); (0, 2) ] in
+  [|
+    mk path4 Interval.empty Interval.Union.empty;
+    mk k3
+      (Interval.make ~lo:(Interval.Finite (Rat.make 1 2)) ~lo_closed:true
+         ~hi:(Interval.Finite (Rat.of_int 3)) ~hi_closed:false)
+      (Interval.Union.of_list
+         [
+           Interval.make ~lo:(Interval.Finite Rat.zero) ~lo_closed:false
+             ~hi:(Interval.Finite Rat.one) ~hi_closed:true;
+           Interval.make ~lo:(Interval.Finite (Rat.of_int 5)) ~lo_closed:true ~hi:Interval.Pos_inf
+             ~hi_closed:false;
+         ]);
+    mk (Graph.empty 1)
+      (Interval.make ~lo:Interval.Neg_inf ~lo_closed:false ~hi:Interval.Pos_inf ~hi_closed:false)
+      (Interval.Union.of_list
+         [ Interval.make ~lo:(Interval.Finite (Rat.make (-7) 3)) ~lo_closed:true
+             ~hi:(Interval.Finite (Rat.make (-1) 3)) ~hi_closed:true ]);
+  |]
+
+let check_records_equal expected actual =
+  check_int "record count" (Array.length expected) (Array.length actual);
+  Array.iteri
+    (fun k e ->
+      let a = actual.(k) in
+      check_string "graph6" e.Layout.graph6 a.Layout.graph6;
+      Alcotest.check interval "bcg" e.Layout.bcg a.Layout.bcg;
+      match (e.Layout.ucg, a.Layout.ucg) with
+      | None, None -> ()
+      | Some u, Some v -> check_bool "ucg" true (Interval.Union.equal u v)
+      | _ -> Alcotest.fail "ucg presence mismatch")
+    expected
+
+let test_chunk_roundtrip () =
+  List.iter
+    (fun with_ucg ->
+      let records = sample_records with_ucg in
+      let frame = Layout.encode_chunk ~index:3 ~with_ucg records in
+      let index, records', next = Layout.decode_chunk ~with_ucg frame ~pos:0 in
+      check_int "index" 3 index;
+      check_int "frame consumed" (String.length frame) next;
+      check_records_equal records records')
+    [ false; true ];
+  (* records must agree with the header's flag *)
+  raises_invalid "ucg payload contradicts flag" (fun () ->
+      Layout.encode_chunk ~index:0 ~with_ucg:false (sample_records true))
+
+let test_footer_roundtrip () =
+  let s = Layout.encode_footer ~chunks:7 ~records:1044 in
+  check_int "footer size" Layout.footer_size (String.length s);
+  let chunks, records, next = Layout.decode_footer s ~pos:0 in
+  check_int "chunks" 7 chunks;
+  check_int "records" 1044 records;
+  check_int "consumed" Layout.footer_size next;
+  check_bool "footer magic peek" true (Layout.is_footer_at s 0);
+  check_bool "not footer" false (Layout.is_footer_at "CHNK" 0)
+
+(* --- build / load round trip ------------------------------------------- *)
+
+let test_build_roundtrip () =
+  with_store 5 (fun path outcome ->
+      check_int "all classes" 21 outcome.Build.records;
+      check_int "chunk fan-out" 6 outcome.Build.chunks;
+      check_int "fresh build resumes nothing" 0 outcome.Build.resumed_records;
+      let index = Index.load ~path in
+      check_int "n" 5 (Index.n index);
+      check_bool "ucg present" true (Index.with_ucg index);
+      check_int "length" 21 (Index.length index);
+      (* entry-for-entry parity with the live annotation *)
+      let expected = Nf_analysis.Dataset.build 5 in
+      List.iteri
+        (fun k e ->
+          let r = (Index.entries index).(k) in
+          Alcotest.check graph "graph" e.Nf_analysis.Dataset.graph (Index.graphs index).(k);
+          check_string "graph6" (Graph6.encode e.Nf_analysis.Dataset.graph) r.Layout.graph6;
+          Alcotest.check interval "bcg" e.Nf_analysis.Dataset.bcg_stable r.Layout.bcg;
+          check_bool "ucg" true
+            (Interval.Union.equal
+               (Option.get e.Nf_analysis.Dataset.ucg_nash)
+               (Option.get r.Layout.ucg)))
+        expected)
+
+let test_build_guards () =
+  raises_invalid "n too large" (fun () -> Build.build ~path:"/tmp/never.nfs" ~n:12 ());
+  raises_invalid "chunk < 1" (fun () -> Build.build ~chunk:0 ~path:"/tmp/never.nfs" ~n:4 ());
+  with_store 4 (fun path _ ->
+      check_bool "existing path refused" true
+        (match Build.build ~path ~n:4 () with exception Failure _ -> true | _ -> false);
+      (* --force overwrites *)
+      let outcome = Build.build ~force:true ~path ~n:4 () in
+      check_int "rebuilt" 6 outcome.Build.records)
+
+let test_resume_nothing () =
+  check_bool "no part file" true
+    (match Build.resume ~path:"/tmp/nf_store_absent.nfs" () with
+    | exception Failure _ -> true
+    | _ -> false)
+
+(* --- scan / verify / corruption ---------------------------------------- *)
+
+let test_scan_tolerates_truncation () =
+  with_store 5 (fun path _ ->
+      let bytes = read_file path in
+      let full = Reader.scan_string bytes in
+      check_bool "full store complete" true full.Reader.complete;
+      check_int "full records" 21 full.Reader.records;
+      (* any truncation strictly inside the data yields a valid,
+         incomplete prefix with only whole chunks *)
+      let len = String.length bytes in
+      for cut = Layout.header_size to len - 1 do
+        let scan = Reader.scan_string (String.sub bytes 0 cut) in
+        check_bool "truncated not complete" false scan.Reader.complete;
+        check_bool "prefix within cut" true (scan.Reader.data_end <= cut);
+        check_bool "chunk prefix" true (scan.Reader.chunks <= full.Reader.chunks)
+      done;
+      (* loading an incomplete store must fail loudly *)
+      let part = Writer.part_path path in
+      write_file part (String.sub bytes 0 (len - 1));
+      raises_corrupt "load incomplete" (fun () -> Reader.load ~path:part))
+
+let test_verify_detects_any_flip () =
+  with_store 4 ~chunk:2 (fun path _ ->
+      let bytes = read_file path in
+      (match Reader.verify_string bytes with
+      | Ok scan ->
+        check_bool "intact verifies" true scan.Reader.complete;
+        check_int "intact records" 6 scan.Reader.records
+      | Error msg -> Alcotest.failf "intact store rejected: %s" msg);
+      (* a single flipped bit anywhere in the file must be caught *)
+      let corrupted = Bytes.of_string bytes in
+      for k = 0 to Bytes.length corrupted - 1 do
+        let orig = Bytes.get corrupted k in
+        Bytes.set corrupted k (Char.chr (Char.code orig lxor 0x01));
+        (match Reader.verify_string (Bytes.to_string corrupted) with
+        | Ok _ -> Alcotest.failf "flip at byte %d not detected" k
+        | Error _ -> ());
+        Bytes.set corrupted k orig
+      done)
+
+let test_verify_rejects_trailing_garbage () =
+  with_store 4 (fun path _ ->
+      let bytes = read_file path in
+      match Reader.verify_string (bytes ^ "x") with
+      | Ok _ -> Alcotest.fail "trailing garbage not detected"
+      | Error _ -> ())
+
+(* --- crash-resume byte parity ------------------------------------------ *)
+
+let test_resume_byte_parity () =
+  with_store 5 (fun path _ ->
+      let pristine = read_file path in
+      let len = String.length pristine in
+      (* cut points: just past the header, inside the first chunk, at a
+         chunk boundary (the scan of a 2/3 cut lands on one), and one
+         byte short of complete *)
+      List.iter
+        (fun cut ->
+          let resumed_path = temp_store () in
+          Fun.protect
+            ~finally:(fun () -> cleanup resumed_path)
+            (fun () ->
+              write_file (Writer.part_path resumed_path) (String.sub pristine 0 cut);
+              let outcome = Build.resume ~path:resumed_path () in
+              check_int "all records present" 21 outcome.Build.records;
+              check_bool "carry-over consistent" true
+                (outcome.Build.resumed_records >= 0
+                && outcome.Build.resumed_records <= 21);
+              check_string "byte identical" pristine (read_file resumed_path)))
+        [ Layout.header_size; Layout.header_size + 7; len / 3; 2 * len / 3; len - 1 ])
+
+let test_resume_after_kill_mid_chunk () =
+  (* interrupting an actual writer (not a synthetic truncation): abort
+     after two chunks, then resume and compare against an uninterrupted
+     build *)
+  with_store 5 (fun path _ ->
+      let pristine = read_file path in
+      let resumed_path = temp_store () in
+      Fun.protect
+        ~finally:(fun () -> cleanup resumed_path)
+        (fun () ->
+          let header = { Layout.n = 5; with_ucg = true; chunk_size = 4 } in
+          let w = Writer.create ~path:resumed_path ~header in
+          let full = Reader.scan_string pristine in
+          ignore full;
+          (* replay the first two pristine chunks through the writer, then
+             simulate a crash by appending half a torn frame *)
+          let pos = ref Layout.header_size in
+          for _ = 1 to 2 do
+            let _, records, next =
+              Layout.decode_chunk ~with_ucg:true pristine ~pos:!pos
+            in
+            ignore records;
+            pos := next
+          done;
+          Writer.abort w;
+          let part = Writer.part_path resumed_path in
+          write_file part (String.sub pristine 0 !pos ^ "CHNK\x02\x00\x00\x00torn");
+          let outcome = Build.resume ~path:resumed_path () in
+          check_int "resumed two chunks" 8 outcome.Build.resumed_records;
+          check_string "byte identical" pristine (read_file resumed_path)))
+
+let test_build_parity_across_jobs () =
+  let saved = Pool.default_jobs () in
+  Fun.protect
+    ~finally:(fun () -> Pool.set_default_jobs saved)
+    (fun () ->
+      let build_with jobs =
+        Pool.set_default_jobs jobs;
+        with_store 5 (fun path _ -> read_file path)
+      in
+      check_string "jobs=1 vs jobs=4" (build_with 1) (build_with 4))
+
+(* --- query / export parity --------------------------------------------- *)
+
+let test_query_parity () =
+  with_store 5 (fun path _ ->
+      let index = Index.load ~path in
+      List.iter
+        (fun alpha ->
+          let expected = Nf_analysis.Equilibria.bcg_stable_graphs ~n:5 ~alpha in
+          Alcotest.check (Alcotest.list graph) "bcg stable" expected
+            (Query.bcg_stable_graphs index ~alpha);
+          let expected = Nf_analysis.Equilibria.ucg_nash_graphs ~n:5 ~alpha in
+          Alcotest.check (Alcotest.list graph) "ucg nash" expected
+            (Query.ucg_nash_graphs index ~alpha))
+        [ Rat.make 1 2; Rat.one; Rat.of_int 2; Rat.of_int 8 ])
+
+let test_figure_points_parity () =
+  with_store 5 (fun path _ ->
+      let index = Index.load ~path in
+      let grid = [ Rat.make 1 2; Rat.of_int 2; Rat.of_int 8 ] in
+      let from_store = Query.figure_points index ~grid () in
+      let live = Nf_analysis.Figures.sweep ~n:5 ~grid () in
+      check_int "points" (List.length live) (List.length from_store);
+      List.iter2
+        (fun a b ->
+          check_bool "total link cost" true
+            (Rat.equal a.Nf_analysis.Figures.total_link_cost b.Nf_analysis.Figures.total_link_cost);
+          check_int "ucg count" a.Nf_analysis.Figures.ucg.Netform.Poa.count
+            b.Nf_analysis.Figures.ucg.Netform.Poa.count;
+          check_int "bcg count" a.Nf_analysis.Figures.bcg.Netform.Poa.count
+            b.Nf_analysis.Figures.bcg.Netform.Poa.count)
+        live from_store)
+
+let test_export_csv_identical () =
+  with_store 5 (fun path _ ->
+      let index = Index.load ~path in
+      check_string "csv byte-identical" (Nf_analysis.Dataset.to_csv (Nf_analysis.Dataset.build 5))
+        (Query.to_csv index))
+
+let test_query_without_ucg () =
+  with_store ~with_ucg:false 5 (fun path _ ->
+      let index = Index.load ~path in
+      check_bool "no ucg stored" false (Index.with_ucg index);
+      check_bool "bcg still served" true
+        (Query.bcg_stable_graphs index ~alpha:(Rat.of_int 2) <> []);
+      raises_invalid "nash query refused" (fun () ->
+          Query.ucg_nash_graphs index ~alpha:(Rat.of_int 2)))
+
+(* --- writer details ----------------------------------------------------- *)
+
+let test_writer_guards () =
+  let path = temp_store () in
+  Fun.protect
+    ~finally:(fun () -> cleanup path)
+    (fun () ->
+      let header = { Layout.n = 4; with_ucg = false; chunk_size = 2 } in
+      let w = Writer.create ~path ~header in
+      raises_invalid "empty chunk" (fun () -> Writer.append_chunk w [||]);
+      Writer.abort w;
+      raises_invalid "closed writer" (fun () ->
+          Writer.append_chunk w [| { Layout.graph6 = "C~"; bcg = Interval.empty; ucg = None } |]);
+      Writer.abort w (* idempotent *))
+
+let test_reopen_complete_refused () =
+  with_store 4 (fun path _ ->
+      let part = Writer.part_path path in
+      write_file part (read_file path);
+      raises_invalid "complete part refused" (fun () -> ignore (Writer.reopen ~path)))
+
+(* --- property tests ------------------------------------------------------ *)
+
+let endpoint_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (1, return Interval.Neg_inf);
+        (1, return Interval.Pos_inf);
+        (8, map2 (fun n d -> Interval.Finite (Rat.make n (1 + d))) (int_range (-50) 50) (int_bound 9));
+      ])
+
+let interval_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (1, return Interval.empty);
+        ( 6,
+          map
+            (fun (lo, hi, lc, hc) -> Interval.make ~lo ~lo_closed:lc ~hi ~hi_closed:hc)
+            (quad endpoint_gen endpoint_gen bool bool) );
+      ])
+
+let record_arbitrary =
+  QCheck.make
+    ~print:(fun (seed, n, _) -> Printf.sprintf "seed=%d n=%d" seed n)
+    QCheck.Gen.(triple (int_bound 100_000) (int_range 1 10) (list_size (int_range 0 4) interval_gen))
+
+let prop_chunk_codec_roundtrip =
+  QCheck.Test.make ~name:"chunk codec roundtrip" ~count:200 record_arbitrary
+    (fun (seed, n, pieces) ->
+      let g = Nf_graph.Random_graph.gnp (Nf_util.Prng.create seed) n 0.4 in
+      let bcg =
+        match pieces with [] -> Interval.empty | i :: _ -> i
+      in
+      let record =
+        { Layout.graph6 = Graph6.encode g; bcg; ucg = Some (Interval.Union.of_list pieces) }
+      in
+      let frame = Layout.encode_chunk ~index:0 ~with_ucg:true [| record; record |] in
+      let _, records, next = Layout.decode_chunk ~with_ucg:true frame ~pos:0 in
+      next = String.length frame
+      && Array.length records = 2
+      && Array.for_all
+           (fun r ->
+             r.Layout.graph6 = record.Layout.graph6
+             && Interval.equal r.Layout.bcg record.Layout.bcg
+             && Interval.Union.equal (Option.get r.Layout.ucg) (Option.get record.Layout.ucg))
+           records)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "nf_store"
+    [
+      ( "crc32",
+        [
+          Alcotest.test_case "vectors" `Quick test_crc32_vectors;
+          Alcotest.test_case "compose" `Quick test_crc32_compose;
+        ] );
+      ( "layout",
+        [
+          Alcotest.test_case "header" `Quick test_header_roundtrip;
+          Alcotest.test_case "chunk" `Quick test_chunk_roundtrip;
+          Alcotest.test_case "footer" `Quick test_footer_roundtrip;
+          qcheck prop_chunk_codec_roundtrip;
+        ] );
+      ( "build",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_build_roundtrip;
+          Alcotest.test_case "guards" `Quick test_build_guards;
+          Alcotest.test_case "resume nothing" `Quick test_resume_nothing;
+        ] );
+      ( "integrity",
+        [
+          Alcotest.test_case "scan tolerates truncation" `Quick test_scan_tolerates_truncation;
+          Alcotest.test_case "verify detects any flip" `Quick test_verify_detects_any_flip;
+          Alcotest.test_case "trailing garbage" `Quick test_verify_rejects_trailing_garbage;
+        ] );
+      ( "resume",
+        [
+          Alcotest.test_case "byte parity" `Quick test_resume_byte_parity;
+          Alcotest.test_case "kill mid chunk" `Quick test_resume_after_kill_mid_chunk;
+          Alcotest.test_case "jobs parity" `Quick test_build_parity_across_jobs;
+        ] );
+      ( "query",
+        [
+          Alcotest.test_case "alpha parity" `Quick test_query_parity;
+          Alcotest.test_case "figure points" `Quick test_figure_points_parity;
+          Alcotest.test_case "csv export" `Quick test_export_csv_identical;
+          Alcotest.test_case "without ucg" `Quick test_query_without_ucg;
+        ] );
+      ( "writer",
+        [
+          Alcotest.test_case "guards" `Quick test_writer_guards;
+          Alcotest.test_case "reopen complete" `Quick test_reopen_complete_refused;
+        ] );
+    ]

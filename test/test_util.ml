@@ -250,6 +250,43 @@ let test_stats () =
   check (Alcotest.float 1e-9) "variance" 1.25 (Stats.variance s);
   check_bool "empty mean nan" true (Float.is_nan (Stats.mean Stats.empty))
 
+let test_progress_meter () =
+  (* injected fake clock: fully deterministic rate/ETA *)
+  let t = ref 0.0 in
+  let now () = !t in
+  let m = Stats.Progress.create ~total:100 ~now () in
+  check_int "starts at zero" 0 (Stats.Progress.count m);
+  Stats.Progress.tick m 40;
+  t := 2.0;
+  check_int "position" 40 (Stats.Progress.count m);
+  check (Alcotest.float 1e-9) "rate" 20.0 (Stats.Progress.rate m);
+  (match Stats.Progress.eta m with
+  | Some eta -> check (Alcotest.float 1e-9) "eta" 3.0 eta
+  | None -> Alcotest.fail "expected an ETA");
+  let line = Stats.Progress.line m in
+  check_bool "line has position" true
+    (let contains needle =
+       let nl = String.length needle and hl = String.length line in
+       let rec scan i = i + nl <= hl && (String.sub line i nl = needle || scan (i + 1)) in
+       scan 0
+     in
+     contains "40/100" && contains "40%");
+  Alcotest.check_raises "negative tick"
+    (Invalid_argument "Stats.Progress.tick: negative increment") (fun () ->
+      Stats.Progress.tick m (-1))
+
+let test_progress_resumed_rate_excludes_carry_over () =
+  let t = ref 0.0 in
+  let m = Stats.Progress.create ~total:100 ~initial:60 ~now:(fun () -> !t) () in
+  check_int "carry-over counted in position" 60 (Stats.Progress.count m);
+  Stats.Progress.tick m 10;
+  t := 5.0;
+  (* 10 fresh items over 5s: the 60 inherited items must not inflate it *)
+  check (Alcotest.float 1e-9) "rate from fresh work only" 2.0 (Stats.Progress.rate m);
+  match Stats.Progress.eta m with
+  | Some eta -> check (Alcotest.float 1e-9) "eta for the remaining 30" 15.0 eta
+  | None -> Alcotest.fail "expected an ETA"
+
 (* ---------------- Table / Ascii_plot ---------------- *)
 
 let test_table_render () =
@@ -398,7 +435,12 @@ let () =
           Alcotest.test_case "bounds" `Quick test_prng_bounds;
           Alcotest.test_case "shuffle" `Quick test_prng_shuffle_permutes;
         ] );
-      ("stats", [ Alcotest.test_case "summary" `Quick test_stats ]);
+      ( "stats",
+        [
+          Alcotest.test_case "summary" `Quick test_stats;
+          Alcotest.test_case "progress meter" `Quick test_progress_meter;
+          Alcotest.test_case "progress resume" `Quick test_progress_resumed_rate_excludes_carry_over;
+        ] );
       ( "render",
         [
           Alcotest.test_case "table" `Quick test_table_render;
