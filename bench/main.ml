@@ -157,6 +157,16 @@ let kernel_tests =
         !seen));
     Test.make ~name:"stable_alpha_set_petersen" (Staged.stage (fun () ->
         Bcg.stable_alpha_set Gallery.petersen));
+    (* the batched-kernel annotation trajectory: stability intervals for
+       every connected class at n=7/8 (the enumeration cache warms on the
+       first iteration and is never cleared here, so these rows time the
+       annotation sweep itself) *)
+    Test.make ~name:"bcg_annotate_n7" (Staged.stage (fun () ->
+        Nf_analysis.Equilibria.clear_cache ();
+        Nf_analysis.Equilibria.bcg_annotated 7));
+    Test.make ~name:"bcg_annotate_n8" (Staged.stage (fun () ->
+        Nf_analysis.Equilibria.clear_cache ();
+        Nf_analysis.Equilibria.bcg_annotated 8));
     Test.make ~name:"is_pairwise_stable_clebsch" (Staged.stage (fun () ->
         Bcg.is_pairwise_stable ~alpha:(Rat.of_int 2) Gallery.clebsch));
     Test.make ~name:"nash_alpha_set_c7" (Staged.stage (fun () ->
@@ -189,6 +199,7 @@ let store_n =
 
 let store_rows () =
   let path = Filename.temp_file "netform_bench_store" ".nfs" in
+  let path8 = Filename.temp_file "netform_bench_store8" ".nfs" in
   let time f =
     let t0 = Unix.gettimeofday () in
     let r = f () in
@@ -198,7 +209,7 @@ let store_rows () =
     ~finally:(fun () ->
       List.iter
         (fun p -> if Sys.file_exists p then Sys.remove p)
-        [ path; path ^ ".part" ])
+        [ path; path ^ ".part"; path8; path8 ^ ".part" ])
     (fun () ->
       let outcome, cold =
         time (fun () -> Nf_store.Build.build ~path ~n:store_n ~force:true ())
@@ -212,8 +223,18 @@ let store_rows () =
       Printf.printf
         "\nstore trajectory: n=%d, %d classes; cold build %.2fs, warm figures %.4fs (%.0fx)\n%!"
         store_n outcome.Nf_store.Build.records cold warm (cold /. warm);
+      (* the n=8 trajectory row the batched kernel unlocked: a full cold
+         build (BCG intervals only — the default with_ucg cutoff is n<=7)
+         over all 11117 connected classes, cheap enough to run even in the
+         quick ci smoke *)
+      let outcome8, cold8 =
+        time (fun () -> Nf_store.Build.build ~path:path8 ~n:8 ~force:true ())
+      in
+      Printf.printf "store n=8 smoke: %d classes; cold build %.2fs\n%!"
+        outcome8.Nf_store.Build.records cold8;
       [ (Printf.sprintf "netform/store/cold_build_n%d" store_n, Some (cold *. 1e9));
-        (Printf.sprintf "netform/store/warm_figures_n%d" store_n, Some (warm *. 1e9)) ])
+        (Printf.sprintf "netform/store/warm_figures_n%d" store_n, Some (warm *. 1e9));
+        ("netform/store/cold_build_n8_smoke", Some (cold8 *. 1e9)) ])
 
 (* ---------------- machine-readable report ---------------- *)
 

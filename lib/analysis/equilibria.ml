@@ -35,17 +35,27 @@ let memoize cache n compute =
    time, so the full graph level is never materialized even at orders where
    the annotated list itself is the largest live object.  Chunked fan-out of
    a pure function preserves input order, so the result is byte-identical to
-   annotating the materialized list. *)
+   annotating the materialized list.
+
+   Each worker body borrows its domain's resident kernel workspace
+   ([Kernel.with_ws]): Pool workers are long-lived domains, so across the
+   tens of thousands of graphs in a chunked build every domain reuses one
+   set of scratch arrays and the annotation loop allocates only its
+   results. *)
 let annotation_chunk = 1024
 
-let annotate annotate_one n =
+let annotate annotate_ws n =
   let chunks = ref [] in
   Nf_enum.Unlabeled.iter_connected_chunked ~chunk:annotation_chunk n (fun graphs ->
-      chunks := Pool.parallel_map_array (fun g -> (g, annotate_one g)) graphs :: !chunks);
+      chunks :=
+        Pool.parallel_map_array
+          (fun g -> (g, Nf_graph.Kernel.with_ws (fun ws -> annotate_ws ws g)))
+          graphs
+        :: !chunks);
   List.concat_map Array.to_list (List.rev !chunks)
 
-let bcg_annotated n = memoize bcg_cache n (fun () -> annotate Bcg.stable_alpha_set n)
-let ucg_annotated n = memoize ucg_cache n (fun () -> annotate Ucg.nash_alpha_set n)
+let bcg_annotated n = memoize bcg_cache n (fun () -> annotate Bcg.stable_alpha_set_ws n)
+let ucg_annotated n = memoize ucg_cache n (fun () -> annotate Ucg.nash_alpha_set_ws n)
 
 let bcg_stable_graphs ~n ~alpha =
   List.filter_map
@@ -58,7 +68,7 @@ let ucg_nash_graphs ~n ~alpha =
     (ucg_annotated n)
 
 let transfers_annotated n =
-  memoize transfers_cache n (fun () -> annotate Transfers.stable_alpha_set n)
+  memoize transfers_cache n (fun () -> annotate Transfers.stable_alpha_set_ws n)
 
 let transfers_stable_graphs ~n ~alpha =
   List.filter_map

@@ -1,6 +1,7 @@
 module Graph = Nf_graph.Graph
 module Bfs = Nf_graph.Bfs
 module Apsp = Nf_graph.Apsp
+module Kernel = Nf_graph.Kernel
 module Ext_int = Nf_util.Ext_int
 module Rat = Nf_util.Rat
 module Interval = Nf_util.Interval
@@ -27,14 +28,12 @@ let severance_loss g i j =
        weak deletion inequality of Definition 3 always holds *)
     Ext_int.Inf
 
-(* ---- BFS-sharing kernel -------------------------------------------------
-   Every stability threshold is a difference between a perturbed distance
-   sum and the base distance sum of the same endpoint.  The base sums are
-   computed once per graph (one BFS per vertex, Apsp.distance_sums) and
-   shared across all edge toggles, after which each (endpoint, edge-toggle)
-   pair costs exactly one fresh BFS on the perturbed graph — the per-pair
-   entry points above re-run the base BFS every call and stay around only
-   as the readable specification (and for external one-off queries). *)
+(* ---- persistent reference kernel ----------------------------------------
+   The BFS-sharing scan over persistent graphs (base sums via
+   Apsp.distance_sums, one fresh allocating BFS per endpoint per toggle).
+   It is no longer the production path — the workspace scan below is — but
+   stays as the independently-reviewed reference that the parity tests in
+   test_pool.ml and test_kernel.ml compare against. *)
 
 let benefit_from ~base after =
   match base, after with
@@ -49,39 +48,18 @@ let loss_from ~base after =
   | Ext_int.Fin _, Ext_int.Inf -> Ext_int.Inf (* bridge *)
   | Ext_int.Inf, _ -> Ext_int.Inf
 
-let alpha_min g =
-  let base = Apsp.distance_sums g in
-  let worst = ref (Ext_int.Fin 0) in
-  Graph.iter_non_edges g (fun i j ->
-      let added = Graph.add_edge g i j in
-      worst :=
-        Ext_int.max !worst
-          (Ext_int.min
-             (benefit_from ~base:base.(i) (Bfs.distance_sum added i))
-             (benefit_from ~base:base.(j) (Bfs.distance_sum added j))));
-  !worst
-
-let alpha_max g =
-  let base = Apsp.distance_sums g in
-  let best = ref Ext_int.Inf in
-  Graph.iter_edges g (fun i j ->
-      let removed = Graph.remove_edge g i j in
-      best := Ext_int.min !best (loss_from ~base:base.(i) (Bfs.distance_sum removed i));
-      best := Ext_int.min !best (loss_from ~base:base.(j) (Bfs.distance_sum removed j)));
-  !best
-
 (* One pass over the non-edges computes α_min and the attainment flag
    together: track the running maximum of the pairwise willingness and
    whether every pair attaining it is a tie (both endpoints equally
    interested) — a new strict maximum resets the flag, an equal one refines
-   it, smaller pairs cannot matter.  Each perturbed BFS runs exactly once. *)
+   it, smaller pairs cannot matter. *)
 type scan = {
   scan_alpha_min : Ext_int.t;
   scan_alpha_max : Ext_int.t;
   scan_lo_closed : bool;
 }
 
-let scan_stability g =
+let scan_stability_reference g =
   let base = Apsp.distance_sums g in
   let lo = ref (Ext_int.Fin 0) in
   let tied = ref true in
@@ -110,100 +88,227 @@ let scan_stability g =
       | Ext_int.Fin _ -> !tied);
   }
 
+(* ---- workspace kernel ---------------------------------------------------
+   The production path: base distance sums from one bit-parallel
+   all-sources sweep, then every edge toggle is two in-place xors plus one
+   allocation-free single-source sweep per endpoint, with benefits/losses
+   kept as raw ints (Kernel.inf as ∞) and α compared by integer
+   cross-multiplication.  Toggle enumeration is the same lexicographic
+   (i < j) order as Graph.iter_non_edges/iter_edges, and every max/min/tie
+   update is order-independent, so the resulting intervals are structurally
+   identical to the reference scan's. *)
+
+let inf = Kernel.inf
+
+(* i's cost decrease from adding a missing edge, as an int (inf = ∞).
+   Adding cannot disconnect, so base finite ⇒ after finite. *)
+let ibenefit ~base after = if base = inf then (if after = inf then 0 else inf) else base - after
+
+(* i's cost increase from severing an edge; ∞ for a bridge or when i's cost
+   is already infinite either way. *)
+let iloss ~base after = if base = inf || after = inf then inf else after - base
+
+(* α < k and α ≤ k for integer-or-infinite thresholds, by exact
+   cross-multiplication (Rat.make normalizes to den > 0). *)
+let rat_lt_i alpha k = k = inf || Rat.num alpha < k * Rat.den alpha
+let rat_le_i alpha k = k = inf || Rat.num alpha <= k * Rat.den alpha
+
+(* The three scan results packed as ints to keep the hot path mono-field:
+   lo/hi with inf = ∞, tied as bool. *)
+type iscan = {
+  iscan_lo : int;
+  iscan_hi : int;
+  iscan_tied : bool;
+}
+
+let scan_stability_ws ws =
+  let n = Kernel.order ws in
+  let base = Kernel.all_distance_sums ws in
+  let lo = ref 0 and tied = ref true and hi = ref inf in
+  for i = 0 to n - 2 do
+    let bi_base = base.(i) in
+    for j = i + 1 to n - 1 do
+      if Kernel.has_edge ws i j then begin
+        Kernel.toggle ws i j;
+        let li = iloss ~base:bi_base (Kernel.distance_sum_from ws i) in
+        if li < !hi then hi := li;
+        if !hi > 0 then begin
+          (* min with lj, skipped when hi is already 0 (cannot drop lower:
+             losses are ≥ 0) — same result, fewer sweeps *)
+          let lj = iloss ~base:base.(j) (Kernel.distance_sum_from ws j) in
+          if lj < !hi then hi := lj
+        end;
+        Kernel.toggle ws i j
+      end
+      else begin
+        Kernel.toggle ws i j;
+        let bi = ibenefit ~base:bi_base (Kernel.distance_sum_from ws i) in
+        (* bi < lo ⇒ min(bi, bj) < lo: the pair can neither raise the max
+           nor tie it, so j's sweep is skipped — same scan result *)
+        if bi >= !lo then begin
+          let bj = ibenefit ~base:base.(j) (Kernel.distance_sum_from ws j) in
+          let m = if bi < bj then bi else bj in
+          if m > !lo then begin
+            lo := m;
+            tied := bi = bj
+          end
+          else if m = !lo && bi <> bj then tied := false
+        end;
+        Kernel.toggle ws i j
+      end
+    done
+  done;
+  { iscan_lo = !lo; iscan_hi = !hi; iscan_tied = !tied }
+
+let endpoint_of_int k = if k = inf then Interval.Pos_inf else Interval.Finite (Rat.of_int k)
+let ext_of_int k = if k = inf then Ext_int.Inf else Ext_int.Fin k
+
 let endpoint_of_ext = function
   | Ext_int.Fin k -> Interval.Finite (Rat.of_int k)
   | Ext_int.Inf -> Interval.Pos_inf
 
 let positive = Interval.open_closed Rat.zero Interval.Pos_inf
 
-let stability_interval g =
-  let s = scan_stability g in
-  Interval.inter positive
-    (Interval.make ~lo:(endpoint_of_ext s.scan_alpha_min) ~lo_closed:false
-       ~hi:(endpoint_of_ext s.scan_alpha_max) ~hi_closed:true)
+let alpha_min g =
+  Kernel.with_loaded g (fun ws ->
+      let n = Kernel.order ws in
+      let base = Kernel.all_distance_sums ws in
+      let lo = ref 0 in
+      for i = 0 to n - 2 do
+        for j = i + 1 to n - 1 do
+          if not (Kernel.has_edge ws i j) then begin
+            Kernel.toggle ws i j;
+            let bi = ibenefit ~base:base.(i) (Kernel.distance_sum_from ws i)
+            and bj = ibenefit ~base:base.(j) (Kernel.distance_sum_from ws j) in
+            Kernel.toggle ws i j;
+            let m = if bi < bj then bi else bj in
+            if m > !lo then lo := m
+          end
+        done
+      done;
+      ext_of_int !lo)
 
-let stable_alpha_set g =
+let alpha_max g =
+  Kernel.with_loaded g (fun ws ->
+      let n = Kernel.order ws in
+      let base = Kernel.all_distance_sums ws in
+      let hi = ref inf in
+      for i = 0 to n - 2 do
+        for j = i + 1 to n - 1 do
+          if Kernel.has_edge ws i j then begin
+            Kernel.toggle ws i j;
+            let li = iloss ~base:base.(i) (Kernel.distance_sum_from ws i)
+            and lj = iloss ~base:base.(j) (Kernel.distance_sum_from ws j) in
+            Kernel.toggle ws i j;
+            if li < !hi then hi := li;
+            if lj < !hi then hi := lj
+          end
+        done
+      done;
+      ext_of_int !hi)
+
+let interval_of_iscan ~lo_closed s =
+  Interval.inter positive
+    (Interval.make ~lo:(endpoint_of_int s.iscan_lo) ~lo_closed
+       ~hi:(endpoint_of_int s.iscan_hi) ~hi_closed:true)
+
+let stability_interval g =
+  Kernel.with_loaded g (fun ws -> interval_of_iscan ~lo_closed:false (scan_stability_ws ws))
+
+let stable_alpha_set_ws ws g =
   (* The left end is attained exactly when every missing edge whose
      less-interested benefit equals α_min is a tie (both endpoints equally
      interested): at α = benefit the strict "ci < ci" premise of
      Definition 3 fails on both sides. *)
-  let s = scan_stability g in
+  Kernel.load ws g;
+  let s = scan_stability_ws ws in
+  interval_of_iscan ~lo_closed:(s.iscan_lo <> inf && s.iscan_tied) s
+
+let stable_alpha_set g = Kernel.with_ws (fun ws -> stable_alpha_set_ws ws g)
+
+let stable_alpha_set_reference g =
+  let s = scan_stability_reference g in
   Interval.inter positive
     (Interval.make ~lo:(endpoint_of_ext s.scan_alpha_min) ~lo_closed:s.scan_lo_closed
        ~hi:(endpoint_of_ext s.scan_alpha_max) ~hi_closed:true)
 
-(* α compared against an integer-or-infinite threshold, exactly. *)
-let rat_lt alpha = function
-  | Ext_int.Inf -> true
-  | Ext_int.Fin k -> Rat.(alpha < of_int k)
-
-let rat_le alpha = function
-  | Ext_int.Inf -> true
-  | Ext_int.Fin k -> Rat.(alpha <= of_int k)
-
 (* unstable when one endpoint strictly gains (α < b) and the other does not
    strictly lose (α ≤ b) *)
 let addition_blocks alpha bi bj =
-  (rat_lt alpha bi && rat_le alpha bj) || (rat_lt alpha bj && rat_le alpha bi)
+  (rat_lt_i alpha bi && rat_le_i alpha bj) || (rat_lt_i alpha bj && rat_le_i alpha bi)
 
-let no_improving_addition ~alpha ~base g =
+let no_improving_addition ~alpha ~base ws =
+  let n = Kernel.order ws in
   let ok = ref true in
-  Graph.iter_non_edges g (fun i j ->
-      if !ok then begin
-        let added = Graph.add_edge g i j in
-        let bi = benefit_from ~base:base.(i) (Bfs.distance_sum added i)
-        and bj = benefit_from ~base:base.(j) (Bfs.distance_sum added j) in
-        if addition_blocks alpha bi bj then ok := false
-      end);
+  (try
+     for i = 0 to n - 2 do
+       for j = i + 1 to n - 1 do
+         if not (Kernel.has_edge ws i j) then begin
+           Kernel.toggle ws i j;
+           let bi = ibenefit ~base:base.(i) (Kernel.distance_sum_from ws i)
+           and bj = ibenefit ~base:base.(j) (Kernel.distance_sum_from ws j) in
+           Kernel.toggle ws i j;
+           if addition_blocks alpha bi bj then begin
+             ok := false;
+             raise_notrace Exit
+           end
+         end
+       done
+     done
+   with Exit -> ());
   !ok
 
 (* α ≤ α_max unfolded pairwise, sharing [base] and exiting early *)
-let no_improving_deletion ~alpha ~base g =
+let no_improving_deletion ~alpha ~base ws =
+  let n = Kernel.order ws in
   let ok = ref true in
-  Graph.iter_edges g (fun i j ->
-      if !ok then begin
-        let removed = Graph.remove_edge g i j in
-        if
-          (not (rat_le alpha (loss_from ~base:base.(i) (Bfs.distance_sum removed i))))
-          || not (rat_le alpha (loss_from ~base:base.(j) (Bfs.distance_sum removed j)))
-        then ok := false
-      end);
+  (try
+     for i = 0 to n - 2 do
+       for j = i + 1 to n - 1 do
+         if Kernel.has_edge ws i j then begin
+           Kernel.toggle ws i j;
+           let li = iloss ~base:base.(i) (Kernel.distance_sum_from ws i)
+           and lj = iloss ~base:base.(j) (Kernel.distance_sum_from ws j) in
+           Kernel.toggle ws i j;
+           if (not (rat_le_i alpha li)) || not (rat_le_i alpha lj) then begin
+             ok := false;
+             raise_notrace Exit
+           end
+         end
+       done
+     done
+   with Exit -> ());
   !ok
 
 let is_pairwise_stable ~alpha g =
-  let base = Apsp.distance_sums g in
-  no_improving_deletion ~alpha ~base g && no_improving_addition ~alpha ~base g
-
-(* distance increase to player i from severing the whole neighbor set B *)
-let group_severance_loss ~base g i nbrs =
-  let without = Nf_util.Bitset.fold (fun j acc -> Graph.remove_edge acc i j) nbrs g in
-  match base.(i), Bfs.distance_sum without i with
-  | Ext_int.Fin b, Ext_int.Fin a -> Ext_int.Fin (a - b)
-  | Ext_int.Fin _, Ext_int.Inf -> Ext_int.Inf
-  | Ext_int.Inf, _ -> Ext_int.Inf
+  Kernel.with_loaded g (fun ws ->
+      let base = Kernel.all_distance_sums ws in
+      no_improving_deletion ~alpha ~base ws && no_improving_addition ~alpha ~base ws)
 
 let is_pairwise_nash ~alpha g =
   (* Nash part: no player gains by dropping any subset of its links (a
      unilateral deviation can only sever in the BCG — announcing new links
      without consent just costs α per announcement). *)
-  let base = Apsp.distance_sums g in
-  let n = Graph.order g in
-  let nash_ok = ref true in
-  for i = 0 to n - 1 do
-    Nf_util.Subset.iter_subsets (Graph.neighbors g i) (fun nbrs ->
-        if not (Nf_util.Bitset.is_empty nbrs) then begin
-          let k = Nf_util.Bitset.cardinal nbrs in
-          (* improving iff ΔD < α·k *)
-          match group_severance_loss ~base g i nbrs with
-          | Ext_int.Inf -> ()
-          | Ext_int.Fin delta ->
-            if Rat.(of_int delta < mul (of_int k) alpha) then nash_ok := false
-        end)
-  done;
-  !nash_ok
-  &&
-  (* pairwise part: identical to the addition half of pairwise stability *)
-  no_improving_addition ~alpha ~base g
+  Kernel.with_loaded g (fun ws ->
+      let base = Kernel.all_distance_sums ws in
+      let n = Kernel.order ws in
+      let nash_ok = ref true in
+      for i = 0 to n - 1 do
+        Nf_util.Subset.iter_subsets (Kernel.neighbors ws i) (fun nbrs ->
+            if !nash_ok && not (Nf_util.Bitset.is_empty nbrs) then begin
+              let k = Nf_util.Bitset.cardinal nbrs in
+              Nf_util.Bitset.iter (fun j -> Kernel.toggle ws i j) nbrs;
+              let after = Kernel.distance_sum_from ws i in
+              Nf_util.Bitset.iter (fun j -> Kernel.toggle ws i j) nbrs;
+              (* improving iff ΔD < α·k, i.e. (after − base)·den < num·k *)
+              if base.(i) <> inf && after <> inf then
+                if (after - base.(i)) * Rat.den alpha < Rat.num alpha * k then nash_ok := false
+            end)
+      done;
+      !nash_ok
+      &&
+      (* pairwise part: identical to the addition half of pairwise stability *)
+      no_improving_addition ~alpha ~base ws)
 
 let is_pairwise_stable_f ~alpha g =
   (* dyadic floats convert exactly; reject anything that does not *)
@@ -214,26 +319,51 @@ let is_pairwise_stable_f ~alpha g =
   else invalid_arg "Bcg.is_pairwise_stable_f: alpha not dyadic with denominator <= 4096"
 
 let improving_addition ~alpha g =
-  let base = Apsp.distance_sums g in
-  let found = ref None in
-  Graph.iter_non_edges g (fun i j ->
-      if !found = None then begin
-        let added = Graph.add_edge g i j in
-        let bi = benefit_from ~base:base.(i) (Bfs.distance_sum added i)
-        and bj = benefit_from ~base:base.(j) (Bfs.distance_sum added j) in
-        if addition_blocks alpha bi bj then found := Some (i, j)
-      end);
-  !found
+  Kernel.with_loaded g (fun ws ->
+      let base = Kernel.all_distance_sums ws in
+      let n = Kernel.order ws in
+      let found = ref None in
+      (try
+         for i = 0 to n - 2 do
+           for j = i + 1 to n - 1 do
+             if not (Kernel.has_edge ws i j) then begin
+               Kernel.toggle ws i j;
+               let bi = ibenefit ~base:base.(i) (Kernel.distance_sum_from ws i)
+               and bj = ibenefit ~base:base.(j) (Kernel.distance_sum_from ws j) in
+               Kernel.toggle ws i j;
+               if addition_blocks alpha bi bj then begin
+                 found := Some (i, j);
+                 raise_notrace Exit
+               end
+             end
+           done
+         done
+       with Exit -> ());
+      !found)
 
 let improving_deletion ~alpha g =
-  let base = Apsp.distance_sums g in
-  let found = ref None in
-  Graph.iter_edges g (fun i j ->
-      if !found = None then begin
-        let removed = Graph.remove_edge g i j in
-        if not (rat_le alpha (loss_from ~base:base.(i) (Bfs.distance_sum removed i))) then
-          found := Some (i, j)
-        else if not (rat_le alpha (loss_from ~base:base.(j) (Bfs.distance_sum removed j)))
-        then found := Some (j, i)
-      end);
-  !found
+  Kernel.with_loaded g (fun ws ->
+      let base = Kernel.all_distance_sums ws in
+      let n = Kernel.order ws in
+      let found = ref None in
+      (try
+         for i = 0 to n - 2 do
+           for j = i + 1 to n - 1 do
+             if Kernel.has_edge ws i j then begin
+               Kernel.toggle ws i j;
+               let li = iloss ~base:base.(i) (Kernel.distance_sum_from ws i)
+               and lj = iloss ~base:base.(j) (Kernel.distance_sum_from ws j) in
+               Kernel.toggle ws i j;
+               if not (rat_le_i alpha li) then begin
+                 found := Some (i, j);
+                 raise_notrace Exit
+               end
+               else if not (rat_le_i alpha lj) then begin
+                 found := Some (j, i);
+                 raise_notrace Exit
+               end
+             end
+           done
+         done
+       with Exit -> ());
+      !found)

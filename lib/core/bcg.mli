@@ -45,6 +45,18 @@ val stable_alpha_set : Nf_graph.Graph.t -> Nf_util.Interval.t
     both endpoints (the revised Definition 3 is strict on one side
     only). *)
 
+val stable_alpha_set_ws : Nf_graph.Kernel.t -> Nf_graph.Graph.t -> Nf_util.Interval.t
+(** {!stable_alpha_set} against a caller-provided kernel workspace —
+    the allocation-free path used by chunked annotation, where one
+    workspace per domain is reused across every graph in a chunk. *)
+
+val stable_alpha_set_reference : Nf_graph.Graph.t -> Nf_util.Interval.t
+(** The retained persistent-path implementation (base sums via
+    [Apsp.distance_sums], one fresh BFS per endpoint per edge toggle).
+    Structurally identical output to {!stable_alpha_set}; kept as the
+    reference the differential tests compare the workspace kernel
+    against. *)
+
 val is_pairwise_stable : alpha:Nf_util.Rat.t -> Nf_graph.Graph.t -> bool
 (** Literal Definition 3 at an exact link cost. *)
 

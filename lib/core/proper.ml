@@ -29,26 +29,27 @@ let strategy_masks n i =
   Nf_util.Subset.iter_subsets ground (fun s -> masks := s :: !masks);
   Array.of_list (List.rev !masks)
 
-let build_graph game n rows =
-  let g = ref (Graph.empty n) in
-  Nf_util.Subset.iter_pairs n (fun i j ->
-      let formed =
-        match game with
-        | Cost.Ucg -> Bitset.mem j rows.(i) || Bitset.mem i rows.(j)
-        | Cost.Bcg -> Bitset.mem j rows.(i) && Bitset.mem i rows.(j)
-      in
-      if formed then g := Graph.add_edge !g i j);
-  !g
-
+(* The formed graph is loaded straight into the kernel workspace from the
+   wish rows — no persistent graph per profile — and each player's cost
+   reads off one allocation-free sweep.  All summands are integer-valued
+   floats (distances, the [n] penalty), so the grouping
+   [finite_sum + penalty·unreached] is exact and identical to summing the
+   per-target terms one by one. *)
 let pure_costs game ~alpha ~penalty n rows =
-  let g = build_graph game n rows in
-  Array.init n (fun i ->
-      let dist = Nf_graph.Bfs.distances g i in
-      let total = ref 0.0 in
-      Array.iteri
-        (fun j d -> if j <> i then total := !total +. (if d < 0 then penalty else float_of_int d))
-        dist;
-      (alpha *. float_of_int (Bitset.cardinal rows.(i))) +. !total)
+  Nf_graph.Kernel.with_ws (fun ws ->
+      Nf_graph.Kernel.load_rows ws n (fun i ->
+          match game with
+          | Cost.Ucg ->
+            Bitset.fold (fun j acc -> if Bitset.mem i rows.(j) then Bitset.add j acc else acc)
+              (Bitset.remove i (Bitset.full n))
+              rows.(i)
+          | Cost.Bcg ->
+            Bitset.fold (fun j acc -> if Bitset.mem i rows.(j) then Bitset.add j acc else acc)
+              rows.(i) Bitset.empty);
+      Array.init n (fun i ->
+          let finite_sum, reached = Nf_graph.Kernel.reach_stats ws i in
+          (alpha *. float_of_int (Bitset.cardinal rows.(i)))
+          +. (float_of_int finite_sum +. (penalty *. float_of_int (n - reached)))))
 
 (* the full payoff tensor, indexed by per-player strategy indices mixed in
    base [num_strategies] *)

@@ -1,6 +1,7 @@
 module Graph = Nf_graph.Graph
 module Bfs = Nf_graph.Bfs
 module Apsp = Nf_graph.Apsp
+module Kernel = Nf_graph.Kernel
 module Ext_int = Nf_util.Ext_int
 module Rat = Nf_util.Rat
 module Interval = Nf_util.Interval
@@ -11,12 +12,10 @@ let joint_addition_benefit g i j =
 let joint_severance_loss g i j =
   Ext_int.add (Bcg.severance_loss g i j) (Bcg.severance_loss g j i)
 
-(* Base-sharing twins of the per-pair functions above: the base distance
-   sums are computed once per graph and the perturbed graph is built once
-   per pair, so every (endpoint, edge-toggle) costs exactly one fresh BFS —
-   the per-pair entry points re-run the base BFS of both endpoints on every
-   call (and each evaluation of [joint_addition_benefit] builds the
-   perturbed graph twice). *)
+(* ---- persistent reference kernel ----------------------------------------
+   Base-sharing twins over persistent graphs, retained as the parity-tested
+   reference for the workspace path below (and for external one-off
+   queries through the per-pair entry points). *)
 
 let benefit_from ~base after =
   match base, after with
@@ -43,56 +42,125 @@ let joint_loss_from ~base g i j =
     (loss_from ~base:base.(i) (Bfs.distance_sum removed i))
     (loss_from ~base:base.(j) (Bfs.distance_sum removed j))
 
-let half = function
+let half_ext = function
   | Ext_int.Fin k -> Interval.Finite (Rat.make k 2)
   | Ext_int.Inf -> Interval.Pos_inf
 
-let alpha_min_ext ~base g =
-  let worst = ref (Ext_int.Fin 0) in
-  Graph.iter_non_edges g (fun i j ->
-      worst := Ext_int.max !worst (joint_benefit_from ~base g i j));
-  !worst
-
-let alpha_max_ext ~base g =
-  let best = ref Ext_int.Inf in
-  Graph.iter_edges g (fun i j -> best := Ext_int.min !best (joint_loss_from ~base g i j));
-  !best
-
-let alpha_min g =
-  if Graph.is_complete g then None
-  else
-    match alpha_min_ext ~base:(Apsp.distance_sums g) g with
-    | Ext_int.Fin k -> Some (Rat.make k 2)
-    | Ext_int.Inf -> None
-
 let positive = Interval.open_closed Rat.zero Interval.Pos_inf
+
+let stable_alpha_set_reference g =
+  let base = Apsp.distance_sums g in
+  let lo = ref (Ext_int.Fin 0) in
+  Graph.iter_non_edges g (fun i j -> lo := Ext_int.max !lo (joint_benefit_from ~base g i j));
+  let hi = ref Ext_int.Inf in
+  Graph.iter_edges g (fun i j -> hi := Ext_int.min !hi (joint_loss_from ~base g i j));
+  Interval.inter positive
+    (Interval.make ~lo:(half_ext !lo) ~lo_closed:true ~hi:(half_ext !hi) ~hi_closed:true)
+
+(* ---- workspace kernel ---------------------------------------------------
+   Joint thresholds as raw ints (Kernel.inf as ∞): one all-sources sweep
+   for the base sums, two in-place xors plus two allocation-free
+   single-source sweeps per edge toggle. *)
+
+let inf = Kernel.inf
+
+let ibenefit ~base after = if base = inf then (if after = inf then 0 else inf) else base - after
+let iloss ~base after = if base = inf || after = inf then inf else after - base
+let iadd a b = if a = inf || b = inf then inf else a + b
+
+(* [2α < k] and [2α ≤ k] against an integer-or-infinite joint threshold:
+   α = num/den with den > 0, so 2α < k ⟺ 2·num < k·den. *)
+let two_lt_i alpha k = k = inf || 2 * Rat.num alpha < k * Rat.den alpha
+let two_le_i alpha k = k = inf || 2 * Rat.num alpha <= k * Rat.den alpha
+
+let half_int k = if k = inf then Interval.Pos_inf else Interval.Finite (Rat.make k 2)
+
+let scan_ws ws =
+  let n = Kernel.order ws in
+  let base = Kernel.all_distance_sums ws in
+  let lo = ref 0 and hi = ref inf in
+  for i = 0 to n - 2 do
+    for j = i + 1 to n - 1 do
+      Kernel.toggle ws i j;
+      if Kernel.has_edge ws i j then begin
+        (* toggled a non-edge on: joint benefit *)
+        let bi = ibenefit ~base:base.(i) (Kernel.distance_sum_from ws i)
+        and bj = ibenefit ~base:base.(j) (Kernel.distance_sum_from ws j) in
+        let b = iadd bi bj in
+        if b > !lo then lo := b
+      end
+      else begin
+        (* toggled an edge off: joint loss *)
+        let li = iloss ~base:base.(i) (Kernel.distance_sum_from ws i)
+        and lj = iloss ~base:base.(j) (Kernel.distance_sum_from ws j) in
+        let l = iadd li lj in
+        if l < !hi then hi := l
+      end;
+      Kernel.toggle ws i j
+    done
+  done;
+  (!lo, !hi)
 
 (* A link is added when joint benefit > 2α (strict, mirroring the revised
    Definition 3), so stability to additions is α >= benefit/2: closed.
    A link survives when joint loss >= 2α: α <= loss/2, closed. *)
-let stable_alpha_set g =
-  let base = Apsp.distance_sums g in
+let stable_alpha_set_ws ws g =
+  Kernel.load ws g;
+  let lo, hi = scan_ws ws in
   Interval.inter positive
-    (Interval.make ~lo:(half (alpha_min_ext ~base g)) ~lo_closed:true
-       ~hi:(half (alpha_max_ext ~base g)) ~hi_closed:true)
+    (Interval.make ~lo:(half_int lo) ~lo_closed:true ~hi:(half_int hi) ~hi_closed:true)
+
+let stable_alpha_set g = Kernel.with_ws (fun ws -> stable_alpha_set_ws ws g)
+
+let alpha_min g =
+  if Graph.is_complete g then None
+  else
+    Kernel.with_loaded g (fun ws ->
+        let n = Kernel.order ws in
+        let base = Kernel.all_distance_sums ws in
+        let lo = ref 0 in
+        for i = 0 to n - 2 do
+          for j = i + 1 to n - 1 do
+            if not (Kernel.has_edge ws i j) then begin
+              Kernel.toggle ws i j;
+              let bi = ibenefit ~base:base.(i) (Kernel.distance_sum_from ws i)
+              and bj = ibenefit ~base:base.(j) (Kernel.distance_sum_from ws j) in
+              Kernel.toggle ws i j;
+              let b = iadd bi bj in
+              if b > !lo then lo := b
+            end
+          done
+        done;
+        if !lo = inf then None else Some (Rat.make !lo 2))
 
 let is_stable ~alpha g =
-  let base = Apsp.distance_sums g in
-  let two_alpha = Rat.mul (Rat.of_int 2) alpha in
-  let le_ext r = function
-    | Ext_int.Inf -> true
-    | Ext_int.Fin k -> Rat.(r <= of_int k)
-  in
-  let lt_ext r = function
-    | Ext_int.Inf -> true
-    | Ext_int.Fin k -> Rat.(r < of_int k)
-  in
-  let additions_ok = ref true in
-  Graph.iter_non_edges g (fun i j ->
-      if lt_ext two_alpha (joint_benefit_from ~base g i j) then additions_ok := false);
-  !additions_ok
-  &&
-  let severances_ok = ref true in
-  Graph.iter_edges g (fun i j ->
-      if not (le_ext two_alpha (joint_loss_from ~base g i j)) then severances_ok := false);
-  !severances_ok
+  Kernel.with_loaded g (fun ws ->
+      let n = Kernel.order ws in
+      let base = Kernel.all_distance_sums ws in
+      let ok = ref true in
+      (try
+         for i = 0 to n - 2 do
+           for j = i + 1 to n - 1 do
+             Kernel.toggle ws i j;
+             if Kernel.has_edge ws i j then begin
+               let bi = ibenefit ~base:base.(i) (Kernel.distance_sum_from ws i)
+               and bj = ibenefit ~base:base.(j) (Kernel.distance_sum_from ws j) in
+               Kernel.toggle ws i j;
+               if two_lt_i alpha (iadd bi bj) then begin
+                 ok := false;
+                 raise_notrace Exit
+               end
+             end
+             else begin
+               let li = iloss ~base:base.(i) (Kernel.distance_sum_from ws i)
+               and lj = iloss ~base:base.(j) (Kernel.distance_sum_from ws j) in
+               Kernel.toggle ws i j;
+               if not (two_le_i alpha (iadd li lj)) then begin
+                 ok := false;
+                 raise_notrace Exit
+               end
+             end
+           done
+         done
+       with Exit -> ());
+      !ok)

@@ -27,6 +27,15 @@ val stable_alpha_set : Nf_graph.Graph.t -> Nf_util.Interval.t
 (** The exact set of positive link costs at which the graph is pairwise
     stable with transfers. *)
 
+val stable_alpha_set_ws : Nf_graph.Kernel.t -> Nf_graph.Graph.t -> Nf_util.Interval.t
+(** {!stable_alpha_set} against a caller-provided kernel workspace (the
+    allocation-free chunked-annotation path). *)
+
+val stable_alpha_set_reference : Nf_graph.Graph.t -> Nf_util.Interval.t
+(** Retained persistent-path implementation; structurally identical output
+    to {!stable_alpha_set}, compared against it by the differential
+    tests. *)
+
 val is_stable : alpha:Nf_util.Rat.t -> Nf_graph.Graph.t -> bool
 (** Direct definition at an exact link cost; agrees with membership in
     {!stable_alpha_set} (property-tested). *)

@@ -1,11 +1,18 @@
 module Graph = Nf_graph.Graph
 module Bfs = Nf_graph.Bfs
+module Kernel = Nf_graph.Kernel
 module Bitset = Nf_util.Bitset
 module Ext_int = Nf_util.Ext_int
 module Rat = Nf_util.Rat
 module Interval = Nf_util.Interval
 
 type owned = Bitset.t
+
+(* ---- persistent reference path ------------------------------------------
+   Straight off the definitions, over persistent graphs: retained as the
+   public one-off entry points ([accepts], [acceptance_interval]) and as
+   the reference that the differential tests compare the workspace kernel
+   against ([nash_alpha_set_reference]). *)
 
 (* The graph player i faces after discarding its own purchases: edges
    bought by others survive. *)
@@ -42,22 +49,6 @@ let accepts ~alpha g i ~owned =
       end);
   !ok
 
-let best_response ~alpha g i ~owned =
-  let base = base_graph g i ~owned in
-  let cost_of targets =
-    (Rat.to_float alpha *. float_of_int (Bitset.cardinal targets))
-    +. Ext_int.to_float (Bfs.distance_sum (with_targets base i targets) i)
-  in
-  let best = ref owned
-  and best_cost = ref (cost_of owned) in
-  Nf_util.Subset.iter_subsets (candidates base i) (fun targets ->
-      let c = cost_of targets in
-      if c < !best_cost then begin
-        best := targets;
-        best_cost := c
-      end);
-  (!best, !best_cost)
-
 let acceptance_interval g i ~owned =
   let d0 =
     match Bfs.distance_sum g i with
@@ -91,6 +82,132 @@ let acceptance_interval g i ~owned =
           result := Interval.inter !result constraint_interval
       end);
   !result
+
+(* ---- workspace kernel twins ---------------------------------------------
+   Same semantics against a loaded Kernel workspace: the base graph is two
+   xors per owned edge instead of a persistent rebuild, every deviation is
+   toggled on/off around one allocation-free sweep, and the acceptance
+   interval is accumulated as integer fraction bounds (numerator,
+   denominator > 0, closedness) instead of a chain of boxed Interval
+   intersections — the bound updates are the same order-independent
+   max/min folds, so the resulting intervals are structurally identical. *)
+
+let inf = Kernel.inf
+
+let candidates_ws ws v =
+  Bitset.diff (Bitset.remove v (Bitset.full (Kernel.order ws))) (Kernel.neighbors ws v)
+
+let cost_le_i alpha ~k0 ~d0 ~k ~dt =
+  if d0 = inf then dt = inf
+  else dt = inf || Rat.num alpha * (k0 - k) <= (dt - d0) * Rat.den alpha
+
+(* [ws] must hold the full graph; restored on exit. *)
+let accepts_ws ~alpha ws v ~owned =
+  let k0 = Bitset.cardinal owned in
+  let d0 = Kernel.distance_sum_from ws v in
+  (* strip v's own purchases to get the deviation base (mask to actual
+     neighbors so a stray non-edge in [owned] is ignored, like the
+     reference's remove_edge no-op) *)
+  let strip = Bitset.inter owned (Kernel.neighbors ws v) in
+  Bitset.iter (fun j -> Kernel.toggle ws v j) strip;
+  let ok = ref true in
+  (try
+     Nf_util.Subset.iter_subsets (candidates_ws ws v) (fun targets ->
+         Bitset.iter (fun j -> Kernel.toggle ws v j) targets;
+         let dt = Kernel.distance_sum_from ws v in
+         Bitset.iter (fun j -> Kernel.toggle ws v j) targets;
+         if not (cost_le_i alpha ~k0 ~d0 ~k:(Bitset.cardinal targets) ~dt) then begin
+           ok := false;
+           raise_notrace Exit
+         end)
+   with Exit -> ());
+  Bitset.iter (fun j -> Kernel.toggle ws v j) strip;
+  !ok
+
+(* [ws] must hold the full graph; restored on exit. *)
+let acceptance_interval_ws ws v ~owned =
+  let d0 = Kernel.distance_sum_from ws v in
+  if d0 = inf then invalid_arg "Ucg.acceptance_interval: player disconnected";
+  let k0 = Bitset.cardinal owned in
+  let strip = Bitset.inter owned (Kernel.neighbors ws v) in
+  Bitset.iter (fun j -> Kernel.toggle ws v j) strip;
+  (* running bounds of the intersection, starting from (0, +inf]:
+     lo = lo_n/lo_d (lo_d > 0), hi = hi_n/hi_d with hi_d = 0 meaning +inf;
+     ties keep the existing closedness AND the constraint's (constraints
+     are always closed, so a tie is a no-op — except against the open
+     initial lo = 0). *)
+  let lo_n = ref 0
+  and lo_d = ref 1
+  and lo_c = ref false in
+  let hi_n = ref 0
+  and hi_d = ref 0
+  and hi_c = ref false in
+  let empty = ref false in
+  (try
+     Nf_util.Subset.iter_subsets (candidates_ws ws v) (fun targets ->
+         Bitset.iter (fun j -> Kernel.toggle ws v j) targets;
+         let dt = Kernel.distance_sum_from ws v in
+         Bitset.iter (fun j -> Kernel.toggle ws v j) targets;
+         if dt <> inf then begin
+           (* constraint: α·k0 + d0 <= α·k + dt *)
+           let k = Bitset.cardinal targets in
+           if k > k0 then begin
+             (* α >= (d0 - dt)/(k - k0), closed *)
+             let n = d0 - dt
+             and d = k - k0 in
+             let c = compare (n * !lo_d) (!lo_n * d) in
+             if c > 0 then begin
+               lo_n := n;
+               lo_d := d;
+               lo_c := true
+             end
+           end
+           else if k < k0 then begin
+             (* α <= (dt - d0)/(k0 - k), closed *)
+             let n = dt - d0
+             and d = k0 - k in
+             if !hi_d = 0 || compare (n * !hi_d) (!hi_n * d) < 0 then begin
+               hi_n := n;
+               hi_d := d;
+               hi_c := true
+             end
+           end
+           else if dt < d0 then begin
+             (* same purchase count, strictly better distances: no α helps *)
+             empty := true;
+             raise_notrace Exit
+           end
+         end)
+   with Exit -> ());
+  Bitset.iter (fun j -> Kernel.toggle ws v j) strip;
+  if !empty then Interval.empty
+  else
+    Interval.make
+      ~lo:(Interval.Finite (Rat.make !lo_n !lo_d))
+      ~lo_closed:!lo_c
+      ~hi:(if !hi_d = 0 then Interval.Pos_inf else Interval.Finite (Rat.make !hi_n !hi_d))
+      ~hi_closed:!hi_c
+
+let best_response ~alpha g i ~owned =
+  Kernel.with_loaded g (fun ws ->
+      let strip = Bitset.inter owned (Kernel.neighbors ws i) in
+      Bitset.iter (fun j -> Kernel.toggle ws i j) strip;
+      let cost_of targets =
+        Bitset.iter (fun j -> Kernel.toggle ws i j) targets;
+        let dt = Kernel.distance_sum_from ws i in
+        Bitset.iter (fun j -> Kernel.toggle ws i j) targets;
+        (Rat.to_float alpha *. float_of_int (Bitset.cardinal targets))
+        +. (if dt = inf then Float.infinity else float_of_int dt)
+      in
+      let best = ref owned
+      and best_cost = ref (cost_of owned) in
+      Nf_util.Subset.iter_subsets (candidates_ws ws i) (fun targets ->
+          let c = cost_of targets in
+          if c < !best_cost then begin
+            best := targets;
+            best_cost := c
+          end);
+      (!best, !best_cost))
 
 (* --- orientation search ------------------------------------------------ *)
 
@@ -153,55 +270,73 @@ let search_orientations (type verdict) g ~(top : verdict)
 
 (* cheap orientation-independent necessary conditions *)
 let passes_necessary_conditions ~alpha g =
-  let additions_ok = ref true in
-  Graph.iter_non_edges g (fun i j ->
-      (* buying the missing link on top of the current strategy must not
-         strictly improve either endpoint: α >= D(G) - D(G+ij) *)
-      let check a b =
-        match Bfs.distance_sum g a, Bfs.distance_sum (Graph.add_edge g a b) a with
-        | Ext_int.Fin d0, Ext_int.Fin d1 -> if Rat.(alpha < of_int (d0 - d1)) then additions_ok := false
-        | Ext_int.Inf, Ext_int.Fin _ -> additions_ok := false
-        | (Ext_int.Fin _ | Ext_int.Inf), Ext_int.Inf -> ()
-      in
-      check i j;
-      check j i);
-  !additions_ok
-  &&
-  let drops_ok = ref true in
-  Graph.iter_edges g (fun i j ->
-      (* whichever endpoint owns the edge must tolerate it: some endpoint's
-         single-drop loss must reach α *)
-      let loss v w =
-        match Bfs.distance_sum g v, Bfs.distance_sum (Graph.remove_edge g v w) v with
-        | Ext_int.Fin d0, Ext_int.Fin d1 -> Ext_int.Fin (d1 - d0)
-        | Ext_int.Fin _, Ext_int.Inf -> Ext_int.Inf
-        | Ext_int.Inf, _ -> Ext_int.Inf
-      in
-      let tolerates = function
-        | Ext_int.Inf -> true
-        | Ext_int.Fin d -> Rat.(alpha <= of_int d)
-      in
-      if not (tolerates (loss i j) || tolerates (loss j i)) then drops_ok := false);
-  !drops_ok
+  Kernel.with_loaded g (fun ws ->
+      let n = Kernel.order ws in
+      let base = Kernel.all_distance_sums ws in
+      let num = Rat.num alpha
+      and den = Rat.den alpha in
+      let ok = ref true in
+      (try
+         (* buying a missing link on top of the current strategy must not
+            strictly improve either endpoint: α >= D(G) - D(G+ij) *)
+         for i = 0 to n - 2 do
+           for j = i + 1 to n - 1 do
+             if not (Kernel.has_edge ws i j) then begin
+               Kernel.toggle ws i j;
+               let check a =
+                 let d1 = Kernel.distance_sum_from ws a in
+                 if d1 <> inf && (base.(a) = inf || num < (base.(a) - d1) * den) then begin
+                   ok := false;
+                   Kernel.toggle ws i j;
+                   raise_notrace Exit
+                 end
+               in
+               check i;
+               check j;
+               Kernel.toggle ws i j
+             end
+           done
+         done;
+         (* whichever endpoint owns an edge must tolerate it: some
+            endpoint's single-drop loss must reach α *)
+         for i = 0 to n - 2 do
+           for j = i + 1 to n - 1 do
+             if Kernel.has_edge ws i j then begin
+               Kernel.toggle ws i j;
+               let tolerates a =
+                 let d1 = Kernel.distance_sum_from ws a in
+                 base.(a) = inf || d1 = inf || num <= (d1 - base.(a)) * den
+               in
+               let t = tolerates i || tolerates j in
+               Kernel.toggle ws i j;
+               if not t then begin
+                 ok := false;
+                 raise_notrace Exit
+               end
+             end
+           done
+         done
+       with Exit -> ());
+      !ok)
 
 let is_nash_graph ~alpha g =
   passes_necessary_conditions ~alpha g
-  &&
-  let memo = Hashtbl.create 64 in
-  let accepts_memo v owned =
-    let key = (v, owned) in
-    match Hashtbl.find_opt memo key with
-    | Some verdict -> verdict
-    | None ->
-      let verdict = accepts ~alpha g v ~owned in
-      Hashtbl.add memo key verdict;
-      verdict
-  in
-  let found = ref false in
-  (let judge v owned () = if !found || not (accepts_memo v owned) then None else Some () in
-   let emit () = found := true in
-   search_orientations g ~top:() ~judge ~emit);
-  !found
+  && Kernel.with_loaded g (fun ws ->
+         let memo = Hashtbl.create 64 in
+         let accepts_memo v owned =
+           let key = (v, owned) in
+           match Hashtbl.find_opt memo key with
+           | Some verdict -> verdict
+           | None ->
+             let verdict = accepts_ws ~alpha ws v ~owned in
+             Hashtbl.add memo key verdict;
+             verdict
+         in
+         let found = ref false in
+         (let judge v owned () = if !found || not (accepts_memo v owned) then None else Some () in
+          let emit () = found := true in
+          search_orientations g ~top:() ~judge ~emit);
+         !found)
 
 let is_nash_graph_f ~alpha g =
   let denom = 4096 in
@@ -217,10 +352,11 @@ let is_nash_orientation ~alpha g ~owner =
       if o <> i && o <> j then invalid_arg "Ucg.is_nash_orientation: owner not an endpoint";
       let other = if o = i then j else i in
       owned_of.(o) <- Bitset.add other owned_of.(o));
-  let rec go v = v >= n || (accepts ~alpha g v ~owned:owned_of.(v) && go (v + 1)) in
-  go 0
+  Kernel.with_loaded g (fun ws ->
+      let rec go v = v >= n || (accepts_ws ~alpha ws v ~owned:owned_of.(v) && go (v + 1)) in
+      go 0)
 
-let nash_alpha_set g =
+let nash_alpha_set_gen ~interval_of g =
   if not (Nf_graph.Connectivity.is_connected g) || Graph.order g = 0 then
     Interval.Union.empty
   else begin
@@ -230,7 +366,7 @@ let nash_alpha_set g =
       match Hashtbl.find_opt memo key with
       | Some interval -> interval
       | None ->
-        let interval = acceptance_interval g v ~owned in
+        let interval = interval_of v owned in
         Hashtbl.add memo key interval;
         interval
     in
@@ -244,3 +380,12 @@ let nash_alpha_set g =
       ~emit;
     Interval.Union.of_list !pieces
   end
+
+let nash_alpha_set_ws ws g =
+  Kernel.load ws g;
+  nash_alpha_set_gen ~interval_of:(fun v owned -> acceptance_interval_ws ws v ~owned) g
+
+let nash_alpha_set g = Kernel.with_ws (fun ws -> nash_alpha_set_ws ws g)
+
+let nash_alpha_set_reference g =
+  nash_alpha_set_gen ~interval_of:(fun v owned -> acceptance_interval g v ~owned) g

@@ -55,3 +55,14 @@ val nash_alpha_set : Nf_graph.Graph.t -> Nf_util.Interval.Union.t
     Requires [g] connected; disconnected graphs return the empty union
     (no connected-to-[i] player tolerates unreachable vertices, and fully
     empty graphs admit the buy-everything improvement). *)
+
+val nash_alpha_set_ws : Nf_graph.Kernel.t -> Nf_graph.Graph.t -> Nf_util.Interval.Union.t
+(** {!nash_alpha_set} against a caller-provided kernel workspace — the
+    allocation-light path used by chunked annotation (acceptance intervals
+    accumulated as integer fraction bounds around in-place edge
+    toggles). *)
+
+val nash_alpha_set_reference : Nf_graph.Graph.t -> Nf_util.Interval.Union.t
+(** Retained persistent-path implementation built on
+    {!acceptance_interval}; structurally identical output to
+    {!nash_alpha_set}, compared against it by the differential tests. *)

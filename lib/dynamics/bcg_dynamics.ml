@@ -1,7 +1,6 @@
 module Graph = Nf_graph.Graph
 module Rat = Nf_util.Rat
 module Prng = Nf_util.Prng
-open Netform
 
 type move =
   | Add of int * int
@@ -14,27 +13,51 @@ type outcome = {
   trace : move list;
 }
 
-let ext_lt alpha v =
-  match v with
-  | Nf_util.Ext_int.Inf -> true
-  | Nf_util.Ext_int.Fin k -> Rat.(alpha < of_int k)
+module Kernel = Nf_graph.Kernel
 
-let ext_le alpha v =
-  match v with
-  | Nf_util.Ext_int.Inf -> true
-  | Nf_util.Ext_int.Fin k -> Rat.(alpha <= of_int k)
+let inf = Kernel.inf
+let ibenefit ~base after = if base = inf then (if after = inf then 0 else inf) else base - after
+let iloss ~base after = if base = inf || after = inf then inf else after - base
 
+(* One kernel sweep for the base sums, then one allocation-free toggle
+   evaluation per candidate move.  Moves are accumulated in exactly the
+   order the persistent path produced them (additions in lexicographic
+   (i, j) order, then per edge Delete (i, j) before Delete (j, i)), so
+   [Prng.pick] draws the same move at every step and dynamics traces stay
+   byte-identical. *)
 let improving_moves ~alpha g =
-  let moves = ref [] in
-  Graph.iter_non_edges g (fun i j ->
-      let bi = Bcg.addition_benefit g i j
-      and bj = Bcg.addition_benefit g j i in
-      if (ext_lt alpha bi && ext_le alpha bj) || (ext_lt alpha bj && ext_le alpha bi)
-      then moves := Add (i, j) :: !moves);
-  Graph.iter_edges g (fun i j ->
-      if not (ext_le alpha (Bcg.severance_loss g i j)) then moves := Delete (i, j) :: !moves;
-      if not (ext_le alpha (Bcg.severance_loss g j i)) then moves := Delete (j, i) :: !moves);
-  !moves
+  Kernel.with_loaded g (fun ws ->
+      let base = Kernel.all_distance_sums ws in
+      let n = Kernel.order ws in
+      let num = Rat.num alpha
+      and den = Rat.den alpha in
+      let lt k = k = inf || num < k * den
+      and le k = k = inf || num <= k * den in
+      let moves = ref [] in
+      for i = 0 to n - 2 do
+        for j = i + 1 to n - 1 do
+          if not (Kernel.has_edge ws i j) then begin
+            Kernel.toggle ws i j;
+            let bi = ibenefit ~base:base.(i) (Kernel.distance_sum_from ws i)
+            and bj = ibenefit ~base:base.(j) (Kernel.distance_sum_from ws j) in
+            Kernel.toggle ws i j;
+            if (lt bi && le bj) || (lt bj && le bi) then moves := Add (i, j) :: !moves
+          end
+        done
+      done;
+      for i = 0 to n - 2 do
+        for j = i + 1 to n - 1 do
+          if Kernel.has_edge ws i j then begin
+            Kernel.toggle ws i j;
+            let li = iloss ~base:base.(i) (Kernel.distance_sum_from ws i)
+            and lj = iloss ~base:base.(j) (Kernel.distance_sum_from ws j) in
+            Kernel.toggle ws i j;
+            if not (le li) then moves := Delete (i, j) :: !moves;
+            if not (le lj) then moves := Delete (j, i) :: !moves
+          end
+        done
+      done;
+      !moves)
 
 let apply g = function
   | Add (i, j) -> Graph.add_edge g i j

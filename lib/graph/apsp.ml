@@ -3,45 +3,52 @@ module Ext_int = Nf_util.Ext_int
 let all_distances g =
   Array.init (Graph.order g) (fun v -> Bfs.distances g v)
 
-let distance_sums g = Array.init (Graph.order g) (fun v -> Bfs.distance_sum g v)
+let ext_of_int k = if k = Kernel.inf then Ext_int.Inf else Ext_int.Fin k
 
-let fold_over_sources g combine init =
-  let acc = ref init in
-  for v = 0 to Graph.order g - 1 do
-    acc := combine !acc (Bfs.distances g v)
-  done;
-  !acc
+(* One bit-parallel all-sources sweep instead of n independent BFS runs;
+   the per-source [Bfs.distance_sum] stays as the reference the kernel is
+   differential-tested against. *)
+let distance_sums g =
+  Kernel.with_loaded g (fun ws ->
+      let sums = Kernel.all_distance_sums ws in
+      Array.init (Graph.order g) (fun v -> ext_of_int sums.(v)))
 
+(* diameter = max eccentricity, radius = min eccentricity, wiener = sum of
+   distance sums — all read off the same kernel sweep.  A source that does
+   not reach every vertex has infinite eccentricity and distance sum, which
+   matches folding [Ext_int.Inf] for each unreachable target. *)
 let diameter g =
   if Graph.order g = 0 then Ext_int.zero
   else
-    let worst acc dist =
-      Array.fold_left
-        (fun acc d -> if d < 0 then Ext_int.Inf else Ext_int.max acc (Ext_int.Fin d))
-        acc dist
-    in
-    fold_over_sources g worst Ext_int.zero
+    Kernel.with_loaded g (fun ws ->
+        ignore (Kernel.all_distance_sums ws);
+        let ecc = Kernel.eccentricities ws in
+        let worst = ref 0 in
+        for v = 0 to Graph.order g - 1 do
+          if ecc.(v) > !worst then worst := ecc.(v)
+        done;
+        ext_of_int !worst)
 
 let radius g =
   if Graph.order g = 0 then Ext_int.zero
   else
-    let best acc dist =
-      let ecc =
-        Array.fold_left
-          (fun acc d -> if d < 0 then Ext_int.Inf else Ext_int.max acc (Ext_int.Fin d))
-          Ext_int.zero dist
-      in
-      Ext_int.min acc ecc
-    in
-    fold_over_sources g best Ext_int.Inf
+    Kernel.with_loaded g (fun ws ->
+        ignore (Kernel.all_distance_sums ws);
+        let ecc = Kernel.eccentricities ws in
+        let best = ref Kernel.inf in
+        for v = 0 to Graph.order g - 1 do
+          if ecc.(v) < !best then best := ecc.(v)
+        done;
+        ext_of_int !best)
 
 let wiener g =
-  let add acc dist =
-    Array.fold_left
-      (fun acc d -> if d < 0 then Ext_int.Inf else Ext_int.add acc (Ext_int.Fin d))
-      acc dist
-  in
-  fold_over_sources g add Ext_int.zero
+  Kernel.with_loaded g (fun ws ->
+      let sums = Kernel.all_distance_sums ws in
+      let total = ref Ext_int.zero in
+      for v = 0 to Graph.order g - 1 do
+        total := Ext_int.add !total (ext_of_int sums.(v))
+      done;
+      !total)
 
 let average_distance g =
   let n = Graph.order g in

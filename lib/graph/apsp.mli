@@ -5,10 +5,10 @@ val all_distances : Graph.t -> int array array
     unreachable. *)
 
 val distance_sums : Graph.t -> Nf_util.Ext_int.t array
-(** [distance_sums g] is [Bfs.distance_sum g v] for every vertex, one BFS
-    per vertex.  The stability kernels compute this once per graph and
-    reuse it as the base cost of every endpoint, so each edge toggle costs
-    a single fresh BFS instead of a base/perturbed pair. *)
+(** [distance_sums g] is [Bfs.distance_sum g v] for every vertex, computed
+    by one bit-parallel all-sources kernel sweep ({!Kernel.all_distance_sums})
+    instead of [n] independent BFS runs.  The stability kernels compute
+    this once per graph and reuse it as the base cost of every endpoint. *)
 
 val diameter : Graph.t -> Nf_util.Ext_int.t
 (** Greatest finite distance, or [Inf] when disconnected.  The diameter of

@@ -27,9 +27,26 @@ let distances_ext g src =
     (fun d -> if d < 0 then Ext_int.Inf else Ext_int.Fin d)
     (distances g src)
 
+(* Same levels as [distances], but stops the moment [dst] enters a
+   frontier instead of exhausting the component. *)
 let distance g src dst =
-  let d = (distances g src).(dst) in
-  if d < 0 then Ext_int.Inf else Ext_int.Fin d
+  let n = Graph.order g in
+  if src < 0 || src >= n || dst < 0 || dst >= n then
+    invalid_arg "Bfs.distance: vertex out of range";
+  if src = dst then Ext_int.Fin 0
+  else begin
+    let rec go seen frontier level =
+      if Bitset.is_empty frontier then Ext_int.Inf
+      else begin
+        let next = ref Bitset.empty in
+        Bitset.iter (fun v -> next := Bitset.union !next (Graph.neighbors g v)) frontier;
+        let fresh = Bitset.diff !next seen in
+        if Bitset.mem dst fresh then Ext_int.Fin level
+        else go (Bitset.union seen fresh) fresh (level + 1)
+      end
+    in
+    go (Bitset.singleton src) (Bitset.singleton src) 1
+  end
 
 let distance_sum g v =
   let dist = distances g v in

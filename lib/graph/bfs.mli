@@ -11,6 +11,10 @@ val distances_ext : Graph.t -> int -> Nf_util.Ext_int.t array
 (** As {!distances} with unreachable vertices mapped to [Inf]. *)
 
 val distance : Graph.t -> int -> int -> Nf_util.Ext_int.t
+(** [distance g src dst] is the hop distance, with early exit as soon as
+    the BFS labels [dst] (it agrees with [(distances g src).(dst)]).
+    @raise Invalid_argument when either vertex is out of range. *)
+
 val distance_sum : Graph.t -> int -> Nf_util.Ext_int.t
 (** [distance_sum g v] is [Σ_j d(v,j)] — the distance component of player
     [v]'s cost; [Inf] whenever some vertex is unreachable from [v]. *)

@@ -1,0 +1,188 @@
+module Bitset = Nf_util.Bitset
+
+type t = {
+  mutable n : int;
+  mutable all : Bitset.t;  (** [Bitset.full n], cached *)
+  mutable adj : Bitset.t array;
+  mutable sums : int array;
+  mutable ecc : int array;
+  mutable reach : Bitset.t array;
+  mutable front : Bitset.t array;
+}
+
+let inf = max_int
+
+let create ?(hint = 16) () =
+  let cap = max hint 1 in
+  {
+    n = 0;
+    all = Bitset.empty;
+    adj = Array.make cap Bitset.empty;
+    sums = Array.make cap 0;
+    ecc = Array.make cap 0;
+    reach = Array.make cap Bitset.empty;
+    front = Array.make cap Bitset.empty;
+  }
+
+let ensure ws n =
+  if n > Array.length ws.adj then begin
+    let cap = max n (2 * Array.length ws.adj) in
+    ws.adj <- Array.make cap Bitset.empty;
+    ws.sums <- Array.make cap 0;
+    ws.ecc <- Array.make cap 0;
+    ws.reach <- Array.make cap Bitset.empty;
+    ws.front <- Array.make cap Bitset.empty
+  end
+
+let order ws = ws.n
+let neighbors ws v = ws.adj.(v)
+let has_edge ws i j = Bitset.mem j ws.adj.(i)
+
+let load ws g =
+  let n = Graph.order g in
+  ensure ws n;
+  ws.n <- n;
+  ws.all <- Bitset.full n;
+  for v = 0 to n - 1 do
+    ws.adj.(v) <- Graph.neighbors g v
+  done
+
+let load_rows ws n row =
+  if n < 0 || n > Bitset.max_size then invalid_arg "Kernel.load_rows: bad order";
+  ensure ws n;
+  ws.n <- n;
+  ws.all <- Bitset.full n;
+  for v = 0 to n - 1 do
+    ws.adj.(v) <- Bitset.remove v (Bitset.inter (row v) ws.all)
+  done
+
+let toggle ws i j =
+  if i = j then invalid_arg "Kernel.toggle: loop";
+  (* Bitset.t is a bare int: one xor per row flips presence both ways *)
+  ws.adj.(i) <- ws.adj.(i) lxor (1 lsl j);
+  ws.adj.(j) <- ws.adj.(j) lxor (1 lsl i)
+
+(* Index of an isolated bit [b] (a power of two), branch cascade instead of
+   Bitset.min_elt's linear probe — this sits inside every frontier
+   expansion. *)
+let bit_index b =
+  let k = if b land 0xFFFFFFFF = 0 then 32 else 0 in
+  let b = b lsr k in
+  let k2 = if b land 0xFFFF = 0 then 16 else 0 in
+  let b = b lsr k2 in
+  let k3 = if b land 0xFF = 0 then 8 else 0 in
+  let b = b lsr k3 in
+  let k4 = if b land 0xF = 0 then 4 else 0 in
+  let b = b lsr k4 in
+  let k5 = if b land 0x3 = 0 then 2 else 0 in
+  let b = b lsr k5 in
+  k + k2 + k3 + k4 + k5 + (b lsr 1)
+
+(* Union of the adjacency rows of every vertex in [f]: the one-round
+   frontier expansion.  Tail recursion over isolated low bits; every value
+   is an immediate int, so a full BFS allocates nothing. *)
+let rec expand_rows adj f acc =
+  if f = 0 then acc
+  else
+    let b = f land -f in
+    expand_rows adj (f lxor b) (acc lor adj.(bit_index b))
+
+let distance_sum_from ws src =
+  let adj = ws.adj
+  and all = ws.all in
+  let rec go seen front level sum =
+    if front = 0 then if seen = all then sum else inf
+    else
+      let fresh = expand_rows adj front 0 land lnot seen in
+      go (seen lor fresh) fresh (level + 1) (sum + (level * Bitset.cardinal fresh))
+  in
+  let s = Bitset.singleton src in
+  go s s 1 0
+
+let reach_stats ws src =
+  let adj = ws.adj in
+  let rec go seen front level sum =
+    if front = 0 then (sum, Bitset.cardinal seen)
+    else
+      let fresh = expand_rows adj front 0 land lnot seen in
+      go (seen lor fresh) fresh (level + 1) (sum + (level * Bitset.cardinal fresh))
+  in
+  let s = Bitset.singleton src in
+  go s s 1 0
+
+(* Bit-parallel all-sources BFS: one reach bitset and one frontier bitset
+   per vertex, every frontier expanded simultaneously each round, so the
+   whole all-pairs sweep costs O(diameter) rounds of O(n) word operations
+   (amortized: each vertex enters each frontier once).  Eccentricities fall
+   out for free as the last round in which a source still found a fresh
+   vertex. *)
+let all_distance_sums ws =
+  let n = ws.n
+  and adj = ws.adj
+  and all = ws.all in
+  let reach = ws.reach
+  and front = ws.front
+  and sums = ws.sums
+  and ecc = ws.ecc in
+  for v = 0 to n - 1 do
+    let s = Bitset.singleton v in
+    reach.(v) <- s;
+    front.(v) <- s;
+    sums.(v) <- 0;
+    ecc.(v) <- 0
+  done;
+  let rec round_of v level changed =
+    if v >= n then changed
+    else begin
+      let f = front.(v) in
+      if f = 0 then round_of (v + 1) level changed
+      else begin
+        let fresh = expand_rows adj f 0 land lnot reach.(v) in
+        front.(v) <- fresh;
+        if fresh = 0 then round_of (v + 1) level changed
+        else begin
+          reach.(v) <- reach.(v) lor fresh;
+          sums.(v) <- sums.(v) + (level * Bitset.cardinal fresh);
+          ecc.(v) <- level;
+          round_of (v + 1) level true
+        end
+      end
+    end
+  in
+  let rec rounds level = if round_of 0 level false then rounds (level + 1) in
+  rounds 1;
+  for v = 0 to n - 1 do
+    if reach.(v) <> all then begin
+      sums.(v) <- inf;
+      ecc.(v) <- inf
+    end
+  done;
+  sums
+
+let eccentricities ws = ws.ecc
+
+(* ---------------- per-domain workspaces ----------------
+   One resident workspace per domain, handed out under a busy flag: the
+   normal borrow is free of allocation, and a re-entrant borrow (a kernel
+   routine calling another kernel routine) falls back to a fresh scratch
+   workspace instead of corrupting the outer caller's state. *)
+
+type slot = {
+  resident : t;
+  mutable busy : bool;
+}
+
+let slot_key = Domain.DLS.new_key (fun () -> { resident = create (); busy = false })
+
+let with_ws f =
+  let slot = Domain.DLS.get slot_key in
+  if slot.busy then f (create ())
+  else begin
+    slot.busy <- true;
+    Fun.protect ~finally:(fun () -> slot.busy <- false) (fun () -> f slot.resident)
+  end
+
+let with_loaded g f =
+  with_ws (fun ws ->
+      load ws g;
+      f ws)

@@ -1,0 +1,73 @@
+(** Zero-allocation batched distance kernel.
+
+    A {!t} is a reusable per-domain workspace: mutable adjacency rows
+    (bitsets), preallocated distance-sum / eccentricity / reach / frontier
+    scratch arrays, and an edge-toggle primitive.  Loading a graph and
+    running any number of single-source or all-sources distance-sum sweeps
+    allocates nothing after the workspace exists — every intermediate value
+    is an immediate [int], and infinity is represented as {!inf}
+    ([max_int]) instead of boxed [Ext_int.t].
+
+    {b Ownership rules}: a workspace is single-owner mutable state. Obtain
+    one with {!with_ws} (or {!with_loaded}) which borrows the calling
+    domain's resident workspace — one workspace per domain, never shared
+    across domains, never stashed beyond the callback.  Re-entrant borrows
+    are safe: the inner call gets a fresh scratch workspace. *)
+
+module Bitset := Nf_util.Bitset
+
+type t
+
+val inf : int
+(** Distance/sum value standing for infinity ([max_int]).  Arithmetic on it
+    is the caller's responsibility: test against [inf] before adding. *)
+
+val create : ?hint:int -> unit -> t
+(** Fresh workspace with capacity for [hint] (default 16) vertices; grows
+    on demand in {!load}/{!load_rows}. *)
+
+val load : t -> Graph.t -> unit
+(** Copy a graph's adjacency rows into the workspace. *)
+
+val load_rows : t -> int -> (int -> Bitset.t) -> unit
+(** [load_rows ws n row] loads an [n]-vertex graph whose adjacency row for
+    vertex [v] is [row v]; rows are masked to [0..n-1] and self-loops
+    stripped.  Lets callers build graphs (e.g. from directed strategy
+    profiles) without constructing a persistent [Graph.t]. *)
+
+val order : t -> int
+val neighbors : t -> int -> Bitset.t
+val has_edge : t -> int -> int -> bool
+
+val toggle : t -> int -> int -> unit
+(** Flip the presence of undirected edge [{i,j}] in place ([i <> j]). *)
+
+val distance_sum_from : t -> int -> int
+(** Sum of BFS distances from a source to all other vertices, or {!inf} if
+    some vertex is unreachable.  Allocation-free. *)
+
+val reach_stats : t -> int -> int * int
+(** [reach_stats ws src] is [(finite_sum, reached)]: the sum of distances
+    to the vertices reachable from [src] and how many vertices are
+    reachable (including [src] itself).  Never {!inf}. *)
+
+val all_distance_sums : t -> int array
+(** Bit-parallel all-sources sweep: every per-vertex frontier expands
+    simultaneously each round, so the whole all-pairs pass costs
+    O(diameter) rounds of O(n) word operations.  Returns the workspace's
+    internal sums array ([sums.(v)] = distance sum from [v], {!inf} when
+    [v] cannot reach every vertex) — valid until the next kernel call; copy
+    it if it must survive.  Also refreshes {!eccentricities}. *)
+
+val eccentricities : t -> int array
+(** Per-vertex eccentricities computed by the latest {!all_distance_sums}
+    ({!inf} for vertices that do not reach everything).  Same borrowing
+    rule as the sums array. *)
+
+val with_ws : (t -> 'a) -> 'a
+(** Borrow the calling domain's resident workspace.  The workspace is
+    reused across calls on the same domain (this is what makes chunked
+    annotation allocation-free); contents are unspecified on entry. *)
+
+val with_loaded : Graph.t -> (t -> 'a) -> 'a
+(** [with_loaded g f] = [with_ws] + {!load}[ g] before running [f]. *)

@@ -13,12 +13,15 @@ type outcome = {
   seconds : float;
 }
 
+(* One workspace borrow covers both annotations: the worker domain's
+   resident kernel scratch is reused for every record it processes. *)
 let annotate_record ~with_ucg g =
-  {
-    Layout.graph6 = Nf_graph.Graph6.encode g;
-    bcg = Bcg.stable_alpha_set g;
-    ucg = (if with_ucg then Some (Ucg.nash_alpha_set g) else None);
-  }
+  Nf_graph.Kernel.with_ws (fun ws ->
+      {
+        Layout.graph6 = Nf_graph.Graph6.encode g;
+        bcg = Bcg.stable_alpha_set_ws ws g;
+        ucg = (if with_ucg then Some (Ucg.nash_alpha_set_ws ws g) else None);
+      })
 
 (* The sweep: stream connected classes in chunks off the enumeration
    engine (never materializing the level), annotate each chunk across the

@@ -25,7 +25,15 @@
       reused.
     - {b Reentrancy.}  A nested call from inside a work item (or a
       concurrent call from another domain while a batch is in flight) falls
-      back to the sequential path instead of deadlocking. *)
+      back to the sequential path instead of deadlocking.
+    - {b Long-lived workers and domain-local state.}  Worker domains
+      persist across batches, so [Domain.DLS]-cached resources — in
+      particular the per-domain {!Nf_graph.Kernel} workspace obtained via
+      [Kernel.with_ws] — are allocated once per worker and reused by every
+      chunk that worker ever claims.  Work items should borrow such state
+      through its scoped accessor rather than capture it in the closure:
+      a workspace created in the submitting domain must never travel into
+      a work item. *)
 
 type t
 (** A pool handle.  Values of type [t] may be shared between domains. *)

@@ -1,0 +1,71 @@
+#!/bin/sh
+# Bench regression guard: compare a freshly emitted BENCH_<ts>.json against
+# the committed baseline and fail when any guarded row regressed past the
+# tolerance factor.
+#
+#   usage: scripts/bench_check.sh FRESH.json [BASELINE.json]
+#
+# Guarded rows are the netform/kernels/ and netform/store/ groups — the
+# substrate the experiment rows sit on.  Rows whose baseline estimate is
+# below the noise floor are reported but never fail the check (micro-rows
+# jitter far beyond any honest tolerance under the quick-quota smoke), and
+# a guarded baseline row missing from the fresh report is an error.
+#
+#   NETFORM_BENCH_TOLERANCE   allowed slowdown factor (default 2.0)
+#   NETFORM_BENCH_MIN_NS      noise floor in ns/run     (default 1000000)
+set -eu
+
+fresh=${1:?usage: bench_check.sh FRESH.json [BASELINE.json]}
+baseline=${2:-$(dirname "$0")/bench_baseline.json}
+tolerance=${NETFORM_BENCH_TOLERANCE:-2.0}
+min_ns=${NETFORM_BENCH_MIN_NS:-1000000}
+
+[ -f "$fresh" ] || { echo "bench_check: fresh report $fresh not found" >&2; exit 2; }
+[ -f "$baseline" ] || { echo "bench_check: baseline $baseline not found" >&2; exit 2; }
+
+# one "name ns" pair per line out of the netform-bench/1 JSON layout
+extract() {
+  awk -F'"' '
+    /"name":/ && /"ns_per_run":/ {
+      name = $4
+      line = $0
+      sub(/.*"ns_per_run": */, "", line)
+      sub(/[^0-9.].*$/, "", line)
+      if (line != "") print name, line
+    }' "$1"
+}
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+extract "$fresh" > "$tmp/fresh"
+extract "$baseline" > "$tmp/baseline"
+
+awk -v tolerance="$tolerance" -v min_ns="$min_ns" '
+  NR == FNR { fresh[$1] = $2; next }
+  $1 ~ /^netform\/(kernels|store)\// {
+    base = $2
+    if (!($1 in fresh)) {
+      printf "MISSING   %-55s (in baseline, absent from fresh report)\n", $1
+      failed = 1
+      next
+    }
+    now = fresh[$1]
+    ratio = (base > 0) ? now / base : 0
+    if (base < min_ns) {
+      printf "noise     %-55s %12.0f -> %12.0f ns (%.2fx, below %d ns floor)\n", \
+        $1, base, now, ratio, min_ns
+    } else if (now > base * tolerance) {
+      printf "REGRESSED %-55s %12.0f -> %12.0f ns (%.2fx > %.2fx)\n", \
+        $1, base, now, ratio, tolerance
+      failed = 1
+    } else {
+      printf "ok        %-55s %12.0f -> %12.0f ns (%.2fx)\n", $1, base, now, ratio
+    }
+    guarded++
+  }
+  END {
+    if (guarded == 0) { print "bench_check: no guarded rows found in baseline"; exit 2 }
+    exit failed ? 1 : 0
+  }' "$tmp/fresh" "$tmp/baseline"
+
+echo "bench_check: no kernel/store row regressed past ${tolerance}x"

@@ -40,7 +40,12 @@ done
 cmp "$store_dir/pristine_j1.nfs" "$store_dir/pristine_j4.nfs"
 echo "store smoke: jobs=1 and jobs=4 builds byte-identical"
 
-echo "== bench smoke pass (perf-trajectory JSON) =="
-NETFORM_BENCH_SKIP_EXPERIMENTS=1 NETFORM_BENCH_QUICK=1 dune exec bench/main.exe
+echo "== bench smoke pass (perf-trajectory JSON, jobs=4) =="
+bench_json="BENCH_$(date +%Y%m%d_%H%M%S).json"
+NETFORM_JOBS=4 NETFORM_BENCH_SKIP_EXPERIMENTS=1 NETFORM_BENCH_QUICK=1 \
+  NETFORM_BENCH_JSON="$bench_json" dune exec bench/main.exe
+
+echo "== bench regression guard (vs scripts/bench_baseline.json) =="
+scripts/bench_check.sh "$bench_json"
 
 echo "ci.sh: all green"

@@ -1,0 +1,318 @@
+(* Differential tests for the zero-allocation batched distance kernel:
+   bit-parallel all-sources sums vs naive per-source BFS, toggle deltas vs
+   persistent graph edits, workspace annotation vs the retained
+   persistent-path references, Bfs.distance early exit, and the per-domain
+   workspace borrow discipline — over seeded Prng random graphs including
+   disconnected and edgeless ones. *)
+
+module Graph = Nf_graph.Graph
+module Bfs = Nf_graph.Bfs
+module Apsp = Nf_graph.Apsp
+module Kernel = Nf_graph.Kernel
+module Random_graph = Nf_graph.Random_graph
+module Bitset = Nf_util.Bitset
+module Ext_int = Nf_util.Ext_int
+module Rat = Nf_util.Rat
+module Interval = Nf_util.Interval
+module Prng = Nf_util.Prng
+open Netform
+
+let check = Alcotest.check
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let ext = Alcotest.testable Ext_int.pp Ext_int.equal
+let interval = Alcotest.testable Interval.pp Interval.equal
+let union = Alcotest.testable Interval.Union.pp Interval.Union.equal
+
+(* seeded corpus: sparse through dense gnp at several orders, plus the
+   degenerate shapes the kernel must not trip over *)
+let random_corpus () =
+  let rng = Prng.create 0x6b65726e in
+  let random =
+    List.concat_map
+      (fun n ->
+        List.concat_map
+          (fun p -> List.init 3 (fun _ -> Random_graph.gnp rng n p))
+          [ 0.0; 0.1; 0.3; 0.5; 0.8 ])
+      [ 1; 2; 3; 5; 8; 12; 20 ]
+  in
+  random
+  @ [
+      Graph.empty 0;
+      Graph.empty 7;
+      Graph.of_edges 6 [ (0, 1); (2, 3) ];
+      Random_graph.gnp rng 40 0.15;
+      Nf_named.Gallery.petersen;
+      Nf_named.Families.path 9;
+    ]
+
+let naive_sum g v = Bfs.distance_sum g v
+
+let ext_of_kernel k = if k = Kernel.inf then Ext_int.Inf else Ext_int.Fin k
+
+let test_all_sums_vs_naive () =
+  let ws = Kernel.create () in
+  List.iter
+    (fun g ->
+      Kernel.load ws g;
+      let sums = Kernel.all_distance_sums ws in
+      for v = 0 to Graph.order g - 1 do
+        check ext "batch sum = per-source BFS" (naive_sum g v) (ext_of_kernel sums.(v));
+        check ext "single-source kernel sum = per-source BFS" (naive_sum g v)
+          (ext_of_kernel (Kernel.distance_sum_from ws v))
+      done)
+    (random_corpus ())
+
+let test_eccentricities_vs_naive () =
+  let ws = Kernel.create () in
+  List.iter
+    (fun g ->
+      Kernel.load ws g;
+      ignore (Kernel.all_distance_sums ws);
+      let ecc = Kernel.eccentricities ws in
+      for v = 0 to Graph.order g - 1 do
+        check ext "kernel eccentricity = BFS eccentricity" (Bfs.eccentricity g v)
+          (ext_of_kernel ecc.(v))
+      done)
+    (random_corpus ())
+
+let test_reach_stats_vs_naive () =
+  let ws = Kernel.create () in
+  List.iter
+    (fun g ->
+      Kernel.load ws g;
+      for v = 0 to Graph.order g - 1 do
+        let fsum, reached = Kernel.reach_stats ws v in
+        let dist = Bfs.distances g v in
+        let nsum = ref 0
+        and nreached = ref 0 in
+        Array.iter
+          (fun d ->
+            if d >= 0 then begin
+              nsum := !nsum + d;
+              incr nreached
+            end)
+          dist;
+        check_int "finite sum" !nsum fsum;
+        check_int "reached count" !nreached reached
+      done)
+    (random_corpus ())
+
+(* random toggle walks: the workspace under xor toggles must track the
+   persistent graph under add/remove at every step *)
+let test_toggle_deltas () =
+  let rng = Prng.create 0x746f67 in
+  let ws = Kernel.create () in
+  List.iter
+    (fun n ->
+      let g = ref (Random_graph.gnp rng n 0.4) in
+      Kernel.load ws !g;
+      for _step = 1 to 60 do
+        let i = Prng.int rng n in
+        let j = (i + 1 + Prng.int rng (n - 1)) mod n in
+        Kernel.toggle ws i j;
+        g := (if Graph.has_edge !g i j then Graph.remove_edge else Graph.add_edge) !g i j;
+        check_bool "edge presence tracks" (Graph.has_edge !g i j) (Kernel.has_edge ws i j);
+        let sums = Kernel.all_distance_sums ws in
+        for v = 0 to n - 1 do
+          check ext "post-toggle sums track" (naive_sum !g v) (ext_of_kernel sums.(v))
+        done
+      done)
+    [ 2; 5; 9 ]
+
+let test_bfs_distance_early_exit () =
+  let corpus = random_corpus () in
+  List.iter
+    (fun g ->
+      let n = Graph.order g in
+      for src = 0 to n - 1 do
+        let dist = Bfs.distances g src in
+        for dst = 0 to n - 1 do
+          let expected = if dist.(dst) < 0 then Ext_int.Inf else Ext_int.Fin dist.(dst) in
+          check ext "early-exit distance = full BFS" expected (Bfs.distance g src dst)
+        done
+      done)
+    corpus;
+  Alcotest.check_raises "out of range" (Invalid_argument "Bfs.distance: vertex out of range")
+    (fun () -> ignore (Bfs.distance (Graph.empty 3) 0 3))
+
+let test_apsp_metrics_vs_fold () =
+  List.iter
+    (fun g ->
+      let n = Graph.order g in
+      let eccs = List.init n (fun v -> Bfs.eccentricity g v) in
+      let expected_diameter =
+        if n = 0 then Ext_int.zero else List.fold_left Ext_int.max Ext_int.zero eccs
+      in
+      let expected_radius =
+        if n = 0 then Ext_int.zero else List.fold_left Ext_int.min Ext_int.Inf eccs
+      in
+      let expected_wiener =
+        List.fold_left
+          (fun acc v -> Ext_int.add acc (naive_sum g v))
+          Ext_int.zero (List.init n Fun.id)
+      in
+      check ext "diameter" expected_diameter (Apsp.diameter g);
+      check ext "radius" expected_radius (Apsp.radius g);
+      check ext "wiener" expected_wiener (Apsp.wiener g);
+      let sums = Apsp.distance_sums g in
+      for v = 0 to n - 1 do
+        check ext "distance_sums" (naive_sum g v) sums.(v)
+      done)
+    (random_corpus ())
+
+(* ---------------- annotation parity vs retained references -------------- *)
+
+let annotation_corpus () =
+  Nf_enum.Unlabeled.connected_graphs 5
+  @ [
+      Graph.empty 1;
+      Graph.of_edges 5 [ (0, 1); (2, 3) ];
+      Graph.of_edges 6 [ (0, 1); (1, 2); (3, 4) ];
+      Nf_named.Families.cycle 8;
+      Nf_named.Families.star 7;
+      Nf_named.Families.path 7;
+    ]
+
+let test_bcg_annotation_parity () =
+  let ws = Kernel.create () in
+  List.iter
+    (fun g ->
+      check interval "bcg ws = reference" (Bcg.stable_alpha_set_reference g)
+        (Bcg.stable_alpha_set_ws ws g);
+      check interval "bcg public = reference" (Bcg.stable_alpha_set_reference g)
+        (Bcg.stable_alpha_set g))
+    (annotation_corpus ())
+
+let test_transfers_annotation_parity () =
+  let ws = Kernel.create () in
+  List.iter
+    (fun g ->
+      check interval "transfers ws = reference" (Transfers.stable_alpha_set_reference g)
+        (Transfers.stable_alpha_set_ws ws g))
+    (annotation_corpus ())
+
+let test_ucg_annotation_parity () =
+  let ws = Kernel.create () in
+  List.iter
+    (fun g ->
+      check union "ucg ws = reference" (Ucg.nash_alpha_set_reference g)
+        (Ucg.nash_alpha_set_ws ws g))
+    (Nf_enum.Unlabeled.connected_graphs 5
+    @ [ Nf_named.Families.cycle 7; Nf_named.Families.star 6; Nf_named.Families.path 6 ])
+
+let test_ucg_petersen_parity () =
+  check union "petersen nash set = reference"
+    (Ucg.nash_alpha_set_reference Nf_named.Gallery.petersen)
+    (Ucg.nash_alpha_set Nf_named.Gallery.petersen)
+
+(* naive improving-move list straight off the exported per-pair functions
+   (the pre-kernel implementation) *)
+let reference_improving_moves ~alpha g =
+  let ext_lt v =
+    match v with
+    | Ext_int.Inf -> true
+    | Ext_int.Fin k -> Rat.(alpha < of_int k)
+  in
+  let ext_le v =
+    match v with
+    | Ext_int.Inf -> true
+    | Ext_int.Fin k -> Rat.(alpha <= of_int k)
+  in
+  let moves = ref [] in
+  Graph.iter_non_edges g (fun i j ->
+      let bi = Bcg.addition_benefit g i j
+      and bj = Bcg.addition_benefit g j i in
+      if (ext_lt bi && ext_le bj) || (ext_lt bj && ext_le bi) then
+        moves := Nf_dynamics.Bcg_dynamics.Add (i, j) :: !moves);
+  Graph.iter_edges g (fun i j ->
+      if not (ext_le (Bcg.severance_loss g i j)) then
+        moves := Nf_dynamics.Bcg_dynamics.Delete (i, j) :: !moves;
+      if not (ext_le (Bcg.severance_loss g j i)) then
+        moves := Nf_dynamics.Bcg_dynamics.Delete (j, i) :: !moves);
+  !moves
+
+let move_testable =
+  let pp fmt m =
+    match m with
+    | Nf_dynamics.Bcg_dynamics.Add (i, j) -> Format.fprintf fmt "Add(%d,%d)" i j
+    | Nf_dynamics.Bcg_dynamics.Delete (i, j) -> Format.fprintf fmt "Delete(%d,%d)" i j
+  in
+  Alcotest.testable pp ( = )
+
+let test_improving_moves_parity () =
+  let rng = Prng.create 0x6d767273 in
+  let grid = [ Rat.make 1 2; Rat.one; Rat.make 3 2; Rat.of_int 2; Rat.of_int 4 ] in
+  let subjects =
+    List.init 12 (fun _ -> Random_graph.gnp rng 6 0.4)
+    @ [ Graph.of_edges 5 [ (0, 1); (2, 3) ]; Graph.empty 4; Nf_named.Families.cycle 6 ]
+  in
+  List.iter
+    (fun g ->
+      List.iter
+        (fun alpha ->
+          check
+            Alcotest.(list move_testable)
+            "improving moves identical (incl. order)"
+            (reference_improving_moves ~alpha g)
+            (Nf_dynamics.Bcg_dynamics.improving_moves ~alpha g))
+        grid)
+    subjects
+
+(* ---------------- workspace borrow discipline ---------------- *)
+
+let test_nested_borrow () =
+  (* a nested with_ws must hand out a different workspace than the outer
+     borrow, so kernel routines can call each other without trampling
+     state *)
+  Kernel.with_ws (fun outer ->
+      Kernel.load outer (Nf_named.Families.cycle 5);
+      let distinct = Kernel.with_ws (fun inner -> inner != outer) in
+      check_bool "nested borrow gets a fresh workspace" true distinct;
+      (* outer state survived the nested borrow *)
+      check_int "outer untouched" 5 (Kernel.order outer));
+  (* sequential borrows on one domain reuse the resident workspace *)
+  let first = Kernel.with_ws (fun ws -> ws) in
+  let second = Kernel.with_ws (fun ws -> ws) in
+  check_bool "resident workspace is reused" true (first == second)
+
+let test_load_rows () =
+  let ws = Kernel.create () in
+  (* rows with out-of-range bits and self-loops must be masked off *)
+  Kernel.load_rows ws 3 (fun v ->
+      Bitset.of_list (match v with 0 -> [ 0; 1; 5 ] | 1 -> [ 0; 2 ] | _ -> [ 1; 60 ]));
+  check_bool "edge 0-1" true (Kernel.has_edge ws 0 1);
+  check_bool "edge 1-2" true (Kernel.has_edge ws 1 2);
+  check_bool "self loop stripped" false (Kernel.has_edge ws 0 0);
+  check_bool "out of range stripped" false (Kernel.has_edge ws 0 5 || Kernel.has_edge ws 2 60);
+  check_int "path sum" 3 (Kernel.distance_sum_from ws 0)
+
+let () =
+  Alcotest.run "nf_kernel"
+    [
+      ( "sums",
+        [
+          Alcotest.test_case "all sources vs naive" `Quick test_all_sums_vs_naive;
+          Alcotest.test_case "eccentricities vs naive" `Quick test_eccentricities_vs_naive;
+          Alcotest.test_case "reach stats vs naive" `Quick test_reach_stats_vs_naive;
+          Alcotest.test_case "apsp metrics" `Quick test_apsp_metrics_vs_fold;
+        ] );
+      ( "toggles",
+        [
+          Alcotest.test_case "toggle deltas vs persistent" `Quick test_toggle_deltas;
+          Alcotest.test_case "bfs distance early exit" `Quick test_bfs_distance_early_exit;
+        ] );
+      ( "annotation",
+        [
+          Alcotest.test_case "bcg parity" `Quick test_bcg_annotation_parity;
+          Alcotest.test_case "transfers parity" `Quick test_transfers_annotation_parity;
+          Alcotest.test_case "ucg parity" `Quick test_ucg_annotation_parity;
+          Alcotest.test_case "ucg petersen parity" `Slow test_ucg_petersen_parity;
+          Alcotest.test_case "improving moves parity" `Quick test_improving_moves_parity;
+        ] );
+      ( "workspace",
+        [
+          Alcotest.test_case "nested borrow" `Quick test_nested_borrow;
+          Alcotest.test_case "load rows" `Quick test_load_rows;
+        ] );
+    ]
