@@ -183,6 +183,17 @@ let kernel_tests =
         Nf_graph.Graph6.decode (Nf_graph.Graph6.encode g)));
   ]
 
+(* registry-driven games: the extension game's full annotation sweep
+   exercises the generic Equilibria cache + Game kernel path end to
+   end — the trajectory row for everything that is NOT the classic
+   bcg/ucg pair *)
+let game_tests =
+  [
+    Test.make ~name:"weighted_bcg_annotate_n6" (Staged.stage (fun () ->
+        Nf_analysis.Equilibria.clear_cache ();
+        Nf_analysis.Equilibria.annotated Game_registry.weighted_bcg 6));
+  ]
+
 (* ---------------- store cold/warm trajectory ---------------- *)
 
 (* The nf_store acceptance record: a one-shot timed cold build (the full
@@ -312,6 +323,7 @@ let run_benchmarks () =
       [
         Test.make_grouped ~name:"experiments" experiment_tests;
         Test.make_grouped ~name:"kernels" kernel_tests;
+        Test.make_grouped ~name:"games" game_tests;
       ]
   in
   let raw = Benchmark.all cfg instances grouped in

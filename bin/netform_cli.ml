@@ -4,13 +4,18 @@
    Subcommands:
      stability    exact BCG stable window / UCG Nash set for a graph
      named        list the built-in graph gallery with invariants
+     games        list the registered game instances (--game values)
      enumerate    equilibrium counts over all connected topologies
-     sweep        Figures 2 & 3 (tables + ASCII plots + optional CSV)
-     dynamics     run improving-path / best-response dynamics
+     sweep        Figures 2 & 3, or any one game's sweep via --game
+     dynamics     run improving-path / best-response dynamics (--game)
      annotate     export the equilibrium atlas (graph6 + exact regions)
-     experiments  run the full E1-E20 reproduction suite
+     experiments  run the full E1-E21 reproduction suite
      store        persistent equilibrium-atlas store (build | resume |
-                  query | verify | export) *)
+                  query | verify | export), classic or --game stores
+
+   Every game-generic subcommand resolves --game through
+   Netform.Game_registry, so a newly registered game is reachable from
+   all of them with no CLI changes. *)
 
 open Cmdliner
 module Graph = Nf_graph.Graph
@@ -104,6 +109,39 @@ let named () =
 let named_cmd =
   Cmd.v (Cmd.info "named" ~doc:"List built-in graphs") Term.(const named $ const ())
 
+(* ---------------- games ---------------- *)
+
+let games names_only =
+  setup_logs ();
+  if names_only then List.iter print_endline (Game_registry.names ())
+  else
+    List.iter
+      (fun (Game.Any (module G) as packed) ->
+        let region =
+          match G.region_kind with
+          | Game.Region.Interval -> "interval"
+          | Game.Region.Union -> "union"
+        in
+        Printf.printf "%-14s tag=%-2d region=%-8s dynamics=%-5b %s\n" G.name G.schema_tag
+          region (Game.has_moves packed) G.describe)
+      (Game_registry.all ());
+  0
+
+let games_cmd =
+  let names_only =
+    Arg.(value & flag & info [ "names" ] ~doc:"Print bare names only (for scripting).")
+  in
+  Cmd.v
+    (Cmd.info "games" ~doc:"List the registered game instances usable as --game values")
+    Term.(const games $ names_only)
+
+let game_opt =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "game" ] ~docv:"GAME"
+        ~doc:"Run for this registered game only (see $(b,netform games)).")
+
 (* ---------------- enumerate ---------------- *)
 
 let enumerate jobs n alpha =
@@ -137,34 +175,59 @@ let enumerate_cmd =
 
 (* ---------------- sweep ---------------- *)
 
-let sweep jobs n csv store =
-  setup jobs;
+let write_csv ~path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc;
+  Printf.printf "\nwrote %s\n" path
+
+(* one game's sweep (--game): the game's own alpha convention and cost
+   model, from a fresh annotation or served from a store *)
+let sweep_one_game ~name ~n ~csv ~store =
+  let packed = Game_registry.find_exn name in
   let points =
     match store with
     | Some path ->
-      (* warm path: the annotation is read from the atlas store, never
-         recomputed; only the PoA summaries run here *)
       let index = Nf_store.Index.load ~path in
-      Printf.printf "(figures served from %s: n=%d, %d classes)\n\n" path
-        (Nf_store.Index.n index) (Nf_store.Index.length index);
-      Nf_store.Query.figure_points index ()
-    | None -> Nf_analysis.Figures.sweep ~n ()
+      Printf.printf "(sweep served from %s: game=%s, n=%d, %d classes)\n\n" path
+        (Nf_store.Index.game index) (Nf_store.Index.n index) (Nf_store.Index.length index);
+      Nf_analysis.Figures.sweep_game_via packed
+        ~stable:(fun ~alpha -> Nf_store.Query.game_stable_graphs index ~game:name ~alpha)
+        ()
+    | None -> Nf_analysis.Figures.sweep_game packed ~n ()
   in
-  print_string (Nf_analysis.Figures.figure2_table points);
+  print_string (Nf_analysis.Figures.game_table points);
   print_newline ();
-  print_string (Nf_analysis.Figures.figure2_plot points);
-  print_newline ();
-  print_string (Nf_analysis.Figures.figure3_table points);
-  print_newline ();
-  print_string (Nf_analysis.Figures.figure3_plot points);
-  (match csv with
-  | Some path ->
-    let oc = open_out path in
-    output_string oc (Nf_analysis.Figures.to_csv points);
-    close_out oc;
-    Printf.printf "\nwrote %s\n" path
-  | None -> ());
-  0
+  print_string (Nf_analysis.Figures.game_plot points);
+  Option.iter (fun path -> write_csv ~path (Nf_analysis.Figures.game_csv points)) csv
+
+let sweep jobs n game csv store =
+  setup jobs;
+  match game with
+  | Some name ->
+    sweep_one_game ~name ~n ~csv ~store;
+    0
+  | None ->
+    let points =
+      match store with
+      | Some path ->
+        (* warm path: the annotation is read from the atlas store, never
+           recomputed; only the PoA summaries run here *)
+        let index = Nf_store.Index.load ~path in
+        Printf.printf "(figures served from %s: n=%d, %d classes)\n\n" path
+          (Nf_store.Index.n index) (Nf_store.Index.length index);
+        Nf_store.Query.figure_points index ()
+      | None -> Nf_analysis.Figures.sweep ~n ()
+    in
+    print_string (Nf_analysis.Figures.figure2_table points);
+    print_newline ();
+    print_string (Nf_analysis.Figures.figure2_plot points);
+    print_newline ();
+    print_string (Nf_analysis.Figures.figure3_table points);
+    print_newline ();
+    print_string (Nf_analysis.Figures.figure3_plot points);
+    Option.iter (fun path -> write_csv ~path (Nf_analysis.Figures.to_csv points)) csv;
+    0
 
 let csv_opt =
   Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc:"Write CSV data.")
@@ -180,61 +243,113 @@ let store_src_opt =
 
 let sweep_cmd =
   Cmd.v
-    (Cmd.info "sweep" ~doc:"Reproduce Figures 2 and 3 (average PoA / links vs link cost)")
-    Term.(const sweep $ jobs_opt $ n_arg 6 $ csv_opt $ store_src_opt)
+    (Cmd.info "sweep"
+       ~doc:
+         "Reproduce Figures 2 and 3 (average PoA / links vs link cost), or sweep a single \
+          registered game with $(b,--game)")
+    Term.(const sweep $ jobs_opt $ n_arg 6 $ game_opt $ csv_opt $ store_src_opt)
 
 (* ---------------- dynamics ---------------- *)
 
 let dynamics jobs game_str n alpha seed steps =
   setup jobs;
   let rng = Nf_util.Prng.create seed in
-  (match String.lowercase_ascii game_str with
-  | "bcg" ->
-    let start = Nf_graph.Random_graph.connected_gnp rng n 0.3 in
-    Printf.printf "start: %s\n" (Graph.to_string start);
-    let outcome = Nf_dynamics.Bcg_dynamics.run ~alpha ~rng ~max_steps:steps start in
-    List.iter
-      (fun move ->
-        match move with
-        | Nf_dynamics.Bcg_dynamics.Add (i, j) -> Printf.printf "  + link %d-%d\n" i j
-        | Nf_dynamics.Bcg_dynamics.Delete (i, j) -> Printf.printf "  - link %d-%d (severed by %d)\n" i j i)
-      outcome.Nf_dynamics.Bcg_dynamics.trace;
-    Printf.printf "final (%s after %d moves): %s\n"
-      (if outcome.Nf_dynamics.Bcg_dynamics.converged then "pairwise stable" else "step cap hit")
-      outcome.Nf_dynamics.Bcg_dynamics.steps
-      (Graph.to_string outcome.Nf_dynamics.Bcg_dynamics.final)
+  match String.lowercase_ascii game_str with
   | "ucg" ->
+    (* the UCG has no graph-local moves: its dynamics are best-response
+       over full strategy profiles, a separate loop *)
     let outcome = Nf_dynamics.Ucg_dynamics.run_random ~alpha ~rng (Nf_dynamics.Ucg_dynamics.empty n) in
     Printf.printf "from the empty profile, %d best-response rounds (%s):\n"
       outcome.Nf_dynamics.Ucg_dynamics.rounds
       (if outcome.Nf_dynamics.Ucg_dynamics.converged then "Nash" else "cycling; cap hit");
     Printf.printf "final: %s\n"
-      (Graph.to_string outcome.Nf_dynamics.Ucg_dynamics.final.Nf_dynamics.Ucg_dynamics.graph)
-  | other -> Printf.printf "unknown game %S: use bcg or ucg\n" other);
-  0
+      (Graph.to_string outcome.Nf_dynamics.Ucg_dynamics.final.Nf_dynamics.Ucg_dynamics.graph);
+    0
+  | name -> (
+    match Game_registry.find name with
+    | None ->
+      Printf.eprintf "unknown game %S: one of %s\n" name
+        (String.concat ", " (Game_registry.names ()));
+      1
+    | Some packed when not (Game.has_moves packed) ->
+      Printf.eprintf "game %S has no improving-path dynamics\n" name;
+      1
+    | Some packed ->
+      let start = Nf_graph.Random_graph.connected_gnp rng n 0.3 in
+      Printf.printf "start: %s\n" (Graph.to_string start);
+      let outcome = Nf_dynamics.Game_dynamics.run packed ~alpha ~rng ~max_steps:steps start in
+      List.iter
+        (fun move ->
+          match move with
+          | Game.Add (i, j) -> Printf.printf "  + link %d-%d\n" i j
+          | Game.Delete (i, j) -> Printf.printf "  - link %d-%d (severed by %d)\n" i j i)
+        outcome.Nf_dynamics.Game_dynamics.trace;
+      Printf.printf "final (%s after %d moves): %s\n"
+        (if outcome.Nf_dynamics.Game_dynamics.converged then "stable" else "step cap hit")
+        outcome.Nf_dynamics.Game_dynamics.steps
+        (Graph.to_string outcome.Nf_dynamics.Game_dynamics.final);
+      0)
 
 let dynamics_cmd =
-  let game = Arg.(value & pos 0 string "bcg" & info [] ~docv:"GAME" ~doc:"bcg or ucg") in
+  let game =
+    Arg.(
+      value
+      & pos 0 string "bcg"
+      & info [] ~docv:"GAME"
+          ~doc:"A registered game with improving-path dynamics (see $(b,netform games)), or ucg.")
+  in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED") in
   let steps = Arg.(value & opt int 10000 & info [ "max-steps" ] ~docv:"K") in
   Cmd.v
-    (Cmd.info "dynamics" ~doc:"Run improving-path (BCG) or best-response (UCG) dynamics")
+    (Cmd.info "dynamics"
+       ~doc:"Run improving-path dynamics for any registered game, or UCG best response")
     Term.(const dynamics $ jobs_opt $ game $ n_arg 8 $ alpha_opt $ seed $ steps)
 
 (* ---------------- annotate ---------------- *)
 
-let annotate jobs n out with_ucg =
+(* the single-game atlas CSV (--game): same graph6/n/m prefix as the
+   classic Dataset CSV, one region column named after the game *)
+let game_atlas_csv ~name entries =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "graph6,n,m,%s_stable\n" name);
+  List.iter
+    (fun (g, region) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%d,%d,%s\n" (Nf_graph.Graph6.encode g) (Graph.order g)
+           (Graph.size g) region))
+    entries;
+  Buffer.contents buf
+
+let annotate jobs n game out with_ucg =
   setup jobs;
-  let with_ucg = Option.value ~default:(n <= 7) with_ucg in
-  Logs.info (fun m -> m "annotating %d connected classes on %d vertices (ucg=%b)"
-                (Nf_enum.Unlabeled.count_connected n) n with_ucg);
-  let entries = Nf_analysis.Dataset.build ~with_ucg n in
-  (match out with
-  | Some path ->
-    Nf_analysis.Dataset.save ~path entries;
-    Printf.printf "wrote %d annotated classes to %s\n" (List.length entries) path
-  | None -> print_string (Nf_analysis.Dataset.to_csv entries));
-  0
+  match game with
+  | Some name ->
+    if Option.is_some with_ucg then
+      invalid_arg "annotate: pass either --game or --ucg, not both";
+    let packed = Game_registry.find_exn name in
+    Logs.info (fun m ->
+        m "annotating %d connected classes on %d vertices (game=%s)"
+          (Nf_enum.Unlabeled.count_connected n) n name);
+    let csv = game_atlas_csv ~name (Nf_analysis.Equilibria.annotated_regions packed n) in
+    (match out with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc csv;
+      close_out oc;
+      Printf.printf "wrote %s atlas for n=%d to %s\n" name n path
+    | None -> print_string csv);
+    0
+  | None ->
+    let with_ucg = Option.value ~default:(n <= 7) with_ucg in
+    Logs.info (fun m -> m "annotating %d connected classes on %d vertices (ucg=%b)"
+                  (Nf_enum.Unlabeled.count_connected n) n with_ucg);
+    let entries = Nf_analysis.Dataset.build ~with_ucg n in
+    (match out with
+    | Some path ->
+      Nf_analysis.Dataset.save ~path entries;
+      Printf.printf "wrote %d annotated classes to %s\n" (List.length entries) path
+    | None -> print_string (Nf_analysis.Dataset.to_csv entries));
+    0
 
 let annotate_cmd =
   let out =
@@ -249,13 +364,17 @@ let annotate_cmd =
   Cmd.v
     (Cmd.info "annotate"
        ~doc:"Export the equilibrium atlas: every connected class with its exact regions")
-    Term.(const annotate $ jobs_opt $ n_arg 6 $ out $ with_ucg)
+    Term.(const annotate $ jobs_opt $ n_arg 6 $ game_opt $ out $ with_ucg)
 
 (* ---------------- experiments ---------------- *)
 
-let experiments jobs n only out store =
+let experiments jobs n game only out store =
   setup jobs;
-  let results = Nf_analysis.Experiments.run_all ~n () in
+  let results =
+    match game with
+    | Some name -> [ Nf_analysis.Experiments.game_sweep ~game:name ~n () ]
+    | None -> Nf_analysis.Experiments.run_all ~n ()
+  in
   let results =
     match only with
     | None -> results
@@ -291,8 +410,13 @@ let out_dir_opt =
 
 let experiments_cmd =
   Cmd.v
-    (Cmd.info "experiments" ~doc:"Run the full paper-reproduction suite (E1-E20)")
-    Term.(const experiments $ jobs_opt $ n_arg 6 $ only_opt $ out_dir_opt $ store_src_opt)
+    (Cmd.info "experiments"
+       ~doc:
+         "Run the full paper-reproduction suite (E1-E21), or one game's sweep experiment \
+          with $(b,--game)")
+    Term.(
+      const experiments $ jobs_opt $ n_arg 6 $ game_opt $ only_opt $ out_dir_opt
+      $ store_src_opt)
 
 (* ---------------- store ---------------- *)
 
@@ -305,18 +429,22 @@ let store_path_arg =
 let report_line line = Printf.eprintf "%s\n%!" line
 
 let print_outcome verb (o : Nf_store.Build.outcome) =
-  Printf.printf "%s %s: n=%d ucg=%b, %d classes in %d chunks (%d resumed) in %.2fs\n" verb
-    o.Nf_store.Build.path o.Nf_store.Build.n o.Nf_store.Build.with_ucg o.Nf_store.Build.records
-    o.Nf_store.Build.chunks o.Nf_store.Build.resumed_records o.Nf_store.Build.seconds
+  Printf.printf "%s %s: n=%d game=%s ucg=%b, %d classes in %d chunks (%d resumed) in %.2fs\n"
+    verb o.Nf_store.Build.path o.Nf_store.Build.n o.Nf_store.Build.game
+    o.Nf_store.Build.with_ucg o.Nf_store.Build.records o.Nf_store.Build.chunks
+    o.Nf_store.Build.resumed_records o.Nf_store.Build.seconds
 
-let store_build jobs n out with_ucg chunk force quiet =
+let store_build jobs n out game with_ucg chunk force quiet =
   setup jobs;
   let report = if quiet then ignore else report_line in
-  match Nf_store.Build.build ?with_ucg ~chunk ~force ~report ~path:out ~n () with
+  match Nf_store.Build.build ?game ?with_ucg ~chunk ~force ~report ~path:out ~n () with
   | outcome ->
     print_outcome "built" outcome;
     0
   | exception Failure msg ->
+    Printf.eprintf "error: %s\n" msg;
+    1
+  | exception Invalid_argument msg ->
     Printf.eprintf "error: %s\n" msg;
     1
 
@@ -344,7 +472,9 @@ let store_build_cmd =
   let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No per-chunk progress lines.") in
   Cmd.v
     (Cmd.info "build" ~doc:"Annotate every connected class on N vertices into a store")
-    Term.(const store_build $ jobs_opt $ n_arg 6 $ out $ with_ucg $ chunk $ force $ quiet)
+    Term.(
+      const store_build $ jobs_opt $ n_arg 6 $ out $ game_opt $ with_ucg $ chunk $ force
+      $ quiet)
 
 let store_resume jobs out quiet =
   setup jobs;
@@ -376,8 +506,10 @@ let store_verify path =
   match Nf_store.Reader.verify ~path with
   | Ok scan ->
     let h = scan.Nf_store.Reader.header in
-    Printf.printf "%s: ok (schema %d, n=%d, ucg=%b, %d classes in %d chunks of %d, all CRCs valid)\n"
-      path Nf_store.Layout.schema_version h.Nf_store.Layout.n h.Nf_store.Layout.with_ucg
+    Printf.printf
+      "%s: ok (schema %d, n=%d, game=%s, %d classes in %d chunks of %d, all CRCs valid)\n"
+      path Nf_store.Layout.schema_version h.Nf_store.Layout.n
+      (Nf_store.Build.game_of_content h.Nf_store.Layout.content)
       scan.Nf_store.Reader.records scan.Nf_store.Reader.chunks h.Nf_store.Layout.chunk_size;
     0
   | Error msg ->
@@ -393,40 +525,42 @@ let store_verify_cmd =
 let store_query jobs path alpha game figures csv list_graphs =
   setup jobs;
   let index = Nf_store.Index.load ~path in
-  Printf.printf "%s: n=%d, %d annotated classes, ucg=%b\n" path (Nf_store.Index.n index)
-    (Nf_store.Index.length index) (Nf_store.Index.with_ucg index);
+  Printf.printf "%s: n=%d, %d annotated classes, game=%s\n" path (Nf_store.Index.n index)
+    (Nf_store.Index.length index) (Nf_store.Index.game index);
   (match alpha with
   | Some alpha ->
-    let graphs, cost_model =
-      match String.lowercase_ascii game with
-      | "bcg" -> (Nf_store.Query.bcg_stable_graphs index ~alpha, Cost.Bcg)
-      | "ucg" -> (Nf_store.Query.ucg_nash_graphs index ~alpha, Cost.Ucg)
-      | other -> invalid_arg (Printf.sprintf "unknown game %S: use bcg or ucg" other)
-    in
-    Printf.printf "%s equilibria at alpha=%s: %d\n" (String.uppercase_ascii game)
+    let name = String.lowercase_ascii game in
+    let (Game.Any (module G)) = Game_registry.find_exn name in
+    let graphs = Nf_store.Query.game_stable_graphs index ~game:name ~alpha in
+    Printf.printf "%s equilibria at alpha=%s: %d\n" (String.uppercase_ascii name)
       (Rat.to_string alpha) (List.length graphs);
     Format.printf "  %a@." Poa.pp_summary
-      (Poa.summarize cost_model ~alpha:(Rat.to_float alpha) graphs);
+      (Poa.summarize G.cost_model ~alpha:(Rat.to_float alpha) graphs);
     if list_graphs then
       List.iter (fun g -> print_endline (Nf_graph.Graph6.encode g)) graphs
   | None -> ());
   if figures then begin
-    let points = Nf_store.Query.figure_points index () in
-    print_newline ();
-    print_string (Nf_analysis.Figures.figure2_table points);
-    print_newline ();
-    print_string (Nf_analysis.Figures.figure2_plot points);
-    print_newline ();
-    print_string (Nf_analysis.Figures.figure3_table points);
-    print_newline ();
-    print_string (Nf_analysis.Figures.figure3_plot points);
-    match csv with
-    | Some file ->
-      let oc = open_out file in
-      output_string oc (Nf_analysis.Figures.to_csv points);
-      close_out oc;
-      Printf.printf "\nwrote %s\n" file
-    | None -> ()
+    (* classic dual stores serve the paper's Figure 2/3 pair; a
+       single-game store serves its own game's curves *)
+    match Nf_store.Index.content index with
+    | Nf_store.Layout.Classic { with_ucg = true } ->
+      let points = Nf_store.Query.figure_points index () in
+      print_newline ();
+      print_string (Nf_analysis.Figures.figure2_table points);
+      print_newline ();
+      print_string (Nf_analysis.Figures.figure2_plot points);
+      print_newline ();
+      print_string (Nf_analysis.Figures.figure3_table points);
+      print_newline ();
+      print_string (Nf_analysis.Figures.figure3_plot points);
+      Option.iter (fun file -> write_csv ~path:file (Nf_analysis.Figures.to_csv points)) csv
+    | Nf_store.Layout.Classic { with_ucg = false } | Nf_store.Layout.Game _ ->
+      let points = Nf_store.Query.game_figure_points index () in
+      print_newline ();
+      print_string (Nf_analysis.Figures.game_table points);
+      print_newline ();
+      print_string (Nf_analysis.Figures.game_plot points);
+      Option.iter (fun file -> write_csv ~path:file (Nf_analysis.Figures.game_csv points)) csv
   end;
   0
 
@@ -438,7 +572,11 @@ let store_query_cmd =
       & info [ "a"; "alpha" ] ~docv:"ALPHA" ~doc:"Report the equilibrium set at this link cost.")
   in
   let game =
-    Arg.(value & opt string "bcg" & info [ "game" ] ~docv:"GAME" ~doc:"bcg or ucg.")
+    Arg.(
+      value
+      & opt string "bcg"
+      & info [ "game" ] ~docv:"GAME"
+          ~doc:"The registered game to query (must match the store's annotations).")
   in
   let figures =
     Arg.(value & flag & info [ "figures" ] ~doc:"Regenerate the Figure 2/3 series from the store.")
@@ -491,8 +629,8 @@ let main_cmd =
     (Cmd.info "netform" ~version:"1.0.0"
        ~doc:"Bilateral vs unilateral network formation (Corbo & Parkes, PODC 2005)")
     [
-      stability_cmd; named_cmd; enumerate_cmd; sweep_cmd; dynamics_cmd; annotate_cmd;
-      experiments_cmd; store_cmd;
+      stability_cmd; named_cmd; games_cmd; enumerate_cmd; sweep_cmd; dynamics_cmd;
+      annotate_cmd; experiments_cmd; store_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -3,31 +3,15 @@ module Interval = Nf_util.Interval
 module Pool = Nf_util.Pool
 open Netform
 
-let bcg_cache : (int, (Graph.t * Interval.t) list) Hashtbl.t = Hashtbl.create 8
-let ucg_cache : (int, (Graph.t * Interval.Union.t) list) Hashtbl.t = Hashtbl.create 8
-let transfers_cache : (int, (Graph.t * Interval.t) list) Hashtbl.t = Hashtbl.create 8
+(* One cache for every game, keyed by (game name, n).  The region type is
+   existentially packed with the game that produced it and recovered via
+   the Region witness, so a single registry-driven [clear_cache] covers
+   every game — including ones registered after this module was written. *)
+type entry = Entry : 'r Game.t * (Graph.t * 'r) list -> entry
+
+let cache : (string * int, entry) Hashtbl.t = Hashtbl.create 16
 let cache_mutex = Mutex.create ()
-
-let clear_cache () =
-  Mutex.protect cache_mutex (fun () ->
-      Hashtbl.reset bcg_cache;
-      Hashtbl.reset ucg_cache;
-      Hashtbl.reset transfers_cache)
-
-let memoize cache n compute =
-  match Mutex.protect cache_mutex (fun () -> Hashtbl.find_opt cache n) with
-  | Some annotated -> annotated
-  | None ->
-    (* computed outside the lock: annotation fans out across the domain
-       pool, and a duplicated computation on a concurrent miss is benign
-       because annotations are deterministic — first insertion wins *)
-    let annotated = compute () in
-    Mutex.protect cache_mutex (fun () ->
-        match Hashtbl.find_opt cache n with
-        | Some existing -> existing
-        | None ->
-          Hashtbl.add cache n annotated;
-          annotated)
+let clear_cache () = Mutex.protect cache_mutex (fun () -> Hashtbl.reset cache)
 
 (* The enumeration streams through the coordinating domain in chunks (the
    producer has its own cache and internal parallelism); only the per-graph
@@ -54,26 +38,51 @@ let annotate annotate_ws n =
         :: !chunks);
   List.concat_map Array.to_list (List.rev !chunks)
 
-let bcg_annotated n = memoize bcg_cache n (fun () -> annotate Bcg.stable_alpha_set_ws n)
-let ucg_annotated n = memoize ucg_cache n (fun () -> annotate Ucg.nash_alpha_set_ws n)
+let annotated (type r) ((module G) as game : r Game.t) n : (Graph.t * r) list =
+  let key = (G.name, n) in
+  let unpack (Entry ((module Cached), list)) : (Graph.t * r) list =
+    match Game.Region.same_kind Cached.region_kind G.region_kind with
+    | Some Game.Region.Equal -> list
+    | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Equilibria.annotated: two games named %S with different region kinds" G.name)
+  in
+  match Mutex.protect cache_mutex (fun () -> Hashtbl.find_opt cache key) with
+  | Some entry -> unpack entry
+  | None ->
+    (* computed outside the lock: annotation fans out across the domain
+       pool, and a duplicated computation on a concurrent miss is benign
+       because annotations are deterministic — first insertion wins.  The
+       annotator is extracted once, outside the per-graph hot loop. *)
+    let annotated = annotate G.stable_region_ws n in
+    Mutex.protect cache_mutex (fun () ->
+        match Hashtbl.find_opt cache key with
+        | Some existing -> unpack existing
+        | None ->
+          Hashtbl.add cache key (Entry (game, annotated));
+          annotated)
 
-let bcg_stable_graphs ~n ~alpha =
+let stable_graphs (type r) ((module G) as game : r Game.t) ~n ~alpha =
   List.filter_map
-    (fun (g, set) -> if Interval.mem alpha set then Some g else None)
-    (bcg_annotated n)
+    (fun (g, set) -> if Game.Region.mem G.region_kind alpha set then Some g else None)
+    (annotated game n)
 
-let ucg_nash_graphs ~n ~alpha =
-  List.filter_map
-    (fun (g, set) -> if Interval.Union.mem alpha set then Some g else None)
-    (ucg_annotated n)
+let stable_graphs_packed (Game.Any game) ~n ~alpha = stable_graphs game ~n ~alpha
 
-let transfers_annotated n =
-  memoize transfers_cache n (fun () -> annotate Transfers.stable_alpha_set_ws n)
+let annotated_regions (Game.Any ((module G) as game)) n =
+  List.map
+    (fun (g, set) -> (g, Game.Region.to_string G.region_kind set))
+    (annotated game n)
 
-let transfers_stable_graphs ~n ~alpha =
-  List.filter_map
-    (fun (g, set) -> if Interval.mem alpha set then Some g else None)
-    (transfers_annotated n)
+(* ---- the historical per-game entry points, now thin wrappers ---------- *)
+
+let bcg_annotated n = annotated Game_registry.bcg n
+let ucg_annotated n = annotated Game_registry.ucg n
+let transfers_annotated n = annotated Game_registry.transfers n
+let bcg_stable_graphs ~n ~alpha = stable_graphs Game_registry.bcg ~n ~alpha
+let ucg_nash_graphs ~n ~alpha = stable_graphs Game_registry.ucg ~n ~alpha
+let transfers_stable_graphs ~n ~alpha = stable_graphs Game_registry.transfers ~n ~alpha
 
 let bcg_ever_stable n =
   List.filter (fun (_, set) -> not (Interval.is_empty set)) (bcg_annotated n)

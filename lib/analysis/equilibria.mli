@@ -1,10 +1,13 @@
 (** Exhaustive equilibrium sets over all connected topologies on [n]
-    vertices — the paper's §5 workload.
+    vertices — the paper's §5 workload, for every registered game.
 
-    Each isomorphism class is annotated once with its exact BCG stable
-    α-set and (separately, because it is much more expensive) its exact
-    UCG Nash α-set; per-α queries are then interval-membership lookups.
-    Annotations are memoized per [n].
+    One generic driver: {!annotated} takes any {!Netform.Game} instance
+    and annotates each isomorphism class with that game's exact stable
+    α-region; per-α queries are then region-membership lookups.
+    Annotations are memoized per (game, [n]) in a single registry-wide
+    cache.  The historical per-game entry points ([bcg_annotated], …)
+    remain as thin wrappers over the registry's built-in instances and
+    return bit-identical results.
 
     The enumeration streams out of
     {!Nf_enum.Unlabeled.iter_connected_chunked} and each chunk's per-graph
@@ -16,11 +19,30 @@
     the graph level is never held in memory: the annotated list is built
     directly off the canonical-augmentation stream.
 
-    {b Thread safety:} the per-[n] caches are mutex-guarded, so every
-    function here may be called from any domain.  Two domains racing on an
-    uncached [n] may both compute the annotation (the deterministic result
+    {b Thread safety:} the cache is mutex-guarded, so every function here
+    may be called from any domain.  Two domains racing on an uncached
+    (game, [n]) may both compute the annotation (the deterministic result
     of the first insertion wins); the annotated lists handed out are
     immutable and safe to share. *)
+
+val annotated : 'r Netform.Game.t -> int -> (Nf_graph.Graph.t * 'r) list
+(** All connected isomorphism classes with the game's exact stable
+    α-regions, memoized.  The cache is keyed by the game's [name]: two
+    distinct games must not share one (the registry enforces this for
+    registered games; ad-hoc {!Netform.Weighted_bcg.make} instances
+    should pick fresh names). *)
+
+val stable_graphs :
+  'r Netform.Game.t -> n:int -> alpha:Nf_util.Rat.t -> Nf_graph.Graph.t list
+(** The classes whose region contains [alpha], in enumeration order. *)
+
+val stable_graphs_packed :
+  Netform.Game.packed -> n:int -> alpha:Nf_util.Rat.t -> Nf_graph.Graph.t list
+(** {!stable_graphs} for name-driven callers (CLI, scripts). *)
+
+val annotated_regions :
+  Netform.Game.packed -> int -> (Nf_graph.Graph.t * string) list
+(** {!annotated} with regions rendered to strings (CSV export paths). *)
 
 val bcg_annotated : int -> (Nf_graph.Graph.t * Nf_util.Interval.t) list
 (** All connected isomorphism classes with their pairwise-stable α-sets.
@@ -44,3 +66,6 @@ val transfers_annotated : int -> (Nf_graph.Graph.t * Nf_util.Interval.t) list
 val transfers_stable_graphs : n:int -> alpha:Nf_util.Rat.t -> Nf_graph.Graph.t list
 
 val clear_cache : unit -> unit
+(** Drop every cached annotation — the cache is a single registry-wide
+    table keyed by (game name, [n]), so this covers all games, including
+    ones registered after this module was built. *)

@@ -964,6 +964,27 @@ let e21_stochastic_stability ?(n = 5) () =
     ok = !ok;
   }
 
+(* ---------------- per-game sweep (netform experiments --game) ---------------- *)
+
+let game_sweep ~game ?(n = 6) () =
+  let packed = Game_registry.find_exn game in
+  let points = Figures.sweep_game packed ~n () in
+  (* sanity, not paper claims: the sweep is nonempty and every PoA ratio
+     is >= 1 wherever an equilibrium exists *)
+  let ok =
+    points <> []
+    && List.for_all
+         (fun p ->
+           p.Figures.summary.Poa.count = 0 || p.Figures.summary.Poa.best >= 1. -. 1e-9)
+         points
+  in
+  {
+    id = "G:" ^ game;
+    title = Printf.sprintf "single-game sweep: %s (n=%d, exhaustive)" game n;
+    body = Figures.game_table points ^ "\n" ^ Figures.game_plot points;
+    ok;
+  }
+
 let run_all ?(n = 6) () =
   let e1, e2 = e1_e2_figures ~n () in
   [

@@ -74,6 +74,12 @@ val e21_stochastic_stability : ?n:int -> unit -> result
     observed characterization: the stochastically stable states are
     exactly the connected pairwise stable states. *)
 
+val game_sweep : game:string -> ?n:int -> unit -> result
+(** Single-game exhaustive sweep ([netform experiments --game]) for any
+    registered game: the {!Figures.sweep_game} table and plot, with a
+    sanity check that every observed PoA ratio is ≥ 1.
+    @raise Invalid_argument on an unknown game name. *)
+
 val run_all : ?n:int -> unit -> result list
 (** Every experiment with consistent sizes. *)
 

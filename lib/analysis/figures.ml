@@ -23,8 +23,35 @@ let sweep_via ~bcg ~ucg ?(grid = Sweep.paper_grid) () =
 
 let sweep ~n ?grid () =
   sweep_via
-    ~bcg:(fun ~alpha -> Equilibria.bcg_stable_graphs ~n ~alpha)
-    ~ucg:(fun ~alpha -> Equilibria.ucg_nash_graphs ~n ~alpha)
+    ~bcg:(fun ~alpha -> Equilibria.stable_graphs Game_registry.bcg ~n ~alpha)
+    ~ucg:(fun ~alpha -> Equilibria.stable_graphs Game_registry.ucg ~n ~alpha)
+    ?grid ()
+
+(* ---- single-game sweeps (any registered game) ------------------------- *)
+
+type game_point = {
+  game : string;
+  link_cost : Rat.t;
+  alpha : Rat.t;
+  summary : Poa.summary;
+}
+
+let sweep_game_via (Game.Any (module G)) ~stable ?(grid = Sweep.paper_grid) () =
+  List.map
+    (fun c ->
+      let alpha = G.alpha_of_link_cost c in
+      let graphs = stable ~alpha in
+      {
+        game = G.name;
+        link_cost = c;
+        alpha;
+        summary = Poa.summarize G.cost_model ~alpha:(Rat.to_float alpha) graphs;
+      })
+    grid
+
+let sweep_game (Game.Any game as packed) ~n ?grid () =
+  sweep_game_via packed
+    ~stable:(fun ~alpha -> Equilibria.stable_graphs game ~n ~alpha)
     ?grid ()
 
 let fmt_or_dash v = if Float.is_nan v then "-" else Printf.sprintf "%.4f" v
@@ -93,6 +120,59 @@ let figure3_plot points =
       { Nf_util.Ascii_plot.label = "BCG (pairwise stable)"; marker = 'b';
         points = series_of points (fun p -> p.bcg.Poa.average_links) };
     ]
+
+let game_table points =
+  let table =
+    Nf_util.Table.create
+      [ "link cost c"; "alpha"; "#eq"; "avg PoA"; "worst PoA"; "best PoA"; "avg links" ]
+  in
+  List.iter
+    (fun p ->
+      Nf_util.Table.add_row table
+        [
+          Rat.to_string p.link_cost;
+          Rat.to_string p.alpha;
+          string_of_int p.summary.Poa.count;
+          fmt_or_dash p.summary.Poa.average;
+          fmt_or_dash p.summary.Poa.worst;
+          fmt_or_dash p.summary.Poa.best;
+          fmt_or_dash p.summary.Poa.average_links;
+        ])
+    points;
+  Nf_util.Table.render table
+
+let game_series points extract =
+  List.filter_map
+    (fun p ->
+      let y = extract p in
+      if Float.is_nan y then None
+      else Some (Float.log (Rat.to_float p.link_cost) /. Float.log 2.0, y))
+    points
+
+let game_plot points =
+  let name = match points with p :: _ -> p.game | [] -> "?" in
+  Nf_util.Ascii_plot.render ~x_label:"log2(total link cost)" ~y_label:"avg PoA / avg #links"
+    ~title:(Printf.sprintf "Equilibrium sweep: %s" name)
+    [
+      { Nf_util.Ascii_plot.label = name ^ " avg PoA"; marker = 'p';
+        points = game_series points (fun p -> p.summary.Poa.average) };
+      { Nf_util.Ascii_plot.label = name ^ " avg #links"; marker = 'l';
+        points = game_series points (fun p -> p.summary.Poa.average_links) };
+    ]
+
+let game_csv points =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "game,total_link_cost,alpha,count,avg_poa,worst_poa,best_poa,avg_links\n";
+  List.iter
+    (fun p ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%s,%s,%d,%f,%f,%f,%f\n" p.game
+           (Rat.to_string p.link_cost) (Rat.to_string p.alpha)
+           p.summary.Poa.count p.summary.Poa.average p.summary.Poa.worst
+           p.summary.Poa.best p.summary.Poa.average_links))
+    points;
+  Buffer.contents buf
 
 let to_csv points =
   let buf = Buffer.create 512 in

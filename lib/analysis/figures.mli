@@ -41,3 +41,35 @@ val figure3_plot : point list -> string
 
 val to_csv : point list -> string
 (** Machine-readable dump of the full sweep. *)
+
+(** {2 Single-game sweeps}
+
+    The same sweep for {e any} registered game ([netform sweep --game
+    <name>]): the game's own α convention ({!Netform.Game.S.alpha_of_link_cost})
+    and social-cost model are applied at each grid value. *)
+
+type game_point = {
+  game : string;  (** the game's registry name *)
+  link_cost : Nf_util.Rat.t;  (** the grid value [c] (total cost per link) *)
+  alpha : Nf_util.Rat.t;  (** the game's per-player α at [c] *)
+  summary : Netform.Poa.summary;  (** over the game's equilibria at [α] *)
+}
+
+val sweep_game :
+  Netform.Game.packed -> n:int -> ?grid:Nf_util.Rat.t list -> unit -> game_point list
+(** Exhaustive single-game sweep on [n] players (annotation via
+    {!Equilibria.annotated}, memoized). *)
+
+val sweep_game_via :
+  Netform.Game.packed ->
+  stable:(alpha:Nf_util.Rat.t -> Nf_graph.Graph.t list) ->
+  ?grid:Nf_util.Rat.t list ->
+  unit ->
+  game_point list
+(** {!sweep_game} with the equilibrium sets supplied by the caller (atlas
+    queries, tests). *)
+
+val game_table : game_point list -> string
+val game_plot : game_point list -> string
+val game_csv : game_point list -> string
+(** Header [game,total_link_cost,alpha,count,avg_poa,worst_poa,best_poa,avg_links]. *)

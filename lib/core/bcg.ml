@@ -341,6 +341,47 @@ let improving_addition ~alpha g =
        with Exit -> ());
       !found)
 
+(* One kernel sweep for the base sums, then one allocation-free toggle
+   evaluation per candidate move.  Moves are accumulated in exactly the
+   order the historical persistent path produced them (additions in
+   lexicographic (i, j) order, then per edge Delete (i, j) before
+   Delete (j, i)), so [Prng.pick] in the dynamics draws the same move at
+   every step and traces stay byte-identical across refactors. *)
+let improving_moves ~alpha g =
+  Kernel.with_loaded g (fun ws ->
+      let base = Kernel.all_distance_sums ws in
+      let n = Kernel.order ws in
+      let num = Rat.num alpha
+      and den = Rat.den alpha in
+      let lt k = k = inf || num < k * den
+      and le k = k = inf || num <= k * den in
+      let moves = ref [] in
+      for i = 0 to n - 2 do
+        for j = i + 1 to n - 1 do
+          if not (Kernel.has_edge ws i j) then begin
+            Kernel.toggle ws i j;
+            let bi = ibenefit ~base:base.(i) (Kernel.distance_sum_from ws i)
+            and bj = ibenefit ~base:base.(j) (Kernel.distance_sum_from ws j) in
+            Kernel.toggle ws i j;
+            if (lt bi && le bj) || (lt bj && le bi) then
+              moves := Game.Add (i, j) :: !moves
+          end
+        done
+      done;
+      for i = 0 to n - 2 do
+        for j = i + 1 to n - 1 do
+          if Kernel.has_edge ws i j then begin
+            Kernel.toggle ws i j;
+            let li = iloss ~base:base.(i) (Kernel.distance_sum_from ws i)
+            and lj = iloss ~base:base.(j) (Kernel.distance_sum_from ws j) in
+            Kernel.toggle ws i j;
+            if not (le li) then moves := Game.Delete (i, j) :: !moves;
+            if not (le lj) then moves := Game.Delete (j, i) :: !moves
+          end
+        done
+      done;
+      !moves)
+
 let improving_deletion ~alpha g =
   Kernel.with_loaded g (fun ws ->
       let base = Kernel.all_distance_sums ws in

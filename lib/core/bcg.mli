@@ -78,3 +78,10 @@ val improving_deletion :
   alpha:Nf_util.Rat.t -> Nf_graph.Graph.t -> (int * int) option
 (** An edge listed as [(severer, other)] whose severer strictly gains from
     cutting it, if any. *)
+
+val improving_moves : alpha:Nf_util.Rat.t -> Nf_graph.Graph.t -> Game.move list
+(** All improving moves at [alpha] in a fixed order (additions in
+    lexicographic [(i, j)] order, then per edge [Delete (i, j)] before
+    [Delete (j, i)]), so PRNG draws in the dynamics are reproducible.
+    [Nf_dynamics.Bcg_dynamics] is this generator run through the generic
+    improving-path loop. *)

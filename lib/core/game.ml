@@ -1,0 +1,82 @@
+module Graph = Nf_graph.Graph
+module Kernel = Nf_graph.Kernel
+module Rat = Nf_util.Rat
+module Interval = Nf_util.Interval
+
+type move = Add of int * int | Delete of int * int
+
+module Region = struct
+  type 'r kind =
+    | Interval : Interval.t kind
+    | Union : Interval.Union.t kind
+
+  type ('a, 'b) eq = Equal : ('a, 'a) eq
+
+  let same_kind : type a b. a kind -> b kind -> (a, b) eq option =
+   fun a b ->
+    match (a, b) with
+    | Interval, Interval -> Some Equal
+    | Union, Union -> Some Equal
+    | Interval, Union | Union, Interval -> None
+
+  let is_empty : type r. r kind -> r -> bool =
+   fun kind r ->
+    match kind with
+    | Interval -> Interval.is_empty r
+    | Union -> Interval.Union.is_empty r
+
+  let mem : type r. r kind -> Rat.t -> r -> bool =
+   fun kind alpha r ->
+    match kind with
+    | Interval -> Interval.mem alpha r
+    | Union -> Interval.Union.mem alpha r
+
+  let equal : type r. r kind -> r -> r -> bool =
+   fun kind a b ->
+    match kind with
+    | Interval -> Interval.equal a b
+    | Union -> Interval.Union.equal a b
+
+  let to_string : type r. r kind -> r -> string =
+   fun kind r ->
+    match kind with
+    | Interval -> Interval.to_string r
+    | Union -> Interval.Union.to_string r
+
+  let pp kind fmt r = Format.pp_print_string fmt (to_string kind r)
+end
+
+module type S = sig
+  type region
+
+  val name : string
+  val describe : string
+  val region_kind : region Region.kind
+  val schema_tag : int
+  val stable_region_ws : Kernel.t -> Graph.t -> region
+  val stable_region_reference : Graph.t -> region
+  val is_stable : alpha:Rat.t -> Graph.t -> bool
+  val improving_moves : (alpha:Rat.t -> Graph.t -> move list) option
+  val alpha_of_link_cost : Rat.t -> Rat.t
+  val cost_model : Cost.game
+end
+
+type 'r t = (module S with type region = 'r)
+type packed = Any : 'r t -> packed
+
+let name (Any (module G)) = G.name
+let describe (Any (module G)) = G.describe
+let schema_tag (Any (module G)) = G.schema_tag
+let has_moves (Any (module G)) = Option.is_some G.improving_moves
+let is_stable (Any (module G)) ~alpha g = G.is_stable ~alpha g
+
+let improving_moves (Any (module G)) ~alpha g =
+  match G.improving_moves with
+  | Some f -> f ~alpha g
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Game.improving_moves: game %s has no move generator"
+         G.name)
+
+let region_string_ws (Any (module G)) ws g =
+  Region.to_string G.region_kind (G.stable_region_ws ws g)

@@ -1,0 +1,101 @@
+module Rat = Nf_util.Rat
+module Interval = Nf_util.Interval
+
+let registered : Game.packed list ref = ref []
+
+let register (Game.Any (module G) as packed) =
+  if not (String.length G.name > 0
+          && String.for_all (function 'a' .. 'z' | '0' .. '9' | '_' -> true | _ -> false) G.name)
+  then invalid_arg (Printf.sprintf "Game_registry.register: bad name %S" G.name);
+  List.iter
+    (fun other ->
+      if String.equal (Game.name other) G.name then
+        invalid_arg (Printf.sprintf "Game_registry.register: duplicate name %S" G.name);
+      if Game.schema_tag other = G.schema_tag then
+        invalid_arg
+          (Printf.sprintf "Game_registry.register: schema tag %d of %S already taken by %S"
+             G.schema_tag G.name (Game.name other)))
+    !registered;
+  registered := !registered @ [ packed ]
+
+let all () = !registered
+let names () = List.map Game.name !registered
+let find name = List.find_opt (fun g -> String.equal (Game.name g) name) !registered
+
+let find_exn name =
+  match find name with
+  | Some g -> g
+  | None ->
+    invalid_arg
+      (Printf.sprintf "unknown game %S (registered: %s)" name
+         (String.concat ", " (names ())))
+
+let find_by_tag tag = List.find_opt (fun g -> Game.schema_tag g = tag) !registered
+
+(* ---- built-in instances -------------------------------------------------
+   Defined here rather than next to each game so that linking any consumer
+   of the registry is enough to pull in (and register) every built-in —
+   module initializers of otherwise-unreferenced library modules are
+   dropped by the linker. *)
+
+module Bcg_game = struct
+  type region = Interval.t
+
+  let name = "bcg"
+  let describe = "bilateral connection game: pairwise stability (Definition 3)"
+  let region_kind = Game.Region.Interval
+  let schema_tag = 0
+  let stable_region_ws = Bcg.stable_alpha_set_ws
+  let stable_region_reference = Bcg.stable_alpha_set_reference
+  let is_stable = Bcg.is_pairwise_stable
+  let improving_moves = Some Bcg.improving_moves
+  let alpha_of_link_cost c = Rat.div c (Rat.of_int 2)
+  let cost_model = Cost.Bcg
+end
+
+module Ucg_game = struct
+  type region = Interval.Union.t
+
+  let name = "ucg"
+  let describe = "unilateral connection game: Nash graphs (Fabrikant et al.)"
+  let region_kind = Game.Region.Union
+  let schema_tag = 1
+  let stable_region_ws = Ucg.nash_alpha_set_ws
+  let stable_region_reference = Ucg.nash_alpha_set_reference
+  let is_stable = Ucg.is_nash_graph
+  let improving_moves = None
+  let alpha_of_link_cost c = c
+  let cost_model = Cost.Ucg
+end
+
+module Transfers_game = struct
+  type region = Interval.t
+
+  let name = "transfers"
+  let describe = "pairwise stability with transfers (joint-surplus link decisions)"
+  let region_kind = Game.Region.Interval
+  let schema_tag = 2
+  let stable_region_ws = Transfers.stable_alpha_set_ws
+  let stable_region_reference = Transfers.stable_alpha_set_reference
+  let is_stable = Transfers.is_stable
+  let improving_moves = Some Transfers.improving_moves
+  let alpha_of_link_cost c = Rat.div c (Rat.of_int 2)
+  let cost_model = Cost.Bcg
+end
+
+let bcg : Interval.t Game.t = (module Bcg_game)
+let ucg : Interval.Union.t Game.t = (module Ucg_game)
+let transfers : Interval.t Game.t = (module Transfers_game)
+
+let weighted_bcg : Interval.t Game.t =
+  Weighted_bcg.make ~name:"weighted_bcg"
+    ~describe:
+      (Printf.sprintf
+         "bilateral connection game, per-player link-cost multipliers (w_i = 1 + i mod 2)")
+    ~schema_tag:3 ~weight:Weighted_bcg.default_weight ()
+
+let () =
+  register (Game.Any bcg);
+  register (Game.Any ucg);
+  register (Game.Any transfers);
+  register (Game.Any weighted_bcg)

@@ -1,0 +1,42 @@
+(** The game registry: every {!Game} instance the pipeline knows about,
+    keyed by name.
+
+    The four built-ins — [bcg], [ucg], [transfers], [weighted_bcg] — are
+    registered when this module is initialized, which happens whenever
+    any consumer of the registry is linked; downstream layers
+    ({!Nf_analysis.Equilibria} caches, {!Nf_store} schema dispatch, the
+    dynamics and the CLI's [--game] flags) iterate or look up here
+    rather than enumerating games by hand, so registering a new instance
+    is the {e only} wiring a new game needs (DESIGN.md §10 walks through
+    it). *)
+
+val register : Game.packed -> unit
+(** Add a game.  Names must be non-empty [[a-z0-9_]+] and unique; schema
+    tags must be unique (they key the on-disk atlas format — never reuse
+    one).
+    @raise Invalid_argument on a duplicate name or tag. *)
+
+val all : unit -> Game.packed list
+(** Every registered game, in registration order (built-ins first) —
+    deterministic, so registry-driven tests and CI smokes are stable. *)
+
+val names : unit -> string list
+
+val find : string -> Game.packed option
+
+val find_exn : string -> Game.packed
+(** @raise Invalid_argument on an unknown name, listing the known ones. *)
+
+val find_by_tag : int -> Game.packed option
+(** Lookup by store schema tag (atlas headers record the tag, not the
+    name). *)
+
+(** The built-ins, also exposed with their region types for typed
+    callers: *)
+
+val bcg : Nf_util.Interval.t Game.t
+val ucg : Nf_util.Interval.Union.t Game.t
+val transfers : Nf_util.Interval.t Game.t
+
+val weighted_bcg : Nf_util.Interval.t Game.t
+(** {!Weighted_bcg.make} over {!Weighted_bcg.default_weight}. *)

@@ -133,6 +133,43 @@ let alpha_min g =
         done;
         if !lo = inf then None else Some (Rat.make !lo 2))
 
+(* Joint improving moves for the transfers dynamics: a link is added when
+   the pair's joint benefit exceeds its joint price 2α (strict, mirroring
+   the revised Definition 3) and severed when the joint loss falls below
+   2α.  Severance is a joint decision — side payments make the initiator
+   irrelevant — so exactly one [Delete (i, j)] (i < j) is offered per
+   edge.  Additions come first in lexicographic (i, j) order, then
+   deletions, so PRNG draws in the dynamics are reproducible. *)
+let improving_moves ~alpha g =
+  Kernel.with_loaded g (fun ws ->
+      let base = Kernel.all_distance_sums ws in
+      let n = Kernel.order ws in
+      let moves = ref [] in
+      for i = 0 to n - 2 do
+        for j = i + 1 to n - 1 do
+          if not (Kernel.has_edge ws i j) then begin
+            Kernel.toggle ws i j;
+            let bi = ibenefit ~base:base.(i) (Kernel.distance_sum_from ws i)
+            and bj = ibenefit ~base:base.(j) (Kernel.distance_sum_from ws j) in
+            Kernel.toggle ws i j;
+            if two_lt_i alpha (iadd bi bj) then moves := Game.Add (i, j) :: !moves
+          end
+        done
+      done;
+      for i = 0 to n - 2 do
+        for j = i + 1 to n - 1 do
+          if Kernel.has_edge ws i j then begin
+            Kernel.toggle ws i j;
+            let li = iloss ~base:base.(i) (Kernel.distance_sum_from ws i)
+            and lj = iloss ~base:base.(j) (Kernel.distance_sum_from ws j) in
+            Kernel.toggle ws i j;
+            if not (two_le_i alpha (iadd li lj)) then
+              moves := Game.Delete (i, j) :: !moves
+          end
+        done
+      done;
+      !moves)
+
 let is_stable ~alpha g =
   Kernel.with_loaded g (fun ws ->
       let n = Kernel.order ws in

@@ -39,3 +39,9 @@ val stable_alpha_set_reference : Nf_graph.Graph.t -> Nf_util.Interval.t
 val is_stable : alpha:Nf_util.Rat.t -> Nf_graph.Graph.t -> bool
 (** Direct definition at an exact link cost; agrees with membership in
     {!stable_alpha_set} (property-tested). *)
+
+val improving_moves : alpha:Nf_util.Rat.t -> Nf_graph.Graph.t -> Game.move list
+(** Joint improving moves at [alpha]: additions with joint benefit
+    [> 2α] in lexicographic [(i, j)] order, then one [Delete (i, j)]
+    ([i < j]) per edge whose joint loss is [< 2α] — severance is a joint
+    decision under transfers, so the initiator is irrelevant. *)

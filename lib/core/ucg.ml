@@ -192,22 +192,36 @@ let best_response ~alpha g i ~owned =
   Kernel.with_loaded g (fun ws ->
       let strip = Bitset.inter owned (Kernel.neighbors ws i) in
       Bitset.iter (fun j -> Kernel.toggle ws i j) strip;
-      let cost_of targets =
+      let eval targets =
         Bitset.iter (fun j -> Kernel.toggle ws i j) targets;
         let dt = Kernel.distance_sum_from ws i in
         Bitset.iter (fun j -> Kernel.toggle ws i j) targets;
-        (Rat.to_float alpha *. float_of_int (Bitset.cardinal targets))
-        +. (if dt = inf then Float.infinity else float_of_int dt)
+        (Bitset.cardinal targets, dt)
       in
-      let best = ref owned
-      and best_cost = ref (cost_of owned) in
+      (* cost(k, d) = α·k + d with d possibly ∞ (inf); strictly-better by
+         exact cross-multiplication:
+         α·k1 + d1 < α·k0 + d0 ⟺ num·(k1 − k0) < (d0 − d1)·den *)
+      let better (k1, d1) (k0, d0) =
+        if d1 = inf then false
+        else d0 = inf || Rat.num alpha * (k1 - k0) < (d0 - d1) * Rat.den alpha
+      in
+      let best = ref owned in
+      let best_eval = ref (eval owned) in
       Nf_util.Subset.iter_subsets (candidates_ws ws i) (fun targets ->
-          let c = cost_of targets in
-          if c < !best_cost then begin
+          let e = eval targets in
+          if better e !best_eval then begin
             best := targets;
-            best_cost := c
+            best_eval := e
           end);
-      (!best, !best_cost))
+      let k, d = !best_eval in
+      (* the full candidate set makes i adjacent to every other vertex, so
+         the minimum is always finite *)
+      assert (d <> inf);
+      (!best, Rat.add (Rat.mul alpha (Rat.of_int k)) (Rat.of_int d)))
+
+let best_response_f ~alpha g i ~owned =
+  let targets, cost = best_response ~alpha g i ~owned in
+  (targets, Rat.to_float cost)
 
 (* --- orientation search ------------------------------------------------ *)
 

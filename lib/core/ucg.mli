@@ -22,11 +22,18 @@ type owned = Nf_util.Bitset.t
 (** The set of neighbors whose link player [i] pays for. *)
 
 val best_response :
-  alpha:Nf_util.Rat.t -> Nf_graph.Graph.t -> int -> owned:owned -> owned * float
+  alpha:Nf_util.Rat.t -> Nf_graph.Graph.t -> int -> owned:owned -> owned * Nf_util.Rat.t
 (** [best_response ~alpha g i ~owned] is a cost-minimizing replacement
     wish set for player [i] (given the rest of the graph is kept by the
-    other players), with its cost.  Searches all [2^(candidates)]
-    subsets. *)
+    other players), with its exact cost [α·k + Σd] — always finite, since
+    buying every missing link connects [i] to everyone.  Candidate costs
+    are compared by integer cross-multiplication, never through floats.
+    Searches all [2^(candidates)] subsets. *)
+
+val best_response_f :
+  alpha:Nf_util.Rat.t -> Nf_graph.Graph.t -> int -> owned:owned -> owned * float
+(** {!best_response} with the cost rounded to a float — convenience for
+    examples and printing; the argmax itself is computed exactly. *)
 
 val accepts : alpha:Nf_util.Rat.t -> Nf_graph.Graph.t -> int -> owned:owned -> bool
 (** Player [i] has no strictly improving unilateral deviation when it owns

@@ -1,97 +1,28 @@
 module Graph = Nf_graph.Graph
-module Rat = Nf_util.Rat
-module Prng = Nf_util.Prng
+open Netform
 
-type move =
+(* The historical BCG dynamics API, now a thin veneer over
+   {!Game_dynamics} applied to the registry's BCG instance.  The move
+   type re-exports [Game.move], so existing pattern matches keep
+   compiling; traces are byte-identical to the pre-registry
+   implementation because [Bcg.improving_moves] preserves the move order
+   contract and the PRNG draw sequence is unchanged. *)
+
+type move = Game.move =
   | Add of int * int
   | Delete of int * int
 
-type outcome = {
+type outcome = Game_dynamics.outcome = {
   final : Graph.t;
   steps : int;
   converged : bool;
   trace : move list;
 }
 
-module Kernel = Nf_graph.Kernel
-
-let inf = Kernel.inf
-let ibenefit ~base after = if base = inf then (if after = inf then 0 else inf) else base - after
-let iloss ~base after = if base = inf || after = inf then inf else after - base
-
-(* One kernel sweep for the base sums, then one allocation-free toggle
-   evaluation per candidate move.  Moves are accumulated in exactly the
-   order the persistent path produced them (additions in lexicographic
-   (i, j) order, then per edge Delete (i, j) before Delete (j, i)), so
-   [Prng.pick] draws the same move at every step and dynamics traces stay
-   byte-identical. *)
-let improving_moves ~alpha g =
-  Kernel.with_loaded g (fun ws ->
-      let base = Kernel.all_distance_sums ws in
-      let n = Kernel.order ws in
-      let num = Rat.num alpha
-      and den = Rat.den alpha in
-      let lt k = k = inf || num < k * den
-      and le k = k = inf || num <= k * den in
-      let moves = ref [] in
-      for i = 0 to n - 2 do
-        for j = i + 1 to n - 1 do
-          if not (Kernel.has_edge ws i j) then begin
-            Kernel.toggle ws i j;
-            let bi = ibenefit ~base:base.(i) (Kernel.distance_sum_from ws i)
-            and bj = ibenefit ~base:base.(j) (Kernel.distance_sum_from ws j) in
-            Kernel.toggle ws i j;
-            if (lt bi && le bj) || (lt bj && le bi) then moves := Add (i, j) :: !moves
-          end
-        done
-      done;
-      for i = 0 to n - 2 do
-        for j = i + 1 to n - 1 do
-          if Kernel.has_edge ws i j then begin
-            Kernel.toggle ws i j;
-            let li = iloss ~base:base.(i) (Kernel.distance_sum_from ws i)
-            and lj = iloss ~base:base.(j) (Kernel.distance_sum_from ws j) in
-            Kernel.toggle ws i j;
-            if not (le li) then moves := Delete (i, j) :: !moves;
-            if not (le lj) then moves := Delete (j, i) :: !moves
-          end
-        done
-      done;
-      !moves)
-
-let apply g = function
-  | Add (i, j) -> Graph.add_edge g i j
-  | Delete (i, j) -> Graph.remove_edge g i j
-
-let step ~alpha ~rng g =
-  match improving_moves ~alpha g with
-  | [] -> None
-  | moves ->
-    let move = Prng.pick rng moves in
-    Some (move, apply g move)
-
-let run ~alpha ~rng ?(max_steps = 10_000) g =
-  let rec go g steps trace =
-    if steps >= max_steps then { final = g; steps; converged = false; trace = List.rev trace }
-    else
-      match step ~alpha ~rng g with
-      | None -> { final = g; steps; converged = true; trace = List.rev trace }
-      | Some (move, g') -> go g' (steps + 1) (move :: trace)
-  in
-  go g 0 []
+let bcg = Game.Any Game_registry.bcg
+let improving_moves ~alpha g = Bcg.improving_moves ~alpha g
+let step ~alpha ~rng g = Game_dynamics.step bcg ~alpha ~rng g
+let run ~alpha ~rng ?max_steps g = Game_dynamics.run bcg ~alpha ~rng ?max_steps g
 
 let sample_stable ~alpha ~rng ~n ~attempts =
-  let seen = Hashtbl.create 32 in
-  let results = ref [] in
-  for _ = 1 to attempts do
-    let seed = Nf_graph.Random_graph.connected_gnp rng n (0.2 +. Prng.float rng 0.6) in
-    let outcome = run ~alpha ~rng seed in
-    if outcome.converged then begin
-      let key = Graph.adjacency_key outcome.final in
-      if not (Hashtbl.mem seen key) then begin
-        Hashtbl.add seen key ();
-        results := outcome.final :: !results
-      end
-    end
-  done;
-  List.rev !results
+  Game_dynamics.sample_stable bcg ~alpha ~rng ~n ~attempts

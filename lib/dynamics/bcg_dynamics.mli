@@ -1,4 +1,6 @@
-(** Improving-path dynamics for the bilateral game (Jackson–Watts style).
+(** Improving-path dynamics for the bilateral game (Jackson–Watts style)
+    — {!Game_dynamics} applied to the registry's BCG instance, kept as a
+    named API for the game the paper centers on.
 
     A state is just a graph.  One move either severs a link whose severer
     strictly gains, or adds a link that strictly helps one endpoint and
@@ -6,11 +8,11 @@
     graphs, so the dynamics double as a sampler of the stable set for
     orders beyond exhaustive enumeration. *)
 
-type move =
+type move = Netform.Game.move =
   | Add of int * int
   | Delete of int * int  (** [(severer, other)] *)
 
-type outcome = {
+type outcome = Game_dynamics.outcome = {
   final : Nf_graph.Graph.t;
   steps : int;
   converged : bool;  (** final graph is pairwise stable *)
@@ -18,7 +20,8 @@ type outcome = {
 }
 
 val improving_moves : alpha:Nf_util.Rat.t -> Nf_graph.Graph.t -> move list
-(** All single-link improving moves available from a graph. *)
+(** All single-link improving moves available from a graph
+    ([Netform.Bcg.improving_moves]). *)
 
 val step :
   alpha:Nf_util.Rat.t ->

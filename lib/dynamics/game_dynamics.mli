@@ -1,0 +1,58 @@
+(** Improving-path dynamics for any registered game that exposes a move
+    generator ({!Netform.Game.S.improving_moves}).
+
+    A state is just a graph.  Each step draws one move uniformly from the
+    game's improving-move list; fixed points are exactly the game's
+    stable graphs, so the dynamics double as a sampler of the stable set
+    for orders beyond exhaustive enumeration.
+
+    {!Bcg_dynamics} is this module applied to the built-in BCG instance
+    — its traces are byte-identical to the historical implementation
+    because the move order contract and the PRNG draw sequence are
+    unchanged.  The UCG has no single-link improving moves (a best
+    response rewires a whole wish set); its dynamics live in
+    {!Ucg_dynamics}, on top of the same {!iterate} driver. *)
+
+type outcome = {
+  final : Nf_graph.Graph.t;
+  steps : int;
+  converged : bool;  (** final graph is stable for the game *)
+  trace : Netform.Game.move list;  (** moves in execution order *)
+}
+
+val iterate : max_steps:int -> step:('a -> 'a option) -> 'a -> 'a * int * bool
+(** [iterate ~max_steps ~step init] runs [step] to a fixed point
+    ([None]) or the cap, returning [(final, steps_taken, converged)].
+    The shared fixpoint driver under {!run} and
+    {!Ucg_dynamics.run}'s round loop. *)
+
+val apply : Nf_graph.Graph.t -> Netform.Game.move -> Nf_graph.Graph.t
+
+val step :
+  Netform.Game.packed ->
+  alpha:Nf_util.Rat.t ->
+  rng:Nf_util.Prng.t ->
+  Nf_graph.Graph.t ->
+  (Netform.Game.move * Nf_graph.Graph.t) option
+(** Apply one uniformly chosen improving move; [None] at a stable graph.
+    @raise Invalid_argument when the game has no move generator. *)
+
+val run :
+  Netform.Game.packed ->
+  alpha:Nf_util.Rat.t ->
+  rng:Nf_util.Prng.t ->
+  ?max_steps:int ->
+  Nf_graph.Graph.t ->
+  outcome
+(** Iterate until stable or [max_steps] (default 10 000). *)
+
+val sample_stable :
+  Netform.Game.packed ->
+  alpha:Nf_util.Rat.t ->
+  rng:Nf_util.Prng.t ->
+  n:int ->
+  attempts:int ->
+  Nf_graph.Graph.t list
+(** Run the dynamics from [attempts] random connected seeds on [n]
+    vertices and collect the distinct stable graphs reached (by exact
+    adjacency, not isomorphism). *)

@@ -48,26 +48,25 @@ let best_response_step ~alpha state i =
     let targets, _cost = Ucg.best_response ~alpha state.graph i ~owned:state.owned.(i) in
     Some (rebuild state i targets)
 
+(* one round = one pass over a freshly drawn player order; the round
+   loop itself is the shared {!Game_dynamics.iterate} fixpoint driver *)
 let run_with_orders ~alpha ~max_rounds ~next_order state =
-  let rec go state round =
-    if round >= max_rounds then { final = state; rounds = round; converged = false }
-    else begin
-      let order = next_order () in
-      let moved = ref false in
-      let state = ref state in
-      Array.iter
-        (fun i ->
-          match best_response_step ~alpha !state i with
-          | Some updated ->
-            moved := true;
-            state := updated
-          | None -> ())
-        order;
-      if !moved then go !state (round + 1)
-      else { final = !state; rounds = round; converged = true }
-    end
+  let round state =
+    let order = next_order () in
+    let moved = ref false in
+    let state = ref state in
+    Array.iter
+      (fun i ->
+        match best_response_step ~alpha !state i with
+        | Some updated ->
+          moved := true;
+          state := updated
+        | None -> ())
+      order;
+    if !moved then Some !state else None
   in
-  go state 0
+  let final, rounds, converged = Game_dynamics.iterate ~max_steps:max_rounds ~step:round state in
+  { final; rounds; converged }
 
 let run ~alpha ?(max_rounds = 1000) ?order state =
   let n = Graph.order state.graph in

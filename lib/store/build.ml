@@ -6,6 +6,7 @@ open Netform
 type outcome = {
   path : string;
   n : int;
+  game : string;
   with_ucg : bool;
   chunks : int;
   records : int;
@@ -13,15 +14,69 @@ type outcome = {
   seconds : float;
 }
 
-(* One workspace borrow covers both annotations: the worker domain's
-   resident kernel scratch is reused for every record it processes. *)
-let annotate_record ~with_ucg g =
-  Nf_graph.Kernel.with_ws (fun ws ->
-      {
-        Layout.graph6 = Nf_graph.Graph6.encode g;
-        bcg = Bcg.stable_alpha_set_ws ws g;
-        ucg = (if with_ucg then Some (Ucg.nash_alpha_set_ws ws g) else None);
-      })
+(* Map between store content descriptors and registered games.  The two
+   classic layouts are the BCG (tag 0) and UCG (tag 1) stores the format
+   has always produced — building "--game bcg"/"--game ucg" emits them
+   byte-identically; any other registered game gets a single-region
+   [Game] store keyed by its schema tag. *)
+let content_of_game name =
+  let (Game.Any (module G)) = Game_registry.find_exn name in
+  match G.schema_tag with
+  | 0 -> Layout.Classic { with_ucg = false }
+  | 1 -> Layout.Classic { with_ucg = true }
+  | tag ->
+    let union =
+      match G.region_kind with
+      | Game.Region.Interval -> false
+      | Game.Region.Union -> true
+    in
+    Layout.Game { tag; union }
+
+let game_of_content = function
+  | Layout.Classic { with_ucg } -> if with_ucg then "ucg" else "bcg"
+  | Layout.Game { tag; union = _ } -> (
+    match Game_registry.find_by_tag tag with
+    | Some g -> Game.name g
+    | None -> Printf.sprintf "unknown(tag %d)" tag)
+
+(* One workspace borrow covers the whole record: the worker domain's
+   resident kernel scratch is reused for every record it processes.  The
+   classic annotator is kept verbatim (BCG interval, plus the UCG union
+   when flagged); game stores dispatch through the registry instance's
+   annotator and place the region per the layout convention. *)
+let annotator_of_content = function
+  | Layout.Classic { with_ucg } ->
+    fun g ->
+      Nf_graph.Kernel.with_ws (fun ws ->
+          {
+            Layout.graph6 = Nf_graph.Graph6.encode g;
+            bcg = Bcg.stable_alpha_set_ws ws g;
+            ucg = (if with_ucg then Some (Ucg.nash_alpha_set_ws ws g) else None);
+          })
+  | Layout.Game { tag; union } -> (
+    match Game_registry.find_by_tag tag with
+    | None -> failwith (Printf.sprintf "no registered game has schema tag %d" tag)
+    | Some (Game.Any (module G)) -> (
+      match (G.region_kind, union) with
+      | Game.Region.Interval, false ->
+        fun g ->
+          Nf_graph.Kernel.with_ws (fun ws ->
+              {
+                Layout.graph6 = Nf_graph.Graph6.encode g;
+                bcg = G.stable_region_ws ws g;
+                ucg = None;
+              })
+      | Game.Region.Union, true ->
+        fun g ->
+          Nf_graph.Kernel.with_ws (fun ws ->
+              {
+                Layout.graph6 = Nf_graph.Graph6.encode g;
+                bcg = Nf_util.Interval.empty;
+                ucg = Some (G.stable_region_ws ws g);
+              })
+      | (Game.Region.Interval | Game.Region.Union), _ ->
+        failwith
+          (Printf.sprintf "store region shape contradicts game %S (tag %d)" G.name tag)))
 
 (* The sweep: stream connected classes in chunks off the enumeration
    engine (never materializing the level), annotate each chunk across the
@@ -32,8 +87,9 @@ let annotate_record ~with_ucg g =
 let run ~writer ~skip_chunks ~report =
   let header = writer.Writer.header in
   let n = header.Layout.n
-  and with_ucg = header.Layout.with_ucg
+  and content = header.Layout.content
   and chunk = header.Layout.chunk_size in
+  let annotate_record = annotator_of_content content in
   let start = Unix.gettimeofday () in
   let resumed_records = writer.Writer.records in
   let meter =
@@ -46,7 +102,7 @@ let run ~writer ~skip_chunks ~report =
       let i = !ci in
       incr ci;
       if i >= skip_chunks then begin
-        let records = Pool.parallel_map_array (annotate_record ~with_ucg) graphs in
+        let records = Pool.parallel_map_array annotate_record graphs in
         Writer.append_chunk writer records;
         Stats.Progress.tick meter (Array.length graphs);
         report
@@ -57,20 +113,28 @@ let run ~writer ~skip_chunks ~report =
   {
     path = writer.Writer.final_path;
     n;
-    with_ucg;
+    game = game_of_content content;
+    with_ucg = Layout.content_with_ucg content;
     chunks = writer.Writer.chunks;
     records = writer.Writer.records;
     resumed_records;
     seconds = Unix.gettimeofday () -. start;
   }
 
-let build ?with_ucg ?(chunk = 512) ?(force = false) ?(report = ignore) ~path ~n () =
+let build ?game ?with_ucg ?(chunk = 512) ?(force = false) ?(report = ignore) ~path ~n () =
   if n < 1 || n > 11 then invalid_arg "Build.build: n out of range (1..11)";
   if chunk < 1 then invalid_arg "Build.build: chunk < 1";
-  let with_ucg = Option.value ~default:(n <= 7) with_ucg in
+  let content =
+    match game with
+    | None -> Layout.Classic { with_ucg = Option.value ~default:(n <= 7) with_ucg }
+    | Some name ->
+      if Option.is_some with_ucg then
+        invalid_arg "Build.build: pass either ~game or ~with_ucg, not both";
+      content_of_game name
+  in
   if Sys.file_exists path && not force then
     failwith (Printf.sprintf "%s already exists (pass force to rebuild)" path);
-  let writer = Writer.create ~path ~header:{ Layout.n; with_ucg; chunk_size = chunk } in
+  let writer = Writer.create ~path ~header:{ Layout.n; content; chunk_size = chunk } in
   match run ~writer ~skip_chunks:0 ~report with
   | outcome -> outcome
   | exception e ->

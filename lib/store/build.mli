@@ -2,22 +2,30 @@
 
     A build streams every connected isomorphism class on [n] vertices
     out of {!Nf_enum.Unlabeled.iter_connected_chunked}, annotates each
-    chunk across the {!Nf_util.Pool} domains with the exact BCG stable
-    interval (and, when [with_ucg], the UCG Nash α-set), and appends it
-    through {!Writer}.  Progress/throughput/ETA lines are emitted per
-    chunk through the [report] callback via {!Nf_util.Stats.Progress}.
+    chunk across the {!Nf_util.Pool} domains, and appends it through
+    {!Writer}.  The default is the classic dual-region layout (exact BCG
+    stable interval and, when [with_ucg], the UCG Nash α-set); passing
+    [~game] instead builds a single-game store for any registered
+    {!Netform.Game} — records then carry that game's region and the
+    header carries its schema tag ([bcg]/[ucg] map back onto the classic
+    layouts byte-identically).  Progress/throughput/ETA lines are
+    emitted per chunk through the [report] callback via
+    {!Nf_util.Stats.Progress}.
 
     {b Crash-resume parity.}  Chunk boundaries are fixed by the chunk
     size recorded in the header and both the enumeration order and the
     annotation are deterministic, so [resume] — which truncates the part
     file to its longest valid chunk prefix and re-enters the stream at
-    the next chunk — produces a store byte-identical to an uninterrupted
-    build, whatever the pool width and wherever the interruption fell. *)
+    the next chunk (reconstructing the annotator from the header's
+    content tag alone) — produces a store byte-identical to an
+    uninterrupted build, whatever the pool width and wherever the
+    interruption fell. *)
 
 type outcome = {
   path : string;
   n : int;
-  with_ucg : bool;
+  game : string;  (** registry name of the annotating game *)
+  with_ucg : bool;  (** classic layout with the UCG payload *)
   chunks : int;
   records : int;  (** total annotated classes in the finished store *)
   resumed_records : int;  (** of which were inherited from a part file *)
@@ -25,6 +33,7 @@ type outcome = {
 }
 
 val build :
+  ?game:string ->
   ?with_ucg:bool ->
   ?chunk:int ->
   ?force:bool ->
@@ -33,13 +42,27 @@ val build :
   n:int ->
   unit ->
   outcome
-(** Build a fresh store at [path].  [with_ucg] defaults to [n <= 7]
-    (matching {!Nf_analysis.Dataset.build}); [chunk] is the records-per-
-    chunk fan-out unit (default 512).  Any stale part file is discarded.
-    @raise Invalid_argument when [n] is outside [1..11] or [chunk < 1].
+(** Build a fresh store at [path].  Without [~game], a classic store
+    whose [with_ucg] defaults to [n <= 7] (matching
+    {!Nf_analysis.Dataset.build}); with [~game], a store for that
+    registered game ([with_ucg] must then be omitted).  [chunk] is the
+    records-per-chunk fan-out unit (default 512).  Any stale part file
+    is discarded.
+    @raise Invalid_argument when [n] is outside [1..11], [chunk < 1],
+    [~game] is unknown, or both [~game] and [~with_ucg] are given.
     @raise Failure when [path] already exists and [force] is not set. *)
 
 val resume : ?report:(string -> unit) -> path:string -> unit -> outcome
 (** Continue an interrupted build from [path ^ ".part"].
     @raise Failure when there is nothing to resume.
     @raise Layout.Corrupt when the part file's header is invalid. *)
+
+(**/**)
+
+val content_of_game : string -> Layout.content
+(** The content descriptor [~game] maps to (exposed for Index/Query and
+    tests). @raise Invalid_argument on an unknown name. *)
+
+val game_of_content : Layout.content -> string
+(** Registry name for a store's content (classic stores read as
+    ["bcg"]/["ucg"]). *)

@@ -14,7 +14,9 @@ let load ~path =
 
 let path t = t.path
 let n t = t.header.Layout.n
-let with_ucg t = t.header.Layout.with_ucg
+let content t = t.header.Layout.content
+let with_ucg t = Layout.content_with_ucg t.header.Layout.content
+let game t = Build.game_of_content t.header.Layout.content
 let length t = Array.length t.entries
 let entries t = t.entries
 

@@ -9,7 +9,18 @@ val load : path:string -> t
 
 val path : t -> string
 val n : t -> int
+
+val content : t -> Layout.content
+(** What the records carry (classic dual-region or single-game). *)
+
 val with_ucg : t -> bool
+(** Whether records carry the classic UCG payload
+    ([Layout.content_with_ucg] of {!content}). *)
+
+val game : t -> string
+(** Registry name of the annotating game (classic stores read as
+    ["bcg"]/["ucg"]). *)
+
 val length : t -> int
 (** Number of annotated classes. *)
 

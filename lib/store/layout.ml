@@ -11,8 +11,17 @@ module Rat = Nf_util.Rat
               | u32 crc(header+body)
      footer   "FEND" | u32 #chunks | u32 #records | u32 crc(preceding 12)
 
-   flags bit 0: records carry a UCG Nash α-set after the BCG interval.
-   Record body:  u16 len | graph6 bytes | interval | [union].
+   flags bit 1 clear — a classic store (game schema tags 0/1):
+     bit 0: records carry a UCG Nash α-set after the BCG interval.
+     Flags 0 and 1 are exactly the pre-game-registry encodings, so
+     BCG/UCG stores stay byte-identical.
+   flags bit 1 set — a single-game store:
+     bit 2: the region is an interval union (else a single interval);
+     bits 8..23: the game's registry schema tag.  Bit 0 and bits 3..7,
+     24..31 must be clear.
+   Record body:  u16 len | graph6 bytes | region, where the region is
+                 interval | [union] for classic stores, and a single
+                 interval or union (per flags bit 2) for game stores.
    Interval:     u8 0 (empty) or u8 1 | endpoint | u8 lo_closed
                  | endpoint | u8 hi_closed.
    Endpoint:     u8 0 (-inf) / 2 (+inf), or u8 1 | i64 num | i64 den.
@@ -26,8 +35,15 @@ let header_size = 24
 let chunk_header_size = 16
 let footer_size = 16
 
-type header = { n : int; with_ucg : bool; chunk_size : int }
+type content = Classic of { with_ucg : bool } | Game of { tag : int; union : bool }
+type header = { n : int; content : content; chunk_size : int }
 type record = { graph6 : string; bcg : Interval.t; ucg : Interval.Union.t option }
+
+let content_with_ucg = function
+  | Classic { with_ucg } -> with_ucg
+  | Game _ -> false
+
+let classic ~with_ucg = Classic { with_ucg }
 
 exception Corrupt of string
 
@@ -128,29 +144,70 @@ let get_union s pos =
 
 (* --- records ------------------------------------------------------------ *)
 
-let add_record buf ~with_ucg r =
+(* Region placement convention: classic records and interval-game records
+   keep their interval in [bcg] ([ucg] carries the classic union when the
+   flag is set); union-game records keep their union in [ucg = Some _]
+   with [bcg] unused (Interval.empty, never serialized). *)
+let add_record buf ~content r =
   if String.length r.graph6 > 0xFFFF then invalid_arg "Layout.add_record: graph6 too long";
   add_u16 buf (String.length r.graph6);
   Buffer.add_string buf r.graph6;
-  add_interval buf r.bcg;
-  match (with_ucg, r.ucg) with
-  | true, Some u -> add_union buf u
-  | false, None -> ()
-  | true, None -> invalid_arg "Layout.add_record: UCG payload required by header flags"
-  | false, Some _ -> invalid_arg "Layout.add_record: unexpected UCG payload"
+  match content with
+  | Classic { with_ucg } -> (
+    add_interval buf r.bcg;
+    match (with_ucg, r.ucg) with
+    | true, Some u -> add_union buf u
+    | false, None -> ()
+    | true, None -> invalid_arg "Layout.add_record: UCG payload required by header flags"
+    | false, Some _ -> invalid_arg "Layout.add_record: unexpected UCG payload")
+  | Game { union = false; _ } -> (
+    add_interval buf r.bcg;
+    match r.ucg with
+    | None -> ()
+    | Some _ -> invalid_arg "Layout.add_record: unexpected union payload in interval-game store")
+  | Game { union = true; _ } -> (
+    match r.ucg with
+    | Some u -> add_union buf u
+    | None -> invalid_arg "Layout.add_record: union payload required by header flags")
 
-let get_record s pos ~with_ucg =
+let get_record s pos ~content =
   let len = get_u16 s pos "graph6 length" in
   need s (pos + 2) len "graph6 string";
   let graph6 = String.sub s (pos + 2) len in
   if len = 0 then fail "empty graph6 string at byte %d" pos;
-  let bcg, pos = get_interval s (pos + 2 + len) in
-  if with_ucg then
+  let pos = pos + 2 + len in
+  match content with
+  | Classic { with_ucg } ->
+    let bcg, pos = get_interval s pos in
+    if with_ucg then
+      let u, pos = get_union s pos in
+      ({ graph6; bcg; ucg = Some u }, pos)
+    else ({ graph6; bcg; ucg = None }, pos)
+  | Game { union = false; _ } ->
+    let bcg, pos = get_interval s pos in
+    ({ graph6; bcg; ucg = None }, pos)
+  | Game { union = true; _ } ->
     let u, pos = get_union s pos in
-    ({ graph6; bcg; ucg = Some u }, pos)
-  else ({ graph6; bcg; ucg = None }, pos)
+    ({ graph6; bcg = Interval.empty; ucg = Some u }, pos)
 
 (* --- header ------------------------------------------------------------- *)
+
+let flags_of_content = function
+  | Classic { with_ucg } -> if with_ucg then 1 else 0
+  | Game { tag; union } ->
+    if tag < 0 || tag > 0xFFFF then invalid_arg "Layout: game schema tag out of range";
+    0x2 lor (if union then 0x4 else 0) lor (tag lsl 8)
+
+let content_of_flags flags =
+  if flags land 0x2 = 0 then begin
+    if flags land lnot 1 <> 0 then fail "unknown flag bits %x" flags;
+    Classic { with_ucg = flags land 1 = 1 }
+  end
+  else begin
+    if flags land lnot (0x2 lor 0x4 lor 0xFFFF00) <> 0 then
+      fail "unknown flag bits %x" flags;
+    Game { tag = flags lsr 8; union = flags land 0x4 <> 0 }
+  end
 
 let encode_header h =
   if h.n < 1 || h.n > 62 then invalid_arg "Layout.encode_header: n out of range";
@@ -159,7 +216,7 @@ let encode_header h =
   Buffer.add_string buf magic;
   add_u16 buf schema_version;
   add_u16 buf h.n;
-  add_u32 buf (if h.with_ucg then 1 else 0);
+  add_u32 buf (flags_of_content h.content);
   add_u32 buf h.chunk_size;
   let body = Buffer.contents buf in
   add_u32 buf (Crc32.string body);
@@ -177,16 +234,16 @@ let decode_header s =
   let n = get_u16 s 10 "n" in
   if n < 1 || n > 62 then fail "n = %d out of range" n;
   let flags = get_u32 s 12 "flags" in
-  if flags land lnot 1 <> 0 then fail "unknown flag bits %x" flags;
+  let content = content_of_flags flags in
   let chunk_size = get_u32 s 16 "chunk size" in
   if chunk_size < 1 then fail "chunk size %d < 1" chunk_size;
-  { n; with_ucg = flags land 1 = 1; chunk_size }
+  { n; content; chunk_size }
 
 (* --- chunks ------------------------------------------------------------- *)
 
-let encode_chunk ~index ~with_ucg records =
+let encode_chunk ~index ~content records =
   let body = Buffer.create 4096 in
-  Array.iter (add_record body ~with_ucg) records;
+  Array.iter (add_record body ~content) records;
   let buf = Buffer.create (Buffer.length body + chunk_header_size + 4) in
   Buffer.add_string buf chunk_magic;
   add_u32 buf index;
@@ -197,7 +254,7 @@ let encode_chunk ~index ~with_ucg records =
   add_u32 buf (Crc32.string framed);
   Buffer.contents buf
 
-let decode_chunk ~with_ucg s ~pos =
+let decode_chunk ~content s ~pos =
   need s pos chunk_header_size "chunk header";
   if String.sub s pos 4 <> chunk_magic then fail "bad chunk magic at byte %d" pos;
   let index = get_u32 s (pos + 4) "chunk index" in
@@ -214,7 +271,7 @@ let decode_chunk ~with_ucg s ~pos =
   let cursor = ref (pos + chunk_header_size) in
   let records =
     Array.init count (fun _ ->
-        let r, next = get_record s !cursor ~with_ucg in
+        let r, next = get_record s !cursor ~content in
         cursor := next;
         r)
   in

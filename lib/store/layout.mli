@@ -14,18 +14,44 @@
     truncated or corrupted files raise {!Corrupt} rather than producing
     garbage (or a crash). *)
 
+(** What a store's records carry, encoded in the header flags.
+    [Classic] is the original dual-region layout (BCG interval, plus the
+    UCG union when [with_ucg]) — its two flag values are exactly the
+    pre-registry encodings, so existing stores are byte-identical.
+    [Game] is a single-game store: one region per record, shaped by
+    [union], for the registered game with that schema [tag]
+    ({!Netform.Game.S.schema_tag}). *)
+type content = Classic of { with_ucg : bool } | Game of { tag : int; union : bool }
+
 type header = {
   n : int;  (** number of players / vertices, [1..62] *)
-  with_ucg : bool;  (** records carry a UCG Nash α-set *)
+  content : content;  (** record payload layout *)
   chunk_size : int;  (** records per full chunk (the last may be short) *)
 }
 
 type record = {
   graph6 : string;
   bcg : Nf_util.Interval.t;
+      (** the interval region ([Interval.empty] and unused in
+          union-game stores) *)
   ucg : Nf_util.Interval.Union.t option;
-      (** [Some] iff the header's [with_ucg] flag is set *)
+      (** [Some] iff the content is classic-with-UCG or a union game *)
 }
+
+val content_with_ucg : content -> bool
+(** Whether records carry the classic UCG payload. *)
+
+val classic : with_ucg:bool -> content
+
+val flags_of_content : content -> int
+(** The header flags word: [Classic] encodes to the pre-registry values
+    0/1; [Game] sets bit 1, bit 2 for a union region, and the schema tag
+    in bits 8..23.
+    @raise Invalid_argument when the tag is outside [0..0xFFFF]. *)
+
+val content_of_flags : int -> content
+(** Strict inverse — any unknown flag bit raises {!Corrupt} rather than
+    being ignored, so a store written by a future schema is rejected. *)
 
 exception Corrupt of string
 (** Raised by every [decode_*] function on malformed input. *)
@@ -43,14 +69,14 @@ val decode_header : string -> header
 (** Validates magic, CRC, schema version and field ranges on the first
     {!header_size} bytes. *)
 
-val encode_chunk : index:int -> with_ucg:bool -> record array -> string
+val encode_chunk : index:int -> content:content -> record array -> string
 (** One framed chunk: header, record bodies, trailing CRC over the
     whole frame.
-    @raise Invalid_argument when a record's UCG payload contradicts
-    [with_ucg]. *)
+    @raise Invalid_argument when a record's payload contradicts
+    [content]. *)
 
-val decode_chunk : with_ucg:bool -> string -> pos:int -> int * record array * int
-(** [decode_chunk ~with_ucg s ~pos] is [(index, records, next_pos)].
+val decode_chunk : content:content -> string -> pos:int -> int * record array * int
+(** [decode_chunk ~content s ~pos] is [(index, records, next_pos)].
     The CRC is verified {e before} any record is parsed. *)
 
 val encode_footer : chunks:int -> records:int -> string

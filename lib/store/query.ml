@@ -29,10 +29,54 @@ let graphs_of index idxs =
 let bcg_stable_graphs index ~alpha = graphs_of index (stable_entries index ~alpha)
 let ucg_nash_graphs index ~alpha = graphs_of index (nash_entries index ~alpha)
 
+(* The registry-generic query: which region a record's stability lives in
+   is decided by the store's content descriptor, so the dispatch below is
+   the read-side mirror of [Build.annotator_of_content].  Classic stores
+   serve "bcg" from the interval column and "ucg" from the union column;
+   a single-game store serves exactly the game it was built for. *)
+let game_entries index ~game ~alpha =
+  let reject want =
+    invalid_arg
+      (Printf.sprintf "Query.game_entries: store carries %S annotations, not %S"
+         (Index.game index) want)
+  in
+  match Index.content index with
+  | Layout.Classic { with_ucg } ->
+    if game = "bcg" then stable_entries index ~alpha
+    else if game = "ucg" then
+      if with_ucg then nash_entries index ~alpha else reject game
+    else reject game
+  | Layout.Game { tag; union } ->
+    (match Build.content_of_game game with
+    | Layout.Game { tag = want_tag; union = _ } when want_tag = tag ->
+      let entries = Index.entries index in
+      let out = ref [] in
+      if union then
+        for i = Array.length entries - 1 downto 0 do
+          match entries.(i).Layout.ucg with
+          | Some u when Interval.Union.mem alpha u -> out := i :: !out
+          | _ -> ()
+        done
+      else
+        for i = Array.length entries - 1 downto 0 do
+          if Interval.mem alpha entries.(i).Layout.bcg then out := i :: !out
+        done;
+      !out
+    | _ -> reject game)
+
+let game_stable_graphs index ~game ~alpha = graphs_of index (game_entries index ~game ~alpha)
+
 let figure_points index ?grid () =
   Nf_analysis.Figures.sweep_via
     ~bcg:(fun ~alpha -> bcg_stable_graphs index ~alpha)
     ~ucg:(fun ~alpha -> ucg_nash_graphs index ~alpha)
+    ?grid ()
+
+let game_figure_points index ?grid () =
+  let game = Index.game index in
+  let packed = Netform.Game_registry.find_exn game in
+  Nf_analysis.Figures.sweep_game_via packed
+    ~stable:(fun ~alpha -> game_stable_graphs index ~game ~alpha)
     ?grid ()
 
 let to_entries index =

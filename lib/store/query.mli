@@ -14,8 +14,19 @@ val bcg_stable_graphs : Index.t -> alpha:Nf_util.Rat.t -> Nf_graph.Graph.t list
 val ucg_nash_graphs : Index.t -> alpha:Nf_util.Rat.t -> Nf_graph.Graph.t list
 (** @raise Invalid_argument when the store carries no UCG annotations. *)
 
+val game_stable_graphs :
+  Index.t -> game:string -> alpha:Nf_util.Rat.t -> Nf_graph.Graph.t list
+(** All classes stable at [alpha] for the named registered game.  The
+    store must carry that game's annotations: classic stores serve
+    ["bcg"] (and ["ucg"] when built with it); a single-game store serves
+    exactly the game whose schema tag it was built with.
+    @raise Invalid_argument when the store carries a different game, or
+    the name is unknown. *)
+
 val stable_entries : Index.t -> alpha:Nf_util.Rat.t -> int list
 val nash_entries : Index.t -> alpha:Nf_util.Rat.t -> int list
+
+val game_entries : Index.t -> game:string -> alpha:Nf_util.Rat.t -> int list
 (** Entry indices rather than decoded graphs, for callers that want the
     stored payloads too. *)
 
@@ -23,6 +34,12 @@ val figure_points :
   Index.t -> ?grid:Nf_util.Rat.t list -> unit -> Nf_analysis.Figures.point list
 (** The paper's Figure 2/3 series (default grid {!Nf_analysis.Sweep.paper_grid})
     regenerated straight from the store via {!Nf_analysis.Figures.sweep_via}. *)
+
+val game_figure_points :
+  Index.t -> ?grid:Nf_util.Rat.t list -> unit -> Nf_analysis.Figures.game_point list
+(** Single-game sweep curves for the store's own game via
+    {!Nf_analysis.Figures.sweep_game_via} — works on any store (classic
+    stores sweep as ["bcg"]/["ucg"]). *)
 
 val to_entries : Index.t -> Nf_analysis.Dataset.entry list
 (** The store as a {!Nf_analysis.Dataset} atlas. *)

@@ -32,7 +32,7 @@ let scan_string s =
       stop := true
     end
     else
-      match Layout.decode_chunk ~with_ucg:header.Layout.with_ucg s ~pos:!pos with
+      match Layout.decode_chunk ~content:header.Layout.content s ~pos:!pos with
       | index, recs, next ->
         if index <> !chunks then stop := true
         else begin
@@ -60,7 +60,7 @@ let verify_string s =
     let chunks = ref 0 in
     let records = ref 0 in
     while !pos < len && not (Layout.is_footer_at s !pos) do
-      let index, recs, next = Layout.decode_chunk ~with_ucg:header.Layout.with_ucg s ~pos:!pos in
+      let index, recs, next = Layout.decode_chunk ~content:header.Layout.content s ~pos:!pos in
       if index <> !chunks then
         raise (Layout.Corrupt (Printf.sprintf "chunk %d out of sequence (expected %d)" index !chunks));
       if Array.length recs = 0 then
@@ -119,7 +119,7 @@ let load ~path =
   let pos = ref Layout.header_size in
   let filled = ref 0 in
   for _ = 1 to scan.chunks do
-    let _, recs, next = Layout.decode_chunk ~with_ucg:header.Layout.with_ucg s ~pos:!pos in
+    let _, recs, next = Layout.decode_chunk ~content:header.Layout.content s ~pos:!pos in
     Array.blit recs 0 out !filled (Array.length recs);
     filled := !filled + Array.length recs;
     pos := next

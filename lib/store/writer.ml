@@ -52,7 +52,7 @@ let append_chunk t records =
   if t.closed then invalid_arg "Writer.append_chunk: writer is closed";
   if Array.length records = 0 then invalid_arg "Writer.append_chunk: empty chunk";
   output_string t.oc
-    (Layout.encode_chunk ~index:t.chunks ~with_ucg:t.header.Layout.with_ucg records);
+    (Layout.encode_chunk ~index:t.chunks ~content:t.header.Layout.content records);
   flush t.oc;
   t.chunks <- t.chunks + 1;
   t.records <- t.records + Array.length records

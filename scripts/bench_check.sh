@@ -5,8 +5,9 @@
 #
 #   usage: scripts/bench_check.sh FRESH.json [BASELINE.json]
 #
-# Guarded rows are the netform/kernels/ and netform/store/ groups — the
-# substrate the experiment rows sit on.  Rows whose baseline estimate is
+# Guarded rows are the netform/kernels/, netform/store/ and
+# netform/games/ groups — the substrate the experiment rows sit on, plus
+# the registry-driven game annotation path.  Rows whose baseline estimate is
 # below the noise floor are reported but never fail the check (micro-rows
 # jitter far beyond any honest tolerance under the quick-quota smoke), and
 # a guarded baseline row missing from the fresh report is an error.
@@ -42,7 +43,7 @@ extract "$baseline" > "$tmp/baseline"
 
 awk -v tolerance="$tolerance" -v min_ns="$min_ns" '
   NR == FNR { fresh[$1] = $2; next }
-  $1 ~ /^netform\/(kernels|store)\// {
+  $1 ~ /^netform\/(kernels|store|games)\// {
     base = $2
     if (!($1 in fresh)) {
       printf "MISSING   %-55s (in baseline, absent from fresh report)\n", $1
@@ -68,4 +69,4 @@ awk -v tolerance="$tolerance" -v min_ns="$min_ns" '
     exit failed ? 1 : 0
   }' "$tmp/fresh" "$tmp/baseline"
 
-echo "bench_check: no kernel/store row regressed past ${tolerance}x"
+echo "bench_check: no kernel/store/games row regressed past ${tolerance}x"

@@ -40,6 +40,27 @@ done
 cmp "$store_dir/pristine_j1.nfs" "$store_dir/pristine_j4.nfs"
 echo "store smoke: jobs=1 and jobs=4 builds byte-identical"
 
+# Registry exhaustiveness: every game the binary knows about must survive
+# the full annotate -> store build -> verify loop under both pool widths,
+# with the two builds byte-identical.  The game list comes from the CLI
+# itself (`games --names`), so a newly registered game is smoke-tested
+# here without touching this script.
+echo "== game registry smoke (annotate + store build/verify, every game, both pool widths) =="
+games=$(dune exec bin/netform_cli.exe -- games --names)
+[ -n "$games" ] || { echo "game registry smoke: empty registry" >&2; exit 1; }
+for game in $games; do
+  for jobs in 1 4; do
+    NETFORM_JOBS=$jobs dune exec bin/netform_cli.exe -- annotate -n 5 --game "$game" \
+      -o "$store_dir/${game}_j$jobs.csv" > /dev/null
+    NETFORM_JOBS=$jobs dune exec bin/netform_cli.exe -- store build -n 5 --chunk 8 \
+      --game "$game" -o "$store_dir/${game}_j$jobs.nfs" --quiet
+    dune exec bin/netform_cli.exe -- store verify "$store_dir/${game}_j$jobs.nfs"
+  done
+  cmp "$store_dir/${game}_j1.csv" "$store_dir/${game}_j4.csv"
+  cmp "$store_dir/${game}_j1.nfs" "$store_dir/${game}_j4.nfs"
+  echo "game registry smoke ($game): jobs=1 and jobs=4 annotate + store byte-identical"
+done
+
 echo "== bench smoke pass (perf-trajectory JSON, jobs=4) =="
 bench_json="BENCH_$(date +%Y%m%d_%H%M%S).json"
 NETFORM_JOBS=4 NETFORM_BENCH_SKIP_EXPERIMENTS=1 NETFORM_BENCH_QUICK=1 \

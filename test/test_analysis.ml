@@ -119,6 +119,76 @@ let test_transfers_equilibria () =
         (Netform.Transfers.is_stable ~alpha:(Rat.of_int 2) g))
     (Equilibria.transfers_stable_graphs ~n:5 ~alpha:(Rat.of_int 2))
 
+let test_transfers_stable_graphs_complete () =
+  (* transfers_stable_graphs is sound AND complete: it equals filtering
+     the full enumeration by the certifier, and agrees with the generic
+     registry route it is now a wrapper over *)
+  let alphas = [ Rat.make 1 2; Rat.one; Rat.make 3 2; Rat.of_int 2; Rat.of_int 5 ] in
+  List.iter
+    (fun n ->
+      let all = Nf_enum.Unlabeled.connected_graphs n in
+      List.iter
+        (fun alpha ->
+          let label what =
+            Printf.sprintf "n=%d alpha=%s %s" n (Rat.to_string alpha) what
+          in
+          let reported = Equilibria.transfers_stable_graphs ~n ~alpha in
+          let expected = List.filter (Netform.Transfers.is_stable ~alpha) all in
+          check_int (label "count") (List.length expected) (List.length reported);
+          List.iter2
+            (fun a b ->
+              check_bool (label "same graphs, enumeration order") true
+                (Nf_graph.Graph.equal a b))
+            expected reported;
+          let generic =
+            Equilibria.stable_graphs_packed
+              (Netform.Game.Any Netform.Game_registry.transfers)
+              ~n ~alpha
+          in
+          check_int (label "registry route agrees") (List.length reported)
+            (List.length generic);
+          List.iter2
+            (fun a b -> check_bool (label "registry graphs") true (Nf_graph.Graph.equal a b))
+            reported generic)
+        alphas)
+    [ 4; 5 ]
+
+let test_cli_game_sweep_roundtrip () =
+  (* `netform sweep --game transfers --csv` must emit exactly the CSV the
+     library produces for the same sweep — the CLI is a thin shell over
+     Figures.sweep_game, not a second implementation.  The binary is
+     located relative to this test executable (_build/default/test/..),
+     so the test works regardless of the caller's cwd. *)
+  let cli =
+    Filename.concat
+      (Filename.dirname (Filename.dirname Sys.executable_name))
+      "bin/netform_cli.exe"
+  in
+  check_bool "CLI binary built" true (Sys.file_exists cli);
+  let csv_path = Filename.temp_file "netform_sweep" ".csv" in
+  let log_path = Filename.temp_file "netform_sweep" ".log" in
+  let command =
+    Printf.sprintf "%s sweep --game transfers -n 5 --csv %s > %s 2>&1"
+      (Filename.quote cli) (Filename.quote csv_path) (Filename.quote log_path)
+  in
+  let status = Sys.command command in
+  let read_file path =
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let from_cli = read_file csv_path in
+  let log = read_file log_path in
+  Sys.remove csv_path;
+  Sys.remove log_path;
+  check_int ("sweep exit status; output:\n" ^ log) 0 status;
+  let expected =
+    Figures.game_csv
+      (Figures.sweep_game (Netform.Game_registry.find_exn "transfers") ~n:5 ())
+  in
+  Alcotest.(check string) "CLI csv = library csv" expected from_cli
+
 let test_dataset_roundtrip () =
   let module Dataset = Nf_analysis.Dataset in
   let entries = Dataset.build 5 in
@@ -294,6 +364,9 @@ let () =
           Alcotest.test_case "self checks" `Slow test_experiment_checks_pass;
           Alcotest.test_case "e18/e19 smoke" `Quick test_e18_e19_smoke;
           Alcotest.test_case "transfers equilibria" `Quick test_transfers_equilibria;
+          Alcotest.test_case "transfers stable graphs complete" `Quick
+            test_transfers_stable_graphs_complete;
+          Alcotest.test_case "cli game sweep roundtrip" `Quick test_cli_game_sweep_roundtrip;
           Alcotest.test_case "render" `Quick test_experiment_render;
         ] );
     ]

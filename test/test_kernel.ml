@@ -161,12 +161,25 @@ let test_apsp_metrics_vs_fold () =
       done)
     (random_corpus ())
 
-(* ---------------- annotation parity vs retained references -------------- *)
+(* ---------------- registry-driven differential harness ------------------- *)
+
+(* One harness instead of a copied parity suite per game: every game in
+   {!Game_registry} is held to the same contract — the kernel-workspace
+   annotator equals the persistent reference (connected, disconnected and
+   edgeless input alike), annotation survives a random toggle walk
+   re-using one workspace, the point certifier agrees with region
+   membership, and (when the game has dynamics) a graph has no improving
+   moves exactly when it is stable.  A newly registered game gets all
+   four suites with no test changes. *)
+
+let region_testable (type r) (kind : r Game.Region.kind) : r Alcotest.testable =
+  Alcotest.testable (Game.Region.pp kind) (Game.Region.equal kind)
 
 let annotation_corpus () =
   Nf_enum.Unlabeled.connected_graphs 5
   @ [
       Graph.empty 1;
+      Graph.empty 4;
       Graph.of_edges 5 [ (0, 1); (2, 3) ];
       Graph.of_edges 6 [ (0, 1); (1, 2); (3, 4) ];
       Nf_named.Families.cycle 8;
@@ -174,32 +187,139 @@ let annotation_corpus () =
       Nf_named.Families.path 7;
     ]
 
-let test_bcg_annotation_parity () =
+(* union-region games run an orientation search per graph, so they keep
+   the smaller corpus the historical UCG suite used (still including
+   disconnected and edgeless shapes) *)
+let corpus_for (Game.Any (module G)) =
+  match G.region_kind with
+  | Game.Region.Interval -> annotation_corpus ()
+  | Game.Region.Union ->
+    Nf_enum.Unlabeled.connected_graphs 5
+    @ [
+        Graph.empty 1;
+        Graph.empty 4;
+        Graph.of_edges 5 [ (0, 1); (2, 3) ];
+        Nf_named.Families.cycle 7;
+        Nf_named.Families.star 6;
+        Nf_named.Families.path 6;
+      ]
+
+let alpha_grid =
+  [ Rat.make 1 2; Rat.one; Rat.make 3 2; Rat.of_int 2; Rat.make 5 2; Rat.of_int 4 ]
+
+let game_parity (Game.Any (module G) as packed) () =
   let ws = Kernel.create () in
   List.iter
     (fun g ->
-      check interval "bcg ws = reference" (Bcg.stable_alpha_set_reference g)
-        (Bcg.stable_alpha_set_ws ws g);
+      check (region_testable G.region_kind) "ws = reference" (G.stable_region_reference g)
+        (G.stable_region_ws ws g))
+    (corpus_for packed)
+
+let game_toggle_walk (Game.Any (module G)) () =
+  let rng = Prng.create 0x67616d65 in
+  let ws = Kernel.create () in
+  let n = 5 in
+  let steps = match G.region_kind with Game.Region.Interval -> 40 | Game.Region.Union -> 20 in
+  let g = ref (Random_graph.gnp rng n 0.4) in
+  for _step = 1 to steps do
+    let i = Prng.int rng n in
+    let j = (i + 1 + Prng.int rng (n - 1)) mod n in
+    g := (if Graph.has_edge !g i j then Graph.remove_edge else Graph.add_edge) !g i j;
+    check (region_testable G.region_kind) "post-toggle ws = reference"
+      (G.stable_region_reference !g) (G.stable_region_ws ws !g)
+  done
+
+let game_certifier (Game.Any (module G) as packed) () =
+  let ws = Kernel.create () in
+  List.iter
+    (fun g ->
+      let region = G.stable_region_ws ws g in
+      List.iter
+        (fun alpha ->
+          check_bool "is_stable = region membership"
+            (Game.Region.mem G.region_kind alpha region)
+            (G.is_stable ~alpha g))
+        alpha_grid)
+    (corpus_for packed)
+
+let game_moves_fixpoint (Game.Any (module G) as packed) () =
+  match G.improving_moves with
+  | None -> ()
+  | Some moves ->
+    List.iter
+      (fun g ->
+        List.iter
+          (fun alpha ->
+            check_bool "no improving moves <=> stable" (G.is_stable ~alpha g)
+              (moves ~alpha g = []))
+          alpha_grid)
+      (corpus_for packed)
+
+let registry_suites =
+  List.map
+    (fun (Game.Any (module G) as packed) ->
+      ( "game:" ^ G.name,
+        [
+          Alcotest.test_case "ws = reference" `Quick (game_parity packed);
+          Alcotest.test_case "toggle walk" `Quick (game_toggle_walk packed);
+          Alcotest.test_case "certifier = membership" `Quick (game_certifier packed);
+          Alcotest.test_case "moves fixpoint" `Quick (game_moves_fixpoint packed);
+        ] ))
+    (Game_registry.all ())
+
+(* the public (non-workspace) wrappers still route through the same math *)
+let test_public_wrappers () =
+  List.iter
+    (fun g ->
       check interval "bcg public = reference" (Bcg.stable_alpha_set_reference g)
         (Bcg.stable_alpha_set g))
     (annotation_corpus ())
 
-let test_transfers_annotation_parity () =
+(* ---------------- weighted BCG reductions ------------------------------- *)
+
+(* uniform multipliers must reduce weighted stability to plain BCG
+   stability: w_i = 1 gives structurally identical intervals, w_i = w
+   scales every finite endpoint by 1/w *)
+let test_weighted_uniform_is_bcg () =
+  let (module U : Game.S with type region = Interval.t) =
+    Weighted_bcg.make ~name:"wbcg_uniform_test" ~describe:"uniform test instance"
+      ~schema_tag:1001 ~weight:(fun _ -> 1) ()
+  in
   let ws = Kernel.create () in
   List.iter
     (fun g ->
-      check interval "transfers ws = reference" (Transfers.stable_alpha_set_reference g)
-        (Transfers.stable_alpha_set_ws ws g))
+      check interval "uniform weighted = bcg" (Bcg.stable_alpha_set_ws ws g)
+        (U.stable_region_ws ws g);
+      List.iter
+        (fun alpha ->
+          check_bool "uniform certifier = bcg" (Bcg.is_pairwise_stable ~alpha g)
+            (U.is_stable ~alpha g))
+        alpha_grid)
     (annotation_corpus ())
 
-let test_ucg_annotation_parity () =
+let scale_interval k i =
+  match Interval.bounds i with
+  | None -> Interval.empty
+  | Some (lo, lo_closed, hi, hi_closed) ->
+    let scale = function
+      | Interval.Finite r -> Interval.Finite (Rat.div r (Rat.of_int k))
+      | e -> e
+    in
+    Interval.make ~lo:(scale lo) ~lo_closed ~hi:(scale hi) ~hi_closed
+
+let test_weighted_scaled_is_bcg_over_w () =
+  let w = 3 in
+  let (module U : Game.S with type region = Interval.t) =
+    Weighted_bcg.make ~name:"wbcg_scaled_test" ~describe:"scaled test instance"
+      ~schema_tag:1002 ~weight:(fun _ -> w) ()
+  in
   let ws = Kernel.create () in
   List.iter
     (fun g ->
-      check union "ucg ws = reference" (Ucg.nash_alpha_set_reference g)
-        (Ucg.nash_alpha_set_ws ws g))
-    (Nf_enum.Unlabeled.connected_graphs 5
-    @ [ Nf_named.Families.cycle 7; Nf_named.Families.star 6; Nf_named.Families.path 6 ])
+      check interval "w=3 weighted = bcg region / 3"
+        (scale_interval w (Bcg.stable_alpha_set_ws ws g))
+        (U.stable_region_ws ws g))
+    (annotation_corpus ())
 
 let test_ucg_petersen_parity () =
   check union "petersen nash set = reference"
@@ -289,7 +409,7 @@ let test_load_rows () =
 
 let () =
   Alcotest.run "nf_kernel"
-    [
+    ([
       ( "sums",
         [
           Alcotest.test_case "all sources vs naive" `Quick test_all_sums_vs_naive;
@@ -304,11 +424,14 @@ let () =
         ] );
       ( "annotation",
         [
-          Alcotest.test_case "bcg parity" `Quick test_bcg_annotation_parity;
-          Alcotest.test_case "transfers parity" `Quick test_transfers_annotation_parity;
-          Alcotest.test_case "ucg parity" `Quick test_ucg_annotation_parity;
+          Alcotest.test_case "public wrappers" `Quick test_public_wrappers;
           Alcotest.test_case "ucg petersen parity" `Slow test_ucg_petersen_parity;
           Alcotest.test_case "improving moves parity" `Quick test_improving_moves_parity;
+        ] );
+      ( "weighted bcg",
+        [
+          Alcotest.test_case "uniform = bcg" `Quick test_weighted_uniform_is_bcg;
+          Alcotest.test_case "w=3 = bcg/3" `Quick test_weighted_scaled_is_bcg_over_w;
         ] );
       ( "workspace",
         [
@@ -316,3 +439,4 @@ let () =
           Alcotest.test_case "load rows" `Quick test_load_rows;
         ] );
     ]
+    @ registry_suites)

@@ -76,20 +76,50 @@ let test_header_roundtrip () =
       check_int "header size" Layout.header_size (String.length s);
       let h' = Layout.decode_header s in
       check_int "n" h.Layout.n h'.Layout.n;
-      check_bool "ucg flag" h.Layout.with_ucg h'.Layout.with_ucg;
+      check_bool "content" true (h.Layout.content = h'.Layout.content);
       check_int "chunk size" h.Layout.chunk_size h'.Layout.chunk_size)
     [
-      { Layout.n = 1; with_ucg = false; chunk_size = 1 };
-      { Layout.n = 7; with_ucg = true; chunk_size = 512 };
-      { Layout.n = 62; with_ucg = false; chunk_size = 100_000 };
+      { Layout.n = 1; content = Layout.classic ~with_ucg:false; chunk_size = 1 };
+      { Layout.n = 7; content = Layout.classic ~with_ucg:true; chunk_size = 512 };
+      { Layout.n = 62; content = Layout.classic ~with_ucg:false; chunk_size = 100_000 };
+      { Layout.n = 5; content = Layout.Game { tag = 2; union = false }; chunk_size = 8 };
+      { Layout.n = 5; content = Layout.Game { tag = 0xBEEF; union = true }; chunk_size = 8 };
     ];
   raises_invalid "n out of range" (fun () ->
-      Layout.encode_header { Layout.n = 63; with_ucg = false; chunk_size = 1 });
+      Layout.encode_header
+        { Layout.n = 63; content = Layout.classic ~with_ucg:false; chunk_size = 1 });
   raises_invalid "chunk out of range" (fun () ->
-      Layout.encode_header { Layout.n = 5; with_ucg = false; chunk_size = 0 });
-  let good = Layout.encode_header { Layout.n = 5; with_ucg = true; chunk_size = 8 } in
+      Layout.encode_header
+        { Layout.n = 5; content = Layout.classic ~with_ucg:false; chunk_size = 0 });
+  raises_invalid "tag out of range" (fun () ->
+      Layout.encode_header
+        { Layout.n = 5; content = Layout.Game { tag = 0x10000; union = false }; chunk_size = 1 });
+  let good =
+    Layout.encode_header { Layout.n = 5; content = Layout.classic ~with_ucg:true; chunk_size = 8 }
+  in
   raises_corrupt "bad magic" (fun () -> Layout.decode_header ("X" ^ String.sub good 1 23));
   raises_corrupt "short" (fun () -> Layout.decode_header (String.sub good 0 10))
+
+(* the flags byte layout is a compatibility contract: classic stores keep
+   their original 0/1 values, game stores set bit 1 and carry the schema
+   tag in bits 8..23 *)
+let test_content_flags_contract () =
+  check_int "classic bcg" 0 (Layout.flags_of_content (Layout.classic ~with_ucg:false));
+  check_int "classic dual" 1 (Layout.flags_of_content (Layout.classic ~with_ucg:true));
+  check_int "game interval" (0x2 lor (3 lsl 8))
+    (Layout.flags_of_content (Layout.Game { tag = 3; union = false }));
+  check_int "game union" (0x2 lor 0x4 lor (1 lsl 8))
+    (Layout.flags_of_content (Layout.Game { tag = 1; union = true }));
+  List.iter
+    (fun flags ->
+      check_bool "roundtrip" true
+        (Layout.flags_of_content (Layout.content_of_flags flags) = flags))
+    [ 0; 1; 0x2; 0x6; 0x2 lor (7 lsl 8); 0x6 lor (0xFFFF lsl 8) ];
+  (* unknown bits must be rejected, not ignored *)
+  List.iter
+    (fun flags ->
+      raises_corrupt "unknown bits" (fun () -> ignore (Layout.content_of_flags flags)))
+    [ 2 lor 1; 4; 8; 0x2 lor 0x8; 0x2 lor (1 lsl 24); 1 lsl 8 ]
 
 let sample_records with_ucg =
   let mk g bcg ucg =
@@ -134,16 +164,37 @@ let check_records_equal expected actual =
 let test_chunk_roundtrip () =
   List.iter
     (fun with_ucg ->
+      let content = Layout.classic ~with_ucg in
       let records = sample_records with_ucg in
-      let frame = Layout.encode_chunk ~index:3 ~with_ucg records in
-      let index, records', next = Layout.decode_chunk ~with_ucg frame ~pos:0 in
+      let frame = Layout.encode_chunk ~index:3 ~content records in
+      let index, records', next = Layout.decode_chunk ~content frame ~pos:0 in
       check_int "index" 3 index;
       check_int "frame consumed" (String.length frame) next;
       check_records_equal records records')
     [ false; true ];
-  (* records must agree with the header's flag *)
+  (* game-store contents reuse the same record bodies: an interval-game
+     chunk is byte-identical to a classic no-ucg chunk over the same
+     records, a union-game chunk carries only the union *)
+  let interval_game = Layout.Game { tag = 2; union = false } in
+  check_string "interval-game frame = classic frame"
+    (Layout.encode_chunk ~index:0 ~content:(Layout.classic ~with_ucg:false)
+       (sample_records false))
+    (Layout.encode_chunk ~index:0 ~content:interval_game (sample_records false));
+  let union_game = Layout.Game { tag = 9; union = true } in
+  let union_records =
+    Array.map (fun r -> { r with Layout.bcg = Interval.empty }) (sample_records true)
+  in
+  let frame = Layout.encode_chunk ~index:1 ~content:union_game union_records in
+  let _, records', _ = Layout.decode_chunk ~content:union_game frame ~pos:0 in
+  check_records_equal union_records records';
+  (* records must agree with the header's content *)
   raises_invalid "ucg payload contradicts flag" (fun () ->
-      Layout.encode_chunk ~index:0 ~with_ucg:false (sample_records true))
+      Layout.encode_chunk ~index:0 ~content:(Layout.classic ~with_ucg:false)
+        (sample_records true));
+  raises_invalid "union payload contradicts interval-game content" (fun () ->
+      Layout.encode_chunk ~index:0 ~content:interval_game (sample_records true));
+  raises_invalid "missing union payload in union-game content" (fun () ->
+      Layout.encode_chunk ~index:0 ~content:union_game (sample_records false))
 
 let test_footer_roundtrip () =
   let s = Layout.encode_footer ~chunks:7 ~records:1044 in
@@ -278,7 +329,9 @@ let test_resume_after_kill_mid_chunk () =
       Fun.protect
         ~finally:(fun () -> cleanup resumed_path)
         (fun () ->
-          let header = { Layout.n = 5; with_ucg = true; chunk_size = 4 } in
+          let header =
+            { Layout.n = 5; content = Layout.classic ~with_ucg:true; chunk_size = 4 }
+          in
           let w = Writer.create ~path:resumed_path ~header in
           let full = Reader.scan_string pristine in
           ignore full;
@@ -287,7 +340,7 @@ let test_resume_after_kill_mid_chunk () =
           let pos = ref Layout.header_size in
           for _ = 1 to 2 do
             let _, records, next =
-              Layout.decode_chunk ~with_ucg:true pristine ~pos:!pos
+              Layout.decode_chunk ~content:(Layout.classic ~with_ucg:true) pristine ~pos:!pos
             in
             ignore records;
             pos := next
@@ -357,6 +410,139 @@ let test_query_without_ucg () =
       raises_invalid "nash query refused" (fun () ->
           Query.ucg_nash_graphs index ~alpha:(Rat.of_int 2)))
 
+(* --- golden bytes (pre-refactor compatibility) -------------------------- *)
+
+(* MD5 digests of n=4 chunk=2 stores captured from the pre-game-registry
+   implementation.  The game abstraction must not move a single byte of
+   the classic NFATLAS1 format, and building BCG/UCG stores through the
+   registry's --game route must hit the same bytes. *)
+let golden_bcg_md5 = "dacb7cd89db604b60b7c5ee8bf9a3518"
+let golden_dual_md5 = "b961d46128d3c3a318431b64af7a09cd"
+
+let file_md5 path = Digest.to_hex (Digest.file path)
+
+let test_golden_store_bytes () =
+  with_store ~with_ucg:false ~chunk:2 4 (fun path _ ->
+      check_string "classic bcg-only store" golden_bcg_md5 (file_md5 path));
+  with_store ~with_ucg:true ~chunk:2 4 (fun path outcome ->
+      check_string "classic dual store" golden_dual_md5 (file_md5 path);
+      check_string "outcome game" "ucg" outcome.Build.game)
+
+let with_game_store ~game ?(chunk = 4) n f =
+  let path = temp_store () in
+  Fun.protect
+    ~finally:(fun () -> cleanup path)
+    (fun () ->
+      let outcome = Build.build ~game ~chunk ~path ~n () in
+      f path outcome)
+
+let test_golden_game_route () =
+  with_game_store ~game:"bcg" ~chunk:2 4 (fun path _ ->
+      check_string "--game bcg = classic bytes" golden_bcg_md5 (file_md5 path));
+  with_game_store ~game:"ucg" ~chunk:2 4 (fun path _ ->
+      check_string "--game ucg = classic bytes" golden_dual_md5 (file_md5 path))
+
+(* the pre-refactor n=4 dual-annotation CSV, verbatim *)
+let golden_csv =
+  "graph6,n,m,bcg_stable,ucg_nash\n\
+   Cs,4,3,[1;inf),[1;inf)\n\
+   Cq,4,3,[2;inf),[2;inf)\n\
+   C{,4,4,[1;1],[1;1]\n\
+   Cr,4,4,[1;2],[1;2]\n\
+   C},4,5,[1;1],[1;1]\n\
+   C~,4,6,(0;1],(0;1]\n"
+
+let test_golden_csv () =
+  check_string "dataset csv" golden_csv
+    (Nf_analysis.Dataset.to_csv (Nf_analysis.Dataset.build ~with_ucg:true 4))
+
+(* transfers regions at n=4 captured pre-refactor (the transfers
+   annotator predates the registry; its output must not move either) *)
+let test_golden_transfers_regions () =
+  let expected =
+    [ ("Cs", "[1, +inf)"); ("Cq", "[2, +inf)"); ("C{", "[1, 1]"); ("Cr", "[1, 2]");
+      ("C}", "[1, 1]"); ("C~", "(0, 1]") ]
+  in
+  let actual =
+    List.map
+      (fun (g, r) -> (Graph6.encode g, Interval.to_string r))
+      (Nf_analysis.Equilibria.transfers_annotated 4)
+  in
+  List.iter2
+    (fun (g, r) (g', r') ->
+      check_string "graph" g g';
+      check_string "region" r r')
+    expected actual
+
+(* --- single-game stores -------------------------------------------------- *)
+
+let test_game_store_roundtrip () =
+  List.iter
+    (fun game ->
+      with_game_store ~game 5 (fun path outcome ->
+          check_string "outcome game" game outcome.Build.game;
+          check_int "all classes" 21 outcome.Build.records;
+          (match Reader.verify ~path with
+          | Ok scan -> check_bool "verifies" true scan.Reader.complete
+          | Error msg -> Alcotest.failf "game store rejected: %s" msg);
+          let index = Index.load ~path in
+          check_string "index game" game (Index.game index);
+          check_bool "no classic ucg payload claim" true
+            (Index.with_ucg index = (game = "ucg"));
+          (* the stored regions answer α-queries exactly like a live sweep *)
+          let packed = Netform.Game_registry.find_exn game in
+          List.iter
+            (fun alpha ->
+              let expected =
+                Nf_analysis.Equilibria.stable_graphs_packed packed ~n:5 ~alpha
+              in
+              Alcotest.check (Alcotest.list graph) "alpha query" expected
+                (Query.game_stable_graphs index ~game ~alpha))
+            [ Rat.make 1 2; Rat.one; Rat.of_int 2; Rat.of_int 8 ]))
+    [ "bcg"; "ucg"; "transfers"; "weighted_bcg" ]
+
+let test_game_store_mismatch_rejected () =
+  with_game_store ~game:"transfers" 4 (fun path _ ->
+      let index = Index.load ~path in
+      raises_invalid "wrong game refused" (fun () ->
+          Query.game_stable_graphs index ~game:"weighted_bcg" ~alpha:Rat.one);
+      raises_invalid "classic query on game store refused" (fun () ->
+          Query.game_stable_graphs index ~game:"ucg" ~alpha:Rat.one);
+      raises_invalid "unknown game" (fun () ->
+          Query.game_stable_graphs index ~game:"nope" ~alpha:Rat.one));
+  with_store ~with_ucg:false 4 (fun path _ ->
+      let index = Index.load ~path in
+      raises_invalid "ucg on bcg-only classic store" (fun () ->
+          Query.game_stable_graphs index ~game:"ucg" ~alpha:Rat.one))
+
+let test_game_store_resume_parity () =
+  with_game_store ~game:"weighted_bcg" ~chunk:4 5 (fun path _ ->
+      let pristine = read_file path in
+      let resumed_path = temp_store () in
+      Fun.protect
+        ~finally:(fun () -> cleanup resumed_path)
+        (fun () ->
+          (* the resume annotator is reconstructed from the header's
+             schema tag alone — cut inside the data and replay *)
+          write_file
+            (Writer.part_path resumed_path)
+            (String.sub pristine 0 (String.length pristine / 2));
+          let outcome = Build.resume ~path:resumed_path () in
+          check_string "resumed game" "weighted_bcg" outcome.Build.game;
+          check_string "byte identical" pristine (read_file resumed_path)))
+
+let test_game_figure_points () =
+  with_game_store ~game:"transfers" 5 (fun path _ ->
+      let index = Index.load ~path in
+      let grid = [ Rat.make 1 2; Rat.of_int 2; Rat.of_int 8 ] in
+      let from_store = Query.game_figure_points index ~grid () in
+      let live =
+        Nf_analysis.Figures.sweep_game (Netform.Game_registry.find_exn "transfers") ~n:5
+          ~grid ()
+      in
+      check_string "game curves identical" (Nf_analysis.Figures.game_csv live)
+        (Nf_analysis.Figures.game_csv from_store))
+
 (* --- writer details ----------------------------------------------------- *)
 
 let test_writer_guards () =
@@ -364,7 +550,9 @@ let test_writer_guards () =
   Fun.protect
     ~finally:(fun () -> cleanup path)
     (fun () ->
-      let header = { Layout.n = 4; with_ucg = false; chunk_size = 2 } in
+      let header =
+        { Layout.n = 4; content = Layout.classic ~with_ucg:false; chunk_size = 2 }
+      in
       let w = Writer.create ~path ~header in
       raises_invalid "empty chunk" (fun () -> Writer.append_chunk w [||]);
       Writer.abort w;
@@ -415,8 +603,9 @@ let prop_chunk_codec_roundtrip =
       let record =
         { Layout.graph6 = Graph6.encode g; bcg; ucg = Some (Interval.Union.of_list pieces) }
       in
-      let frame = Layout.encode_chunk ~index:0 ~with_ucg:true [| record; record |] in
-      let _, records, next = Layout.decode_chunk ~with_ucg:true frame ~pos:0 in
+      let content = Layout.classic ~with_ucg:true in
+      let frame = Layout.encode_chunk ~index:0 ~content [| record; record |] in
+      let _, records, next = Layout.decode_chunk ~content frame ~pos:0 in
       next = String.length frame
       && Array.length records = 2
       && Array.for_all
@@ -439,6 +628,7 @@ let () =
       ( "layout",
         [
           Alcotest.test_case "header" `Quick test_header_roundtrip;
+          Alcotest.test_case "content flags" `Quick test_content_flags_contract;
           Alcotest.test_case "chunk" `Quick test_chunk_roundtrip;
           Alcotest.test_case "footer" `Quick test_footer_roundtrip;
           qcheck prop_chunk_codec_roundtrip;
@@ -467,6 +657,20 @@ let () =
           Alcotest.test_case "figure points" `Quick test_figure_points_parity;
           Alcotest.test_case "csv export" `Quick test_export_csv_identical;
           Alcotest.test_case "without ucg" `Quick test_query_without_ucg;
+        ] );
+      ( "golden",
+        [
+          Alcotest.test_case "classic store bytes" `Quick test_golden_store_bytes;
+          Alcotest.test_case "game route bytes" `Quick test_golden_game_route;
+          Alcotest.test_case "dataset csv" `Quick test_golden_csv;
+          Alcotest.test_case "transfers regions" `Quick test_golden_transfers_regions;
+        ] );
+      ( "game stores",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_game_store_roundtrip;
+          Alcotest.test_case "mismatch rejected" `Quick test_game_store_mismatch_rejected;
+          Alcotest.test_case "resume parity" `Quick test_game_store_resume_parity;
+          Alcotest.test_case "figure points" `Quick test_game_figure_points;
         ] );
       ( "writer",
         [
