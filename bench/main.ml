@@ -167,6 +167,13 @@ let kernel_tests =
     Test.make ~name:"bcg_annotate_n8" (Staged.stage (fun () ->
         Nf_analysis.Equilibria.clear_cache ();
         Nf_analysis.Equilibria.bcg_annotated 8));
+    (* same sweep with the orbit quotient pinned on (DESIGN.md §11): kept
+       as its own row so the quotiented trajectory stays tracked even if
+       the process default ever changes *)
+    Test.make ~name:"bcg_annotate_orbit_n8" (Staged.stage (fun () ->
+        Nf_iso.Symmetry.set_quotient_enabled true;
+        Nf_analysis.Equilibria.clear_cache ();
+        Nf_analysis.Equilibria.bcg_annotated 8));
     Test.make ~name:"is_pairwise_stable_clebsch" (Staged.stage (fun () ->
         Bcg.is_pairwise_stable ~alpha:(Rat.of_int 2) Gallery.clebsch));
     Test.make ~name:"nash_alpha_set_c7" (Staged.stage (fun () ->

@@ -53,6 +53,23 @@ let setup jobs =
   setup_logs ();
   Option.iter Nf_util.Pool.set_default_jobs jobs
 
+(* sweep-shaped subcommands accept --no-orbit-quotient: it forces every
+   annotator onto the plain per-pair loops, exactly as if every graph were
+   rigid.  Same effect as NETFORM_NO_ORBIT_QUOTIENT=1; useful for A/B
+   checks (the outputs must be byte-identical) and timing comparisons. *)
+let no_orbit_quotient_opt =
+  Arg.(
+    value & flag
+    & info [ "no-orbit-quotient" ]
+        ~doc:
+          "Disable the automorphism-orbit quotient: evaluate every edge toggle instead of \
+           one representative per orbit.  Results are identical either way; this exists \
+           for verification and benchmarking.  Equivalent to setting \
+           $(b,NETFORM_NO_ORBIT_QUOTIENT=1).")
+
+let setup_quotient no_quotient =
+  if no_quotient then Nf_iso.Symmetry.set_quotient_enabled false
+
 (* ---------------- shared argument parsing ---------------- *)
 
 let named_graphs = Nf_analysis.Parse.named_graphs
@@ -201,8 +218,9 @@ let sweep_one_game ~name ~n ~csv ~store =
   print_string (Nf_analysis.Figures.game_plot points);
   Option.iter (fun path -> write_csv ~path (Nf_analysis.Figures.game_csv points)) csv
 
-let sweep jobs n game csv store =
+let sweep jobs no_quotient n game csv store =
   setup jobs;
+  setup_quotient no_quotient;
   match game with
   | Some name ->
     sweep_one_game ~name ~n ~csv ~store;
@@ -247,7 +265,9 @@ let sweep_cmd =
        ~doc:
          "Reproduce Figures 2 and 3 (average PoA / links vs link cost), or sweep a single \
           registered game with $(b,--game)")
-    Term.(const sweep $ jobs_opt $ n_arg 6 $ game_opt $ csv_opt $ store_src_opt)
+    Term.(
+      const sweep $ jobs_opt $ no_orbit_quotient_opt $ n_arg 6 $ game_opt $ csv_opt
+      $ store_src_opt)
 
 (* ---------------- dynamics ---------------- *)
 
@@ -320,8 +340,9 @@ let game_atlas_csv ~name entries =
     entries;
   Buffer.contents buf
 
-let annotate jobs n game out with_ucg =
+let annotate jobs no_quotient n game out with_ucg =
   setup jobs;
+  setup_quotient no_quotient;
   match game with
   | Some name ->
     if Option.is_some with_ucg then
@@ -364,7 +385,9 @@ let annotate_cmd =
   Cmd.v
     (Cmd.info "annotate"
        ~doc:"Export the equilibrium atlas: every connected class with its exact regions")
-    Term.(const annotate $ jobs_opt $ n_arg 6 $ game_opt $ out $ with_ucg)
+    Term.(
+      const annotate $ jobs_opt $ no_orbit_quotient_opt $ n_arg 6 $ game_opt $ out
+      $ with_ucg)
 
 (* ---------------- experiments ---------------- *)
 
@@ -434,8 +457,9 @@ let print_outcome verb (o : Nf_store.Build.outcome) =
     o.Nf_store.Build.with_ucg o.Nf_store.Build.records o.Nf_store.Build.chunks
     o.Nf_store.Build.resumed_records o.Nf_store.Build.seconds
 
-let store_build jobs n out game with_ucg chunk force quiet =
+let store_build jobs no_quotient n out game with_ucg chunk force quiet =
   setup jobs;
+  setup_quotient no_quotient;
   let report = if quiet then ignore else report_line in
   match Nf_store.Build.build ?game ?with_ucg ~chunk ~force ~report ~path:out ~n () with
   | outcome ->
@@ -473,8 +497,8 @@ let store_build_cmd =
   Cmd.v
     (Cmd.info "build" ~doc:"Annotate every connected class on N vertices into a store")
     Term.(
-      const store_build $ jobs_opt $ n_arg 6 $ out $ game_opt $ with_ucg $ chunk $ force
-      $ quiet)
+      const store_build $ jobs_opt $ no_orbit_quotient_opt $ n_arg 6 $ out $ game_opt
+      $ with_ucg $ chunk $ force $ quiet)
 
 let store_resume jobs out quiet =
   setup jobs;

@@ -11,7 +11,33 @@ type entry = Entry : 'r Game.t * (Graph.t * 'r) list -> entry
 
 let cache : (string * int, entry) Hashtbl.t = Hashtbl.create 16
 let cache_mutex = Mutex.create ()
-let clear_cache () = Mutex.protect cache_mutex (fun () -> Hashtbl.reset cache)
+
+(* Twin-tier symmetry per (n, chunk index), shared across games: the
+   enumeration order at a given [n] is deterministic and the chunk size is
+   a module constant, so the first game to sweep a level pays the
+   detection scans and every later game reuses the subgroups (and their
+   cached edge orbits).  Memoizing whole chunks keeps the mutex off the
+   per-graph path — one lookup and one insertion per ~thousand graphs.
+   Detection results are stored ungated — the quotient opt-out is applied
+   at the use site — so flipping the flag mid-process never serves stale
+   routing decisions.  Cleared together with the annotation cache. *)
+let sym_cache : (int * int, Nf_iso.Symmetry.t array) Hashtbl.t = Hashtbl.create 64
+
+let clear_cache () =
+  Mutex.protect cache_mutex (fun () ->
+      Hashtbl.reset cache;
+      Hashtbl.reset sym_cache)
+
+let orbit_memo_size () =
+  Mutex.protect cache_mutex (fun () ->
+      Hashtbl.fold (fun _ syms acc -> acc + Array.length syms) sym_cache 0)
+
+let sym_chunk_find ~n ~index =
+  Mutex.protect cache_mutex (fun () -> Hashtbl.find_opt sym_cache (n, index))
+
+let sym_chunk_add ~n ~index syms =
+  Mutex.protect cache_mutex (fun () ->
+      if not (Hashtbl.mem sym_cache (n, index)) then Hashtbl.add sym_cache (n, index) syms)
 
 (* The enumeration streams through the coordinating domain in chunks (the
    producer has its own cache and internal parallelism); only the per-graph
@@ -28,14 +54,51 @@ let clear_cache () = Mutex.protect cache_mutex (fun () -> Hashtbl.reset cache)
    results. *)
 let annotation_chunk = 1024
 
-let annotate annotate_ws n =
+(* Orbit-quotient routing: when the game has a symmetry-aware annotator
+   and the quotient is enabled, each worker detects its graph's twin
+   subgroup inline (an O(n²) word-compare scan — far below one edge
+   toggle — running inside the same fan-out, so detection parallelizes
+   with the annotation) and dispatches through [Game.annotate_sym_ws]: a
+   trivial subgroup runs exactly the unquotiented loop, so rigid graphs
+   pay only the scan.  The per-chunk subgroup arrays are memoized so a
+   second game sweeping the same level reuses them — along with their
+   lazily cached edge orbits — instead of re-deriving anything. *)
+let annotate (type r) ((module G) as game : r Game.t) n =
+  let use_sym =
+    Option.is_some G.stable_region_sym_ws && Nf_iso.Symmetry.quotient_enabled ()
+  in
   let chunks = ref [] in
+  let ci = ref 0 in
   Nf_enum.Unlabeled.iter_connected_chunked ~chunk:annotation_chunk n (fun graphs ->
-      chunks :=
-        Pool.parallel_map_array
-          (fun g -> (g, Nf_graph.Kernel.with_ws (fun ws -> annotate_ws ws g)))
-          graphs
-        :: !chunks);
+      let index = !ci in
+      incr ci;
+      let annotated =
+        if use_sym then begin
+          match sym_chunk_find ~n ~index with
+          | Some syms ->
+            Pool.parallel_map_array
+              (fun (g, sym) ->
+                (g, Nf_graph.Kernel.with_ws (fun ws -> Game.annotate_sym_ws game ws sym g)))
+              (Array.map2 (fun g sym -> (g, sym)) graphs syms)
+          | None ->
+            let results =
+              Pool.parallel_map_array
+                (fun g ->
+                  let sym = Nf_iso.Symmetry.detect_twins g in
+                  ( g,
+                    sym,
+                    Nf_graph.Kernel.with_ws (fun ws -> Game.annotate_sym_ws game ws sym g) ))
+                graphs
+            in
+            sym_chunk_add ~n ~index (Array.map (fun (_, sym, _) -> sym) results);
+            Array.map (fun (g, _, r) -> (g, r)) results
+        end
+        else
+          Pool.parallel_map_array
+            (fun g -> (g, Nf_graph.Kernel.with_ws (fun ws -> G.stable_region_ws ws g)))
+            graphs
+      in
+      chunks := annotated :: !chunks);
   List.concat_map Array.to_list (List.rev !chunks)
 
 let annotated (type r) ((module G) as game : r Game.t) n : (Graph.t * r) list =
@@ -53,9 +116,8 @@ let annotated (type r) ((module G) as game : r Game.t) n : (Graph.t * r) list =
   | None ->
     (* computed outside the lock: annotation fans out across the domain
        pool, and a duplicated computation on a concurrent miss is benign
-       because annotations are deterministic — first insertion wins.  The
-       annotator is extracted once, outside the per-graph hot loop. *)
-    let annotated = annotate G.stable_region_ws n in
+       because annotations are deterministic — first insertion wins. *)
+    let annotated = annotate game n in
     Mutex.protect cache_mutex (fun () ->
         match Hashtbl.find_opt cache key with
         | Some existing -> unpack existing

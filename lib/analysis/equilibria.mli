@@ -66,6 +66,12 @@ val transfers_annotated : int -> (Nf_graph.Graph.t * Nf_util.Interval.t) list
 val transfers_stable_graphs : n:int -> alpha:Nf_util.Rat.t -> Nf_graph.Graph.t list
 
 val clear_cache : unit -> unit
-(** Drop every cached annotation — the cache is a single registry-wide
-    table keyed by (game name, [n]), so this covers all games, including
-    ones registered after this module was built. *)
+(** Drop every cached annotation {e and} the per-(n, index) symmetry
+    memo backing the orbit quotient — the caches are registry-wide, so
+    this covers all games, including ones registered after this module
+    was built, and leaves no stale orbit data behind. *)
+
+val orbit_memo_size : unit -> int
+(** Number of memoized per-graph symmetry entries (the subgroups the
+    orbit-quotient sweeps share across games at one [n]).  Test hook:
+    {!clear_cache} must drop it to zero. *)

@@ -48,7 +48,18 @@ val stable_alpha_set : Nf_graph.Graph.t -> Nf_util.Interval.t
 val stable_alpha_set_ws : Nf_graph.Kernel.t -> Nf_graph.Graph.t -> Nf_util.Interval.t
 (** {!stable_alpha_set} against a caller-provided kernel workspace —
     the allocation-free path used by chunked annotation, where one
-    workspace per domain is reused across every graph in a chunk. *)
+    workspace per domain is reused across every graph in a chunk.
+    Always the unquotiented loop; {!stable_alpha_set} itself applies the
+    twin-detection quotient tier when enabled. *)
+
+val stable_alpha_set_sym_ws :
+  Nf_graph.Kernel.t -> Nf_iso.Symmetry.t -> Nf_graph.Graph.t -> Nf_util.Interval.t
+(** Orbit-quotient annotation: one representative toggle per orbit of
+    unordered pairs under the given automorphism subgroup, exploiting
+    that the per-pair benefit/loss multisets are orbit-invariant.
+    Structurally identical output to {!stable_alpha_set_ws} for any
+    subgroup of [Aut(g)]; a trivial subgroup runs exactly the
+    unquotiented scan (the rigid fast path). *)
 
 val stable_alpha_set_reference : Nf_graph.Graph.t -> Nf_util.Interval.t
 (** The retained persistent-path implementation (base sums via

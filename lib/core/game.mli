@@ -77,6 +77,18 @@ module type S = sig
   (** Exact stable region, computed on a borrowed kernel workspace (the
       graph is loaded by the callee; any toggles are undone). *)
 
+  val stable_region_sym_ws : (Kernel.t -> Nf_iso.Symmetry.t -> Graph.t -> region) option
+  (** Orbit-quotient twin of {!stable_region_ws}: given a subgroup of the
+      graph's automorphisms, evaluate one representative toggle per edge
+      orbit (or prune symmetric search branches) and return a region
+      {e structurally equal} to the unquotiented one — the differential
+      harness in [test/test_orbit.ml] holds every registered game to
+      that, and byte-identical stores depend on it.  [None] when the
+      game's annotator is not isomorphism-invariant (per-player weights),
+      which routes it permanently through the plain loop.  The function
+      must itself fall back to the plain loop on a trivial subgroup (the
+      rigid fast path). *)
+
   val stable_region_reference : Graph.t -> region
   (** Persistent-path specification twin of {!stable_region_ws}. *)
 
@@ -116,3 +128,16 @@ val improving_moves : packed -> alpha:Rat.t -> Graph.t -> move list
 
 val region_string_ws : packed -> Kernel.t -> Graph.t -> string
 (** Annotate on a workspace and render the region (CLI/CSV export). *)
+
+val has_sym_annotator : packed -> bool
+
+val sweep_symmetry : Graph.t -> Nf_iso.Symmetry.t
+(** The sweep-tier symmetry policy shared by bulk consumers (pooled
+    annotation, store chunk workers): {!Nf_iso.Symmetry.detect_twins}
+    when the quotient is enabled, the trivial subgroup otherwise. *)
+
+val annotate_sym_ws : 'r t -> Kernel.t -> Nf_iso.Symmetry.t -> Graph.t -> 'r
+(** Dispatch one annotation through the game's orbit-quotient path when
+    it has one and the subgroup is non-trivial, and through
+    [stable_region_ws] otherwise (the rigid fast path — byte-identical
+    to today's loop). *)

@@ -29,7 +29,17 @@ val stable_alpha_set : Nf_graph.Graph.t -> Nf_util.Interval.t
 
 val stable_alpha_set_ws : Nf_graph.Kernel.t -> Nf_graph.Graph.t -> Nf_util.Interval.t
 (** {!stable_alpha_set} against a caller-provided kernel workspace (the
-    allocation-free chunked-annotation path). *)
+    allocation-free chunked-annotation path).  Always the unquotiented
+    loop; {!stable_alpha_set} itself applies the twin-detection quotient
+    tier when enabled. *)
+
+val stable_alpha_set_sym_ws :
+  Nf_graph.Kernel.t -> Nf_iso.Symmetry.t -> Nf_graph.Graph.t -> Nf_util.Interval.t
+(** Orbit-quotient annotation: one representative toggle per orbit of
+    unordered pairs (joint benefits/losses are orbit-invariant).
+    Structurally identical output to {!stable_alpha_set_ws} for any
+    subgroup of [Aut(g)]; trivial subgroup ⇒ exactly the unquotiented
+    scan. *)
 
 val stable_alpha_set_reference : Nf_graph.Graph.t -> Nf_util.Interval.t
 (** Retained persistent-path implementation; structurally identical output

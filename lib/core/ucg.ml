@@ -1,6 +1,7 @@
 module Graph = Nf_graph.Graph
 module Bfs = Nf_graph.Bfs
 module Kernel = Nf_graph.Kernel
+module Symmetry = Nf_iso.Symmetry
 module Bitset = Nf_util.Bitset
 module Ext_int = Nf_util.Ext_int
 module Rat = Nf_util.Rat
@@ -124,8 +125,14 @@ let accepts_ws ~alpha ws v ~owned =
   Bitset.iter (fun j -> Kernel.toggle ws v j) strip;
   !ok
 
-(* [ws] must hold the full graph; restored on exit. *)
-let acceptance_interval_ws ws v ~owned =
+(* [ws] must hold the full graph; restored on exit.  Raw-bound core of the
+   acceptance interval: writes [lo_n; lo_d; lo_c; hi_n; hi_d; hi_c] into
+   [out] (lo = lo_n/lo_d with lo_d > 0, hi_d = 0 meaning +∞, closedness
+   as 0/1) and returns [false] when some equal-cardinality deviation
+   strictly improves the distances (no α helps).  The orbit-quotient
+   orientation search consumes the bounds directly, without boxing them
+   into an [Interval.t] per lookup. *)
+let acceptance_bounds_ws ws v ~owned ~(out : int array) =
   let d0 = Kernel.distance_sum_from ws v in
   if d0 = inf then invalid_arg "Ucg.acceptance_interval: player disconnected";
   let k0 = Bitset.cardinal owned in
@@ -180,13 +187,26 @@ let acceptance_interval_ws ws v ~owned =
          end)
    with Exit -> ());
   Bitset.iter (fun j -> Kernel.toggle ws v j) strip;
-  if !empty then Interval.empty
+  if !empty then false
+  else begin
+    out.(0) <- !lo_n;
+    out.(1) <- !lo_d;
+    out.(2) <- (if !lo_c then 1 else 0);
+    out.(3) <- !hi_n;
+    out.(4) <- !hi_d;
+    out.(5) <- (if !hi_c then 1 else 0);
+    true
+  end
+
+let acceptance_interval_ws ws v ~owned =
+  let out = Array.make 6 0 in
+  if not (acceptance_bounds_ws ws v ~owned ~out) then Interval.empty
   else
     Interval.make
-      ~lo:(Interval.Finite (Rat.make !lo_n !lo_d))
-      ~lo_closed:!lo_c
-      ~hi:(if !hi_d = 0 then Interval.Pos_inf else Interval.Finite (Rat.make !hi_n !hi_d))
-      ~hi_closed:!hi_c
+      ~lo:(Interval.Finite (Rat.make out.(0) out.(1)))
+      ~lo_closed:(out.(2) = 1)
+      ~hi:(if out.(4) = 0 then Interval.Pos_inf else Interval.Finite (Rat.make out.(3) out.(4)))
+      ~hi_closed:(out.(5) = 1)
 
 let best_response ~alpha g i ~owned =
   Kernel.with_loaded g (fun ws ->
@@ -399,7 +419,248 @@ let nash_alpha_set_ws ws g =
   Kernel.load ws g;
   nash_alpha_set_gen ~interval_of:(fun v owned -> acceptance_interval_ws ws v ~owned) g
 
-let nash_alpha_set g = Kernel.with_ws (fun ws -> nash_alpha_set_ws ws g)
+(* ---- orbit-quotient orientation search ----------------------------------
+   Two symmetry dividends on top of the plain walk, both exact:
+
+   1. Sibling-branch pruning by live group elements.  Walking the edge
+      list in fixed order, maintain the subset of enumerated automorphisms
+      that fix every already-assigned arc pointwise (a swap-to-front
+      prefix of one index array — the set at each depth survives deeper
+      reorderings).  At edge {i,j}, if some live σ swaps i and j, then σ
+      maps the owner-i subtree onto the owner-j subtree leaf-for-leaf, and
+      acceptance intervals are isomorphism-invariant, so the skipped
+      subtree would emit exactly the pieces the kept one does.
+
+   2. An allocation-free walk.  The per-(vertex, owned) acceptance
+      intervals live in lazily-filled integer tables indexed by compact
+      owned-masks over each vertex's neighbor list, and the running
+      intersection is a file of per-depth integer registers compared by
+      exact cross-multiplication — no hashing and no boxed intervals until
+      a leaf emits a piece.  Piece construction goes through the same
+      [Rat.make]/[Interval.make] normalization as the plain path, and
+      [Union.of_list] canonicalizes the collection, so the result is
+      structurally identical to the unquotiented walk's. *)
+
+let closure_cap m = if m < 10 then 32 else 1024
+
+(* tables hold one slot per (vertex, subset of incident edges) *)
+let table_budget = 1 lsl 20
+
+let nash_alpha_set_quotient_ws ws sym g =
+  let n = Graph.order g in
+  let edges = Array.of_list (Graph.edges g) in
+  let m = Array.length edges in
+  let elems = Symmetry.group_elements ~cap:(closure_cap m) sym in
+  let nelems = Array.length elems in
+  let live = Array.init nelems Fun.id in
+  let live_len = Array.make (m + 2) nelems in
+  let nbrs =
+    Array.init n (fun v -> Array.of_list (Bitset.elements (Kernel.neighbors ws v)))
+  in
+  let off = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    off.(v + 1) <- off.(v) + (1 lsl Array.length nbrs.(v))
+  done;
+  let tsize = off.(n) in
+  (* state: 0 unknown, 1 empty, 2 known; cl: bit 0 lo closed, bit 1 hi *)
+  let state = Bytes.make tsize '\000' in
+  let t_cl = Bytes.make tsize '\000' in
+  let t_lo_n = Array.make tsize 0
+  and t_lo_d = Array.make tsize 1
+  and t_hi_n = Array.make tsize 0
+  and t_hi_d = Array.make tsize 0 in
+  let bounds = Array.make 6 0 in
+  let lookup v owned =
+    let nb = nbrs.(v) in
+    let mask = ref 0 in
+    for k = 0 to Array.length nb - 1 do
+      if Bitset.mem nb.(k) owned then mask := !mask lor (1 lsl k)
+    done;
+    let idx = off.(v) + !mask in
+    if Bytes.get state idx = '\000' then
+      if acceptance_bounds_ws ws v ~owned ~out:bounds then begin
+        Bytes.set state idx '\002';
+        t_lo_n.(idx) <- bounds.(0);
+        t_lo_d.(idx) <- bounds.(1);
+        t_hi_n.(idx) <- bounds.(3);
+        t_hi_d.(idx) <- bounds.(4);
+        Bytes.set t_cl idx (Char.chr (bounds.(2) lor (bounds.(5) lsl 1)))
+      end
+      else Bytes.set state idx '\001';
+    idx
+  in
+  (* per-depth register file for the running intersection *)
+  let r_lo_n = Array.make (m + 2) 0
+  and r_lo_d = Array.make (m + 2) 1
+  and r_hi_n = Array.make (m + 2) 0
+  and r_hi_d = Array.make (m + 2) 0 in
+  let r_lo_c = Bytes.make (m + 2) '\000'
+  and r_hi_c = Bytes.make (m + 2) '\000' in
+  let copy_slot s d =
+    r_lo_n.(d) <- r_lo_n.(s);
+    r_lo_d.(d) <- r_lo_d.(s);
+    r_hi_n.(d) <- r_hi_n.(s);
+    r_hi_d.(d) <- r_hi_d.(s);
+    Bytes.set r_lo_c d (Bytes.get r_lo_c s);
+    Bytes.set r_hi_c d (Bytes.get r_hi_c s)
+  in
+  (* intersect slot [s] with table entry [idx]; false = now empty.  Same
+     max/min/closedness semantics as Interval.inter, in integer space. *)
+  let inter_slot s idx =
+    let cl = Char.code (Bytes.get t_cl idx) in
+    let c = compare (t_lo_n.(idx) * r_lo_d.(s)) (r_lo_n.(s) * t_lo_d.(idx)) in
+    if c > 0 then begin
+      r_lo_n.(s) <- t_lo_n.(idx);
+      r_lo_d.(s) <- t_lo_d.(idx);
+      Bytes.set r_lo_c s (if cl land 1 = 1 then '\001' else '\000')
+    end
+    else if c = 0 && cl land 1 = 0 then Bytes.set r_lo_c s '\000';
+    if t_hi_d.(idx) > 0 then
+      if r_hi_d.(s) = 0 then begin
+        r_hi_n.(s) <- t_hi_n.(idx);
+        r_hi_d.(s) <- t_hi_d.(idx);
+        Bytes.set r_hi_c s (if cl land 2 = 2 then '\001' else '\000')
+      end
+      else begin
+        let c = compare (t_hi_n.(idx) * r_hi_d.(s)) (r_hi_n.(s) * t_hi_d.(idx)) in
+        if c < 0 then begin
+          r_hi_n.(s) <- t_hi_n.(idx);
+          r_hi_d.(s) <- t_hi_d.(idx);
+          Bytes.set r_hi_c s (if cl land 2 = 2 then '\001' else '\000')
+        end
+        else if c = 0 && cl land 2 = 0 then Bytes.set r_hi_c s '\000'
+      end;
+    if r_hi_d.(s) = 0 then true
+    else begin
+      let c = compare (r_lo_n.(s) * r_hi_d.(s)) (r_hi_n.(s) * r_lo_d.(s)) in
+      c < 0
+      || (c = 0 && Bytes.get r_lo_c s = '\001' && Bytes.get r_hi_c s = '\001')
+    end
+  in
+  let remaining = Array.make n 0 in
+  Array.iter
+    (fun (i, j) ->
+      remaining.(i) <- remaining.(i) + 1;
+      remaining.(j) <- remaining.(j) + 1)
+    edges;
+  let owned_now = Array.make n Bitset.empty in
+  let pieces = ref [] in
+  let emit s =
+    pieces :=
+      Interval.make
+        ~lo:(Interval.Finite (Rat.make r_lo_n.(s) r_lo_d.(s)))
+        ~lo_closed:(Bytes.get r_lo_c s = '\001')
+        ~hi:
+          (if r_hi_d.(s) = 0 then Interval.Pos_inf
+           else Interval.Finite (Rat.make r_hi_n.(s) r_hi_d.(s)))
+        ~hi_closed:(Bytes.get r_hi_c s = '\001')
+      :: !pieces
+  in
+  let judge v s =
+    let idx = lookup v owned_now.(v) in
+    Bytes.get state idx <> '\001' && inter_slot s idx
+  in
+  (* the live prefix at depth e holds the elements fixing every arc of the
+     first e assignments pointwise; both branches of edge e induce the
+     same child condition (σi = i and σj = j), so one filter serves both *)
+  let filter_live e i j =
+    let len = live_len.(e) in
+    let kept = ref 0 in
+    for k = 0 to len - 1 do
+      let p = elems.(live.(k)) in
+      if p.(i) = i && p.(j) = j then begin
+        let tmp = live.(!kept) in
+        live.(!kept) <- live.(k);
+        live.(k) <- tmp;
+        incr kept
+      end
+    done;
+    live_len.(e + 1) <- !kept
+  in
+  let swap_exists e i j =
+    let len = live_len.(e) in
+    let rec go k =
+      k < len
+      &&
+      let p = elems.(live.(k)) in
+      (p.(i) = j && p.(j) = i) || go (k + 1)
+    in
+    go 0
+  in
+  let rec assign e =
+    if e >= m then emit e
+    else begin
+      let i, j = edges.(e) in
+      if nelems > 0 then filter_live e i j;
+      let try_owner owner other =
+        owned_now.(owner) <- Bitset.add other owned_now.(owner);
+        remaining.(i) <- remaining.(i) - 1;
+        remaining.(j) <- remaining.(j) - 1;
+        copy_slot e (e + 1);
+        let ok =
+          (remaining.(i) > 0 || judge i (e + 1))
+          && (remaining.(j) > 0 || judge j (e + 1))
+        in
+        if ok then assign (e + 1);
+        owned_now.(owner) <- Bitset.remove other owned_now.(owner);
+        remaining.(i) <- remaining.(i) + 1;
+        remaining.(j) <- remaining.(j) + 1
+      in
+      try_owner i j;
+      if not (nelems > 0 && swap_exists e i j) then try_owner j i
+    end
+  in
+  (* top slot: (0, +inf], matching the plain walk's starting interval *)
+  r_lo_n.(0) <- 0;
+  r_lo_d.(0) <- 1;
+  Bytes.set r_lo_c 0 '\000';
+  r_hi_d.(0) <- 0;
+  (* connected graphs with n >= 2 have no isolated vertices, and n <= 1
+     never reaches this function (the subgroup is trivial there) *)
+  assign 0;
+  Interval.Union.of_list !pieces
+
+let nash_alpha_set_sym_ws ws sym g =
+  Kernel.load ws g;
+  if Symmetry.is_trivial sym then
+    nash_alpha_set_gen ~interval_of:(fun v owned -> acceptance_interval_ws ws v ~owned) g
+  else if not (Nf_graph.Connectivity.is_connected g) || Graph.order g = 0 then
+    Interval.Union.empty
+  else begin
+    (* table budget: a vertex of degree d costs 2^d slots; graphs dense
+       enough to blow it would not finish the 2^m walk either way, but
+       fail back to the plain path rather than allocate absurdly *)
+    let budget_ok =
+      let total = ref 0 in
+      (try
+         for v = 0 to Graph.order g - 1 do
+           total := !total + (1 lsl Graph.degree g v);
+           if !total > table_budget then raise_notrace Exit
+         done;
+         true
+       with Exit -> false)
+    in
+    if budget_ok then nash_alpha_set_quotient_ws ws sym g
+    else
+      nash_alpha_set_gen
+        ~interval_of:(fun v owned -> acceptance_interval_ws ws v ~owned)
+        g
+  end
+
+(* One-off entry point: auto-detect symmetry when the quotient is enabled.
+   The orientation walk is 2^m, so on searches big enough to matter
+   (m >= 10) the exact group from Canon.full is cheap by comparison;
+   below that the twin scan costs well under a microsecond and the rigid
+   fast path keeps asymmetric graphs on exactly the plain walk. *)
+let nash_alpha_set g =
+  Kernel.with_ws (fun ws ->
+      if not (Symmetry.quotient_enabled ()) then nash_alpha_set_ws ws g
+      else
+        let sym =
+          if Graph.size g >= 10 then Symmetry.detect_full g
+          else Symmetry.detect_twins g
+        in
+        nash_alpha_set_sym_ws ws sym g)
 
 let nash_alpha_set_reference g =
   nash_alpha_set_gen ~interval_of:(fun v owned -> acceptance_interval g v ~owned) g

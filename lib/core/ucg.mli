@@ -61,13 +61,27 @@ val nash_alpha_set : Nf_graph.Graph.t -> Nf_util.Interval.Union.t
 (** The exact set of positive link costs at which [g] is a Nash graph.
     Requires [g] connected; disconnected graphs return the empty union
     (no connected-to-[i] player tolerates unreachable vertices, and fully
-    empty graphs admit the buy-everything improvement). *)
+    empty graphs admit the buy-everything improvement).  When the orbit
+    quotient is enabled this auto-detects symmetry — the full group from
+    {!Nf_iso.Canon.full} for searches with at least 10 edges, the twin
+    scan below that — and prunes the orientation walk with it; the
+    result is structurally identical either way. *)
 
 val nash_alpha_set_ws : Nf_graph.Kernel.t -> Nf_graph.Graph.t -> Nf_util.Interval.Union.t
 (** {!nash_alpha_set} against a caller-provided kernel workspace — the
     allocation-light path used by chunked annotation (acceptance intervals
     accumulated as integer fraction bounds around in-place edge
-    toggles). *)
+    toggles).  Always the unquotiented walk. *)
+
+val nash_alpha_set_sym_ws :
+  Nf_graph.Kernel.t -> Nf_iso.Symmetry.t -> Nf_graph.Graph.t -> Nf_util.Interval.Union.t
+(** Orbit-quotient orientation search: prunes owner-swap sibling branches
+    with live automorphisms of the given subgroup (any subgroup of
+    [Aut(g)] is sound — skipped subtrees emit exactly the pieces their
+    σ-image keeps) and runs the walk on lazily-filled integer acceptance
+    tables.  Structurally identical output to {!nash_alpha_set_ws}; a
+    trivial subgroup runs exactly the plain walk (the rigid fast
+    path). *)
 
 val nash_alpha_set_reference : Nf_graph.Graph.t -> Nf_util.Interval.Union.t
 (** Retained persistent-path implementation built on

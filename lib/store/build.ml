@@ -41,29 +41,33 @@ let game_of_content = function
 
 (* One workspace borrow covers the whole record: the worker domain's
    resident kernel scratch is reused for every record it processes.  The
-   classic annotator is kept verbatim (BCG interval, plus the UCG union
-   when flagged); game stores dispatch through the registry instance's
-   annotator and place the region per the layout convention. *)
+   classic annotator keeps its layout (BCG interval, plus the UCG union
+   when flagged) but routes through the orbit-quotient dispatch — one
+   sweep-tier detection covers both regions of a record, and quotiented
+   regions are structurally identical to the plain loops' (the PR 5
+   golden md5s pin the resulting bytes); game stores dispatch through the
+   registry instance's annotator the same way. *)
 let annotator_of_content = function
   | Layout.Classic { with_ucg } ->
     fun g ->
       Nf_graph.Kernel.with_ws (fun ws ->
+          let sym = Game.sweep_symmetry g in
           {
             Layout.graph6 = Nf_graph.Graph6.encode g;
-            bcg = Bcg.stable_alpha_set_ws ws g;
-            ucg = (if with_ucg then Some (Ucg.nash_alpha_set_ws ws g) else None);
+            bcg = Bcg.stable_alpha_set_sym_ws ws sym g;
+            ucg = (if with_ucg then Some (Ucg.nash_alpha_set_sym_ws ws sym g) else None);
           })
   | Layout.Game { tag; union } -> (
     match Game_registry.find_by_tag tag with
     | None -> failwith (Printf.sprintf "no registered game has schema tag %d" tag)
-    | Some (Game.Any (module G)) -> (
+    | Some (Game.Any ((module G) as game)) -> (
       match (G.region_kind, union) with
       | Game.Region.Interval, false ->
         fun g ->
           Nf_graph.Kernel.with_ws (fun ws ->
               {
                 Layout.graph6 = Nf_graph.Graph6.encode g;
-                bcg = G.stable_region_ws ws g;
+                bcg = Game.annotate_sym_ws game ws (Game.sweep_symmetry g) g;
                 ucg = None;
               })
       | Game.Region.Union, true ->
@@ -72,7 +76,7 @@ let annotator_of_content = function
               {
                 Layout.graph6 = Nf_graph.Graph6.encode g;
                 bcg = Nf_util.Interval.empty;
-                ucg = Some (G.stable_region_ws ws g);
+                ucg = Some (Game.annotate_sym_ws game ws (Game.sweep_symmetry g) g);
               })
       | (Game.Region.Interval | Game.Region.Union), _ ->
         failwith

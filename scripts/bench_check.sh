@@ -7,7 +7,9 @@
 #
 # Guarded rows are the netform/kernels/, netform/store/ and
 # netform/games/ groups — the substrate the experiment rows sit on, plus
-# the registry-driven game annotation path.  Rows whose baseline estimate is
+# the registry-driven game annotation path — and the
+# foot7_petersen_nash_set experiment row, the orbit quotient's flagship
+# trajectory (DESIGN.md §11).  Rows whose baseline estimate is
 # below the noise floor are reported but never fail the check (micro-rows
 # jitter far beyond any honest tolerance under the quick-quota smoke), and
 # a guarded baseline row missing from the fresh report is an error.
@@ -43,7 +45,7 @@ extract "$baseline" > "$tmp/baseline"
 
 awk -v tolerance="$tolerance" -v min_ns="$min_ns" '
   NR == FNR { fresh[$1] = $2; next }
-  $1 ~ /^netform\/(kernels|store|games)\// {
+  $1 ~ /^netform\/(kernels|store|games)\// || $1 == "netform/experiments/foot7_petersen_nash_set" {
     base = $2
     if (!($1 in fresh)) {
       printf "MISSING   %-55s (in baseline, absent from fresh report)\n", $1

@@ -14,8 +14,8 @@ dune build
 echo "== dune runtest (NETFORM_JOBS=1, sequential path) =="
 NETFORM_JOBS=1 dune runtest --force
 
-echo "== dune runtest (NETFORM_JOBS=4, parallel path) =="
-NETFORM_JOBS=4 dune runtest --force
+echo "== dune runtest (NETFORM_JOBS=4, parallel path + full orbit differential) =="
+NETFORM_JOBS=4 NETFORM_ORBIT_DIFF_FULL=1 dune runtest --force
 
 # Store smoke: a full n=6 atlas build, a simulated crash (the part file
 # truncated to 2/3 of the finished bytes), resume, CRC verification, and
@@ -59,11 +59,26 @@ for game in $games; do
   cmp "$store_dir/${game}_j1.csv" "$store_dir/${game}_j4.csv"
   cmp "$store_dir/${game}_j1.nfs" "$store_dir/${game}_j4.nfs"
   echo "game registry smoke ($game): jobs=1 and jobs=4 annotate + store byte-identical"
+  # Orbit-quotient parity: rerunning with the quotient disabled must
+  # reproduce the same bytes — the quotient only skips provably repeated
+  # toggles (DESIGN.md §11), so any drift here is a propagation bug.
+  for jobs in 1 4; do
+    NETFORM_JOBS=$jobs dune exec bin/netform_cli.exe -- annotate -n 5 --game "$game" \
+      --no-orbit-quotient -o "$store_dir/${game}_nq_j$jobs.csv" > /dev/null
+    NETFORM_JOBS=$jobs dune exec bin/netform_cli.exe -- store build -n 5 --chunk 8 \
+      --game "$game" --no-orbit-quotient -o "$store_dir/${game}_nq_j$jobs.nfs" --quiet
+    cmp "$store_dir/${game}_j$jobs.csv" "$store_dir/${game}_nq_j$jobs.csv"
+    cmp "$store_dir/${game}_j$jobs.nfs" "$store_dir/${game}_nq_j$jobs.nfs"
+  done
+  echo "game registry smoke ($game): quotient on/off byte-identical (both pool widths)"
 done
 
 echo "== bench smoke pass (perf-trajectory JSON, jobs=4) =="
+# experiments are NOT skipped: foot7_petersen_nash_set — the orbit
+# quotient's flagship row — is guarded by bench_check and must be in
+# the fresh report
 bench_json="BENCH_$(date +%Y%m%d_%H%M%S).json"
-NETFORM_JOBS=4 NETFORM_BENCH_SKIP_EXPERIMENTS=1 NETFORM_BENCH_QUICK=1 \
+NETFORM_JOBS=4 NETFORM_BENCH_QUICK=1 \
   NETFORM_BENCH_JSON="$bench_json" dune exec bench/main.exe
 
 echo "== bench regression guard (vs scripts/bench_baseline.json) =="

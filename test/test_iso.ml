@@ -223,6 +223,156 @@ let test_orbits_of_generators_basic () =
   check_int "no generators: all singletons" 3
     (List.length (List.sort_uniq compare (Array.to_list trivial)))
 
+(* ---------------- Symmetry: edge orbits for the quotient ---------------- *)
+
+(* orbit sizes as a sorted list, independent of which pair represents each
+   orbit *)
+let orbit_sizes (eo : Symmetry.edge_orbits) =
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun r -> Hashtbl.replace tbl r (1 + Option.value ~default:0 (Hashtbl.find_opt tbl r)))
+    eo.Symmetry.orbit_of_pair;
+  List.sort compare (Hashtbl.fold (fun _ s acc -> s :: acc) tbl [])
+
+let test_edge_orbits_complete () =
+  (* K_n: every pair is an edge and Aut = S_n acts transitively on pairs —
+     one orbit, found by both detection tiers *)
+  List.iter
+    (fun n ->
+      let g = complete n in
+      List.iter
+        (fun sym ->
+          let eo = Symmetry.edge_orbits sym in
+          check_int "K_n: one orbit" 1 (Array.length eo.Symmetry.reps);
+          check (Alcotest.list Alcotest.int) "K_n: orbit covers all pairs"
+            [ n * (n - 1) / 2 ] (orbit_sizes eo))
+        [ Symmetry.detect_full g; Symmetry.detect_twins g ])
+    [ 4; 5; 6; 7 ]
+
+let test_edge_orbits_cycle () =
+  (* C_n under the dihedral group: pairs are classified by their cycle
+     distance 1..⌊n/2⌋ *)
+  List.iter
+    (fun n ->
+      let eo = Symmetry.edge_orbits (Symmetry.detect_full (cycle n)) in
+      check_int "C_n: floor(n/2) orbits" (n / 2) (Array.length eo.Symmetry.reps))
+    [ 4; 5; 6; 7; 8 ]
+
+let test_edge_orbits_petersen () =
+  (* edge-transitive and co-edge-transitive: the 15 edges form one orbit and
+     the 30 non-edges the other *)
+  let sym = Symmetry.detect_full petersen in
+  let eo = Symmetry.edge_orbits sym in
+  check_int "petersen: two orbits" 2 (Array.length eo.Symmetry.reps);
+  check (Alcotest.list Alcotest.int) "petersen: orbit sizes" [ 15; 30 ] (orbit_sizes eo);
+  (* the size-15 orbit is the edge orbit *)
+  Array.iter
+    (fun r ->
+      let size = Array.fold_left (fun acc o -> if o = r then acc + 1 else acc) 0
+          eo.Symmetry.orbit_of_pair in
+      let j = ref 1 in
+      while (!j * (!j - 1)) / 2 + !j <= r do incr j done;
+      let i = r - (!j * (!j - 1)) / 2 in
+      check_bool "size 15 iff edge" (size = 15) (Graph.has_edge petersen i !j))
+    eo.Symmetry.reps
+
+let test_edge_orbits_hypercube () =
+  (* Q_3: pairs split by Hamming distance — 12 edges, 12 face diagonals,
+     4 antipodal pairs *)
+  let q3 = Nf_named.Families.hypercube 3 in
+  let eo = Symmetry.edge_orbits (Symmetry.detect_full q3) in
+  check_int "Q3: three orbits" 3 (Array.length eo.Symmetry.reps);
+  check (Alcotest.list Alcotest.int) "Q3: orbit sizes" [ 4; 12; 12 ] (orbit_sizes eo)
+
+let test_edge_orbits_rigid () =
+  (* asymmetric spider: trivial group, every pair its own orbit — the rigid
+     fast path's precondition *)
+  let spider = Graph.of_edges 7 [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 5); (2, 6) ] in
+  List.iter
+    (fun sym ->
+      check_bool "spider: trivial subgroup" true (Symmetry.is_trivial sym);
+      let eo = Symmetry.edge_orbits sym in
+      check_int "spider: all pairs are reps" 21 (Array.length eo.Symmetry.reps);
+      Array.iteri
+        (fun t r -> check_int "spider: orbit_of_pair is the identity" t r)
+        eo.Symmetry.orbit_of_pair)
+    [ Symmetry.detect_full spider; Symmetry.detect_twins spider ]
+
+let test_twin_partition_star () =
+  (* star 5: the four leaves are twins; classes/second drive the O(1)
+     representative test used by the class scans *)
+  let sym = Symmetry.detect_twins (star 5) in
+  (match Symmetry.twin_partition sym with
+  | None -> Alcotest.fail "star: twin witness expected"
+  | Some (classes, second) ->
+    check (Alcotest.array Alcotest.int) "star: leaf class" [| 0; 1; 1; 1; 1 |] classes;
+    check_int "star: second leaf" 2 second.(1));
+  let eo = Symmetry.edge_orbits sym in
+  check (Alcotest.list Alcotest.int) "star: spokes and leaf pairs" [ 4; 6 ] (orbit_sizes eo);
+  (* the twin subgroup here is the full group: same partition *)
+  check (Alcotest.list Alcotest.int) "star: twins match full group" [ 4; 6 ]
+    (orbit_sizes (Symmetry.edge_orbits (Symmetry.detect_full (star 5))))
+
+let test_symmetry_self_check_gallery () =
+  (* orbit-stabilizer armor on the named gallery (plus twin-rich families),
+     for both detection tiers, against the independent backtracking counter *)
+  let fixtures =
+    List.filter (fun (_, g) -> Graph.order g <= 30) Nf_named.Gallery.all
+    @ [
+        ("k6", complete 6);
+        ("k34", Nf_named.Families.complete_bipartite 3 4);
+        ("wheel6", Nf_named.Families.wheel 6);
+        ("star7", star 7);
+      ]
+  in
+  List.iter
+    (fun (name, g) ->
+      Symmetry.self_check g (Symmetry.detect_full g);
+      Symmetry.self_check g (Symmetry.detect_twins g);
+      check_bool (name ^ ": checked") true true)
+    fixtures
+
+let test_generators_match_twin_witness () =
+  (* materialized star transpositions must generate exactly the witnessed
+     product of class-symmetric groups: closure order = ∏ |class|! *)
+  let fixtures = [ star 6; complete 5; Nf_named.Families.complete_bipartite 2 3 ] in
+  List.iter
+    (fun g ->
+      let sym = Symmetry.detect_twins g in
+      match Symmetry.twin_partition sym with
+      | None -> Alcotest.fail "twin witness expected"
+      | Some (classes, _) ->
+        let n = Graph.order g in
+        let fact k = let r = ref 1 in for i = 2 to k do r := !r * i done; !r in
+        let expected = ref 1 in
+        for c = 0 to n - 1 do
+          let size = Array.fold_left (fun acc x -> if x = c then acc + 1 else acc) 0 classes in
+          if size > 0 then expected := !expected * fact size
+        done;
+        check_int "closure order = product of class factorials" !expected
+          (List.length (group_closure n (Symmetry.generators sym))))
+    fixtures
+
+let prop_twin_orbits_refine_full =
+  (* soundness of the cheap tier on random graphs: every twin-orbit lies
+     inside one full-group orbit, and self_check holds *)
+  QCheck.Test.make ~name:"twin orbits refine full orbits" ~count:120
+    (QCheck.make
+       ~print:(fun (s, n, p) -> Printf.sprintf "seed=%d n=%d p=%.2f" s n p)
+       QCheck.Gen.(triple (int_bound 100000) (int_range 2 9) (float_range 0.0 1.0)))
+    (fun (seed, n, p) ->
+      let rng = Prng.create seed in
+      let g = Random_graph.gnp rng n p in
+      let twins = Symmetry.detect_twins g in
+      let full = Symmetry.detect_full g in
+      Symmetry.self_check g twins;
+      Symmetry.self_check g full;
+      let et = (Symmetry.edge_orbits twins).Symmetry.orbit_of_pair in
+      let ef = (Symmetry.edge_orbits full).Symmetry.orbit_of_pair in
+      let ok = ref true in
+      Array.iteri (fun t r -> if ef.(t) <> ef.(r) then ok := false) et;
+      !ok)
+
 (* ---------------- AHU ---------------- *)
 
 let test_centers () =
@@ -315,6 +465,17 @@ let () =
           Alcotest.test_case "generators complete" `Quick test_full_generators_complete;
           Alcotest.test_case "orbits basic" `Quick test_orbits_of_generators_basic;
         ] );
+      ( "symmetry",
+        [
+          Alcotest.test_case "complete" `Quick test_edge_orbits_complete;
+          Alcotest.test_case "cycle" `Quick test_edge_orbits_cycle;
+          Alcotest.test_case "petersen" `Quick test_edge_orbits_petersen;
+          Alcotest.test_case "hypercube" `Quick test_edge_orbits_hypercube;
+          Alcotest.test_case "rigid" `Quick test_edge_orbits_rigid;
+          Alcotest.test_case "twin partition" `Quick test_twin_partition_star;
+          Alcotest.test_case "self-check gallery" `Quick test_symmetry_self_check_gallery;
+          Alcotest.test_case "twin generators" `Quick test_generators_match_twin_witness;
+        ] );
       ( "ahu",
         [
           Alcotest.test_case "centers" `Quick test_centers;
@@ -323,5 +484,10 @@ let () =
           Alcotest.test_case "agrees with canon" `Quick test_ahu_agrees_with_canon;
           Alcotest.test_case "rejects non-tree" `Quick test_ahu_rejects_non_tree;
         ] );
-      ("properties", [ qcheck prop_canonical_invariant; qcheck prop_canonical_is_isomorphic ]);
+      ( "properties",
+        [
+          qcheck prop_canonical_invariant;
+          qcheck prop_canonical_is_isomorphic;
+          qcheck prop_twin_orbits_refine_full;
+        ] );
     ]
