@@ -218,6 +218,9 @@ let store_n =
 let store_rows () =
   let path = Filename.temp_file "netform_bench_store" ".nfs" in
   let path8 = Filename.temp_file "netform_bench_store8" ".nfs" in
+  let shard_dir = Filename.temp_file "netform_bench_shards" "" in
+  Sys.remove shard_dir;
+  Sys.mkdir shard_dir 0o700;
   let time f =
     let t0 = Unix.gettimeofday () in
     let r = f () in
@@ -227,7 +230,13 @@ let store_rows () =
     ~finally:(fun () ->
       List.iter
         (fun p -> if Sys.file_exists p then Sys.remove p)
-        [ path; path ^ ".part"; path8; path8 ^ ".part" ])
+        [ path; path ^ ".part"; path8; path8 ^ ".part" ];
+      if Sys.file_exists shard_dir then begin
+        Array.iter
+          (fun name -> Sys.remove (Filename.concat shard_dir name))
+          (Sys.readdir shard_dir);
+        Sys.rmdir shard_dir
+      end)
     (fun () ->
       let outcome, cold =
         time (fun () -> Nf_store.Build.build ~path ~n:store_n ~force:true ())
@@ -250,9 +259,35 @@ let store_rows () =
       in
       Printf.printf "store n=8 smoke: %d classes; cold build %.2fs\n%!"
         outcome8.Nf_store.Build.records cold8;
+      (* the sharded-build acceptance row: a k=4 BCG-only n=7 build run
+         shard by shard in this one process, then merged — timed end to
+         end against a single-process build of the same parameters, with
+         the byte-identity acceptance asserted on every bench run *)
+      let single = Filename.concat shard_dir "single.nfs" in
+      let merged = Filename.concat shard_dir "merged.nfs" in
+      let _, single_t =
+        time (fun () -> Nf_store.Build.build ~game:"bcg" ~path:single ~n:7 ~force:true ())
+      in
+      let read_all p = In_channel.with_open_bin p In_channel.input_all in
+      let k = 4 in
+      let _, sharded_t =
+        time (fun () ->
+            for i = 1 to k do
+              ignore
+                (Nf_store.Build.build ~game:"bcg" ~shard:(i, k)
+                   ~path:(Filename.concat shard_dir (Printf.sprintf "shard%d.nfs" i))
+                   ~n:7 ~force:true ())
+            done;
+            ignore (Nf_store.Merge.merge_dir ~dir:shard_dir ~out:merged ()))
+      in
+      assert (read_all single = read_all merged);
+      Printf.printf
+        "store sharded n=7 (bcg): single build %.2fs, %d shards + merge %.2fs, bytes identical\n%!"
+        single_t k sharded_t;
       [ (Printf.sprintf "netform/store/cold_build_n%d" store_n, Some (cold *. 1e9));
         (Printf.sprintf "netform/store/warm_figures_n%d" store_n, Some (warm *. 1e9));
-        ("netform/store/cold_build_n8_smoke", Some (cold8 *. 1e9)) ])
+        ("netform/store/cold_build_n8_smoke", Some (cold8 *. 1e9));
+        ("netform/store/sharded_build_n7", Some (sharded_t *. 1e9)) ])
 
 (* ---------------- machine-readable report ---------------- *)
 

@@ -11,7 +11,9 @@
      annotate     export the equilibrium atlas (graph6 + exact regions)
      experiments  run the full E1-E21 reproduction suite
      store        persistent equilibrium-atlas store (build | resume |
-                  query | verify | export), classic or --game stores
+                  query | verify | export | merge | shards), classic or
+                  --game stores; build accepts --shard I/K and merge
+                  reassembles the volumes byte-identically
 
    Every game-generic subcommand resolves --game through
    Netform.Game_registry, so a newly registered game is reachable from
@@ -451,17 +453,37 @@ let store_path_arg =
 
 let report_line line = Printf.eprintf "%s\n%!" line
 
-let print_outcome verb (o : Nf_store.Build.outcome) =
-  Printf.printf "%s %s: n=%d game=%s ucg=%b, %d classes in %d chunks (%d resumed) in %.2fs\n"
-    verb o.Nf_store.Build.path o.Nf_store.Build.n o.Nf_store.Build.game
-    o.Nf_store.Build.with_ucg o.Nf_store.Build.records o.Nf_store.Build.chunks
-    o.Nf_store.Build.resumed_records o.Nf_store.Build.seconds
+let shard_string = function
+  | None -> ""
+  | Some (i, k) -> Printf.sprintf " shard=%d/%d" i k
 
-let store_build jobs no_quotient n out game with_ucg chunk force quiet =
+let print_outcome verb (o : Nf_store.Build.outcome) =
+  Printf.printf "%s %s: n=%d game=%s ucg=%b%s, %d classes in %d chunks (%d resumed) in %.2fs\n"
+    verb o.Nf_store.Build.path o.Nf_store.Build.n o.Nf_store.Build.game
+    o.Nf_store.Build.with_ucg (shard_string o.Nf_store.Build.shard) o.Nf_store.Build.records
+    o.Nf_store.Build.chunks o.Nf_store.Build.resumed_records o.Nf_store.Build.seconds
+
+(* --shard I/K: which slice of the k-way split this process builds *)
+let shard_conv =
+  let parse s =
+    match String.split_on_char '/' s with
+    | [ i; k ] -> (
+      match (int_of_string_opt i, int_of_string_opt k) with
+      | Some i, Some k when 1 <= i && i <= k && k <= Nf_store.Layout.max_shards -> Ok (i, k)
+      | Some _, Some _ ->
+        Error
+          (`Msg
+             (Printf.sprintf "SHARD must satisfy 1 <= I <= K <= %d" Nf_store.Layout.max_shards))
+      | _ -> Error (`Msg "SHARD must be I/K (e.g. 2/4)"))
+    | _ -> Error (`Msg "SHARD must be I/K (e.g. 2/4)")
+  in
+  Arg.conv (parse, fun ppf (i, k) -> Format.fprintf ppf "%d/%d" i k)
+
+let store_build jobs no_quotient n out game with_ucg shard chunk force quiet =
   setup jobs;
   setup_quotient no_quotient;
   let report = if quiet then ignore else report_line in
-  match Nf_store.Build.build ?game ?with_ucg ~chunk ~force ~report ~path:out ~n () with
+  match Nf_store.Build.build ?game ?with_ucg ?shard ~chunk ~force ~report ~path:out ~n () with
   | outcome ->
     print_outcome "built" outcome;
     0
@@ -492,13 +514,24 @@ let store_build_cmd =
       & info [ "chunk" ] ~docv:"K"
           ~doc:"Classes per chunk: the append/recovery granularity and the pool fan-out unit.")
   in
+  let shard =
+    Arg.(
+      value
+      & opt (some shard_conv) None
+      & info [ "shard" ] ~docv:"I/K"
+          ~doc:
+            "Build only shard $(i,I) of a $(i,K)-way split of the enumeration stream.  The \
+             $(i,K) volumes (same $(b,-n), $(b,--game) and $(b,--chunk) throughout) can be \
+             built by independent processes or machines; $(b,netform store merge) reassembles \
+             them into a store byte-identical to a single-process build.")
+  in
   let force = Arg.(value & flag & info [ "force" ] ~doc:"Overwrite an existing store.") in
   let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No per-chunk progress lines.") in
   Cmd.v
     (Cmd.info "build" ~doc:"Annotate every connected class on N vertices into a store")
     Term.(
       const store_build $ jobs_opt $ no_orbit_quotient_opt $ n_arg 6 $ out $ game_opt
-      $ with_ucg $ chunk $ force $ quiet)
+      $ with_ucg $ shard $ chunk $ force $ quiet)
 
 let store_resume jobs out quiet =
   setup jobs;
@@ -531,9 +564,10 @@ let store_verify path =
   | Ok scan ->
     let h = scan.Nf_store.Reader.header in
     Printf.printf
-      "%s: ok (schema %d, n=%d, game=%s, %d classes in %d chunks of %d, all CRCs valid)\n"
+      "%s: ok (schema %d, n=%d, game=%s%s, %d classes in %d chunks of %d, all CRCs valid)\n"
       path Nf_store.Layout.schema_version h.Nf_store.Layout.n
       (Nf_store.Build.game_of_content h.Nf_store.Layout.content)
+      (shard_string h.Nf_store.Layout.shard)
       scan.Nf_store.Reader.records scan.Nf_store.Reader.chunks h.Nf_store.Layout.chunk_size;
     0
   | Error msg ->
@@ -640,13 +674,112 @@ let store_export_cmd =
        ~doc:"Dump a store as the annotate-compatible CSV atlas (byte-identical to Dataset.to_csv)")
     Term.(const store_export $ jobs_opt $ store_path_arg $ out)
 
+let store_merge dir out force quiet =
+  setup_logs ();
+  let report = if quiet then ignore else report_line in
+  match Nf_store.Merge.merge_dir ~force ~report ~dir ~out () with
+  | o ->
+    Printf.printf "merged %d shards into %s: n=%d game=%s, %d classes in %d chunks in %.2fs\n"
+      o.Nf_store.Merge.shards o.Nf_store.Merge.path o.Nf_store.Merge.n o.Nf_store.Merge.game
+      o.Nf_store.Merge.records o.Nf_store.Merge.chunks o.Nf_store.Merge.seconds;
+    0
+  | exception Failure msg ->
+    Printf.eprintf "error: %s\n" msg;
+    1
+
+let store_merge_cmd =
+  let dir =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DIR" ~doc:"Directory holding the K shard volumes of one split.")
+  in
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"STORE" ~doc:"Canonical store file to write.")
+  in
+  let force = Arg.(value & flag & info [ "force" ] ~doc:"Overwrite an existing store.") in
+  let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No per-volume progress lines.") in
+  Cmd.v
+    (Cmd.info "merge"
+       ~doc:
+         "Reassemble a directory of verified shard volumes into one canonical store, \
+          byte-identical to a single-process build")
+    Term.(const store_merge $ dir $ out $ force $ quiet)
+
+let store_shards path =
+  setup_logs ();
+  if Sys.file_exists path && Sys.is_directory path then begin
+    match Nf_store.Merge.volumes ~dir:path with
+    | [] ->
+      Printf.printf "%s: no shard volumes\n" path;
+      1
+    | vols ->
+      List.iter
+        (fun (p, h) ->
+          let i, k = Option.get h.Nf_store.Layout.shard in
+          Printf.printf "%s: shard %d/%d n=%d game=%s chunk=%d\n" p i k h.Nf_store.Layout.n
+            (Nf_store.Build.game_of_content h.Nf_store.Layout.content)
+            h.Nf_store.Layout.chunk_size)
+        vols;
+      (match Nf_store.Merge.family vols with
+      | _ ->
+        Printf.printf "complete %d-way family: ready to merge\n" (List.length vols);
+        0
+      | exception Failure msg ->
+        Printf.printf "incomplete family: %s\n" msg;
+        1)
+  end
+  else
+    match Nf_store.Reader.scan ~path with
+    | scan ->
+      let h = scan.Nf_store.Reader.header in
+      (match h.Nf_store.Layout.shard with
+      | Some (i, k) ->
+        Printf.printf "%s: shard %d/%d n=%d game=%s chunk=%d (%d classes in %d chunks)\n" path i
+          k h.Nf_store.Layout.n
+          (Nf_store.Build.game_of_content h.Nf_store.Layout.content)
+          h.Nf_store.Layout.chunk_size scan.Nf_store.Reader.records scan.Nf_store.Reader.chunks
+      | None ->
+        Printf.printf "%s: whole store (unsharded) n=%d game=%s chunk=%d (%d classes)\n" path
+          h.Nf_store.Layout.n
+          (Nf_store.Build.game_of_content h.Nf_store.Layout.content)
+          h.Nf_store.Layout.chunk_size scan.Nf_store.Reader.records);
+      0
+    | exception Nf_store.Layout.Corrupt msg ->
+      Printf.eprintf "%s: CORRUPT: %s\n" path msg;
+      1
+    | exception Sys_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+
+let store_shards_cmd =
+  let path =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"STORE"
+          ~doc:"A store file (whole or one shard volume), or a directory of shard volumes.")
+  in
+  Cmd.v
+    (Cmd.info "shards"
+       ~doc:
+         "Show shard metadata: which slice a volume holds, or whether a directory forms a \
+          complete mergeable family")
+    Term.(const store_shards $ path)
+
 let store_cmd =
   Cmd.group
     (Cmd.info "store"
        ~doc:
-         "Persistent, crash-resumable equilibrium-atlas store: build once, query the annotation \
-          forever")
-    [ store_build_cmd; store_resume_cmd; store_query_cmd; store_verify_cmd; store_export_cmd ]
+         "Persistent, crash-resumable equilibrium-atlas store: build once (optionally sharded \
+          across processes), query the annotation forever")
+    [
+      store_build_cmd; store_resume_cmd; store_query_cmd; store_verify_cmd; store_export_cmd;
+      store_merge_cmd; store_shards_cmd;
+    ]
 
 let main_cmd =
   Cmd.group

@@ -271,8 +271,11 @@ let iter_connected n f =
   | Some graphs -> List.iter f graphs
   | None -> iter_graphs n (fun g -> if Nf_graph.Connectivity.is_connected g then f g)
 
-let iter_connected_chunked ?(chunk = 1024) n f =
-  if chunk < 1 then invalid_arg "Unlabeled.iter_connected_chunked: chunk < 1";
+(* Shared chunk assembly: batch a graph stream into bounded arrays in
+   stream order.  [name] keys the guard message so each public entry
+   point reports itself. *)
+let chunked_sink ~name chunk f =
+  if chunk < 1 then invalid_arg (Printf.sprintf "Unlabeled.%s: chunk < 1" name);
   let buf = ref [] in
   let len = ref 0 in
   let flush () =
@@ -283,11 +286,84 @@ let iter_connected_chunked ?(chunk = 1024) n f =
       f arr
     end
   in
-  iter_connected n (fun g ->
-      buf := g :: !buf;
-      incr len;
-      if !len >= chunk then flush ());
+  let push g =
+    buf := g :: !buf;
+    incr len;
+    if !len >= chunk then flush ()
+  in
+  (push, flush)
+
+let iter_connected_chunked ?(chunk = 1024) n f =
+  let push, flush = chunked_sink ~name:"iter_connected_chunked" chunk f in
+  iter_connected n push;
   flush ()
+
+(* ---------------- sharded enumeration ----------------------------------
+
+   A shard is a deterministic slice of the connected stream — a pure
+   function of [(n, i, k)], so independent processes (or machines) can
+   each enumerate one shard and the concatenation over [i = 1..k]
+   reproduces the unsharded stream exactly, in order:
+
+   - [n <= stream_above]: the level is materialized anyway (and, at
+     [n <= reference_max], its historical order comes from the reference
+     enumerator, not the augmentation tree), so the split is a balanced
+     contiguous index range of the connected level itself.
+   - [n > stream_above]: the level only exists as a stream off its
+     materialized parents, so the split is a balanced contiguous range
+     of the {e parent-prefix}: shard [i] enumerates exactly the subtrees
+     of its parents.  Canonical augmentation produces each child class
+     under exactly one parent, so shard streams are pairwise disjoint
+     and their union is the whole level; parents appear in enumeration
+     order, so concatenating the shards in index order is the unsharded
+     (parent, neighborhood-mask) stream. *)
+
+let check_shard name (i, k) =
+  if k < 1 || i < 1 || i > k then
+    invalid_arg (Printf.sprintf "Unlabeled.%s: shard %d/%d out of range (need 1 <= i <= k)" name i k)
+
+(* balanced contiguous ranges: shard i of k over [0, total) *)
+let shard_range total (i, k) = ((i - 1) * total / k, i * total / k)
+
+let iter_connected_sharded ?(chunk = 1024) ~shard n f =
+  check_shard "iter_connected_sharded" shard;
+  check_order "iter_connected_sharded" n;
+  let _, k = shard in
+  if k = 1 then iter_connected_chunked ~chunk n f
+  else begin
+    let push, flush = chunked_sink ~name:"iter_connected_sharded" chunk f in
+    if n <= stream_above then begin
+      let level = Array.of_list (connected_graphs n) in
+      let lo, hi = shard_range (Array.length level) shard in
+      for idx = lo to hi - 1 do
+        push level.(idx)
+      done
+    end
+    else begin
+      let parents = Array.of_list (all_graphs (n - 1)) in
+      let lo, hi = shard_range (Array.length parents) shard in
+      let slice = Array.to_list (Array.sub parents lo (hi - lo)) in
+      iter_level_children slice (fun g ->
+          if Nf_graph.Connectivity.is_connected g then push g)
+    end;
+    flush ()
+  end
+
+let shard_total ~shard n =
+  check_shard "shard_total" shard;
+  check_order "shard_total" n;
+  if n <= stream_above then
+    Option.map
+      (fun total ->
+        let lo, hi = shard_range total shard in
+        hi - lo)
+      (Counts.connected_graphs n)
+  else
+    match (Counts.connected_graphs n, Counts.graphs (n - 1)) with
+    | Some total, Some parents when parents > 0 ->
+      let lo, hi = shard_range parents shard in
+      Some (total * (hi - lo) / parents)
+    | _ -> None
 
 let count_all n = fold_graphs n (fun acc _ -> acc + 1) 0
 

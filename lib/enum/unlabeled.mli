@@ -67,6 +67,30 @@ val iter_connected_chunked : ?chunk:int -> int -> (Nf_graph.Graph.t array -> uni
     chunk across the {!Nf_util.Pool} without holding the whole level.
     @raise Invalid_argument when [chunk < 1]. *)
 
+val iter_connected_sharded :
+  ?chunk:int -> shard:int * int -> int -> (Nf_graph.Graph.t array -> unit) -> unit
+(** [iter_connected_sharded ~shard:(i, k) n f] streams shard [i] of a
+    [k]-way partition of the {!iter_connected_chunked} stream — a pure
+    function of [(n, i, k)], so independent processes can each
+    enumerate one shard and concatenating the shards in index order
+    ([i = 1..k]) reproduces the unsharded stream exactly, record for
+    record.  The split is a balanced contiguous range: of the
+    materialized connected level for [n <= 8], and of the {e parents}
+    of the canonical-augmentation tree for [n >= 9] (each shard
+    enumerates only its parents' subtrees, so the per-shard cost is
+    roughly [1/k] of the level plus the shared parent level).  Shards
+    are pairwise disjoint and their multiset union is the whole level;
+    [~shard:(1, 1)] is exactly {!iter_connected_chunked}.
+    @raise Invalid_argument when [chunk < 1], the shard is outside
+    [1 <= i <= k], or [n] is out of range. *)
+
+val shard_total : shard:int * int -> int -> int option
+(** Expected record count of one shard, without enumerating: exact (a
+    slice of the {!Nf_enum.Counts} connected oracle) for [n <= 8]; for
+    larger [n] an estimate scaled by the shard's own parent count —
+    the honest per-shard progress denominator.  [None] when no oracle
+    covers [n]. *)
+
 val count_all : int -> int
 val count_connected : int -> int
 (** Class counts via {!fold_graphs}: streaming at [n >= 9], so counting to

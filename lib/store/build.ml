@@ -8,6 +8,7 @@ type outcome = {
   n : int;
   game : string;
   with_ucg : bool;
+  shard : (int * int) option;
   chunks : int;
   records : int;
   resumed_records : int;
@@ -92,17 +93,30 @@ let run ~writer ~skip_chunks ~report =
   let header = writer.Writer.header in
   let n = header.Layout.n
   and content = header.Layout.content
-  and chunk = header.Layout.chunk_size in
+  and chunk = header.Layout.chunk_size
+  and shard = header.Layout.shard in
   let annotate_record = annotator_of_content content in
   let start = Unix.gettimeofday () in
   let resumed_records = writer.Writer.records in
-  let meter =
-    Stats.Progress.create
-      ?total:(Nf_enum.Counts.connected_graphs n)
-      ~initial:resumed_records ~now:Unix.gettimeofday ()
+  (* shard builds meter against the shard's own expected size (exact at
+     small n, scaled by the shard's parent count above the streaming
+     boundary) — never the global level size, which would flatline the
+     ETA at k times the truth — and prefix every line with [i/k] so
+     interleaved per-shard logs stay attributable *)
+  let total, prefix =
+    match shard with
+    | None -> (Nf_enum.Counts.connected_graphs n, "")
+    | Some ((i, k) as shard) ->
+      (Nf_enum.Unlabeled.shard_total ~shard n, Printf.sprintf "[%d/%d] " i k)
+  in
+  let meter = Stats.Progress.create ?total ~initial:resumed_records ~now:Unix.gettimeofday () in
+  let iter_chunked =
+    match shard with
+    | None -> Nf_enum.Unlabeled.iter_connected_chunked ~chunk n
+    | Some shard -> Nf_enum.Unlabeled.iter_connected_sharded ~chunk ~shard n
   in
   let ci = ref 0 in
-  Nf_enum.Unlabeled.iter_connected_chunked ~chunk n (fun graphs ->
+  iter_chunked (fun graphs ->
       let i = !ci in
       incr ci;
       if i >= skip_chunks then begin
@@ -110,7 +124,7 @@ let run ~writer ~skip_chunks ~report =
         Writer.append_chunk writer records;
         Stats.Progress.tick meter (Array.length graphs);
         report
-          (Printf.sprintf "chunk %d: %d classes annotated  %s" i (Array.length graphs)
+          (Printf.sprintf "%schunk %d: %d classes annotated  %s" prefix i (Array.length graphs)
              (Stats.Progress.line meter))
       end);
   Writer.finalize writer;
@@ -119,15 +133,26 @@ let run ~writer ~skip_chunks ~report =
     n;
     game = game_of_content content;
     with_ucg = Layout.content_with_ucg content;
+    shard;
     chunks = writer.Writer.chunks;
     records = writer.Writer.records;
     resumed_records;
     seconds = Unix.gettimeofday () -. start;
   }
 
-let build ?game ?with_ucg ?(chunk = 512) ?(force = false) ?(report = ignore) ~path ~n () =
+let build ?game ?with_ucg ?shard ?(chunk = 512) ?(force = false) ?(report = ignore) ~path ~n () =
   if n < 1 || n > 11 then invalid_arg "Build.build: n out of range (1..11)";
   if chunk < 1 then invalid_arg "Build.build: chunk < 1";
+  let shard =
+    match shard with
+    | None | Some (1, 1) -> None (* a 1-way shard IS the unsharded build, bytes included *)
+    | Some (i, k) ->
+      if k < 2 || k > Layout.max_shards || i < 1 || i > k then
+        invalid_arg
+          (Printf.sprintf "Build.build: shard %d/%d out of range (1 <= i <= k <= %d)" i k
+             Layout.max_shards);
+      Some (i, k)
+  in
   let content =
     match game with
     | None -> Layout.Classic { with_ucg = Option.value ~default:(n <= 7) with_ucg }
@@ -138,7 +163,7 @@ let build ?game ?with_ucg ?(chunk = 512) ?(force = false) ?(report = ignore) ~pa
   in
   if Sys.file_exists path && not force then
     failwith (Printf.sprintf "%s already exists (pass force to rebuild)" path);
-  let writer = Writer.create ~path ~header:{ Layout.n; content; chunk_size = chunk } in
+  let writer = Writer.create ~path ~header:{ Layout.n; content; chunk_size = chunk; shard } in
   match run ~writer ~skip_chunks:0 ~report with
   | outcome -> outcome
   | exception e ->

@@ -26,6 +26,7 @@ type outcome = {
   n : int;
   game : string;  (** registry name of the annotating game *)
   with_ucg : bool;  (** classic layout with the UCG payload *)
+  shard : (int * int) option;  (** shard volume [i/k], [None] when whole *)
   chunks : int;
   records : int;  (** total annotated classes in the finished store *)
   resumed_records : int;  (** of which were inherited from a part file *)
@@ -35,6 +36,7 @@ type outcome = {
 val build :
   ?game:string ->
   ?with_ucg:bool ->
+  ?shard:int * int ->
   ?chunk:int ->
   ?force:bool ->
   ?report:(string -> unit) ->
@@ -48,8 +50,18 @@ val build :
     registered game ([with_ucg] must then be omitted).  [chunk] is the
     records-per-chunk fan-out unit (default 512).  Any stale part file
     is discarded.
+
+    [~shard:(i, k)] builds shard volume [i] of a [k]-way split of the
+    same parameters ({!Nf_enum.Unlabeled.iter_connected_sharded}): a
+    pure function of [(n, game, chunk, i, k)], so the [k] volumes can
+    be built by independent processes or machines and reassembled by
+    {!Merge} into bytes identical to a single-process build.  Progress
+    lines are prefixed [[i/k]] and metered against the shard's own
+    expected size, and [~shard:(1, 1)] is exactly the unsharded build
+    (bytes included).  A shard volume resumes like any other store.
     @raise Invalid_argument when [n] is outside [1..11], [chunk < 1],
-    [~game] is unknown, or both [~game] and [~with_ucg] are given.
+    [~game] is unknown, both [~game] and [~with_ucg] are given, or the
+    shard is outside [1 <= i <= k <= 16].
     @raise Failure when [path] already exists and [force] is not set. *)
 
 val resume : ?report:(string -> unit) -> path:string -> unit -> outcome

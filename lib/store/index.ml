@@ -8,15 +8,29 @@ type t = {
   mutable graphs : Graph.t array option;
 }
 
+(* A directory of shard volumes reads as the store their merge would
+   produce: Merge.family proves the volumes form one complete split, and
+   concatenating their records in shard index order IS the unsharded
+   enumeration order (the shard split is contiguous), so every query
+   downstream sees the same entries whether it was handed one merged
+   file or the shard directory. *)
+let load_dir ~dir =
+  let sorted, header = Merge.family (Merge.volumes ~dir) in
+  let entries = Array.concat (List.map (fun (p, _) -> snd (Reader.load ~path:p)) sorted) in
+  { path = dir; header; entries; graphs = None }
+
 let load ~path =
-  let header, entries = Reader.load ~path in
-  { path; header; entries; graphs = None }
+  if Sys.file_exists path && Sys.is_directory path then load_dir ~dir:path
+  else
+    let header, entries = Reader.load ~path in
+    { path; header; entries; graphs = None }
 
 let path t = t.path
 let n t = t.header.Layout.n
 let content t = t.header.Layout.content
 let with_ucg t = Layout.content_with_ucg t.header.Layout.content
 let game t = Build.game_of_content t.header.Layout.content
+let shard t = t.header.Layout.shard
 let length t = Array.length t.entries
 let entries t = t.entries
 

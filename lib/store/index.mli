@@ -1,11 +1,26 @@
 (** The warm in-memory face of a store: records loaded once, graphs
-    decoded lazily (and at most once), ready for repeated α-queries. *)
+    decoded lazily (and at most once), ready for repeated α-queries.
+
+    A store here is either a single file — whole or one shard volume —
+    or a {e directory} of shard volumes, which loads as the exact store
+    their {!Merge} would produce (same entries, same order), so queries
+    never need to know whether a build was sharded. *)
 
 type t
 
 val load : path:string -> t
-(** Load a complete store's records into memory.
+(** Load a complete store's records into memory.  When [path] is a
+    directory, loads it as the complete shard family it must contain
+    (see {!load_dir}).
     @raise Layout.Corrupt when the store is incomplete or invalid. *)
+
+val load_dir : dir:string -> t
+(** Load a directory of shard volumes as one logical store: the volumes
+    must form exactly one complete [k]-way family
+    ({!Merge.family}), and the entries are their records concatenated
+    in shard index order — identical to the merged store's.
+    @raise Failure when the volumes do not form a complete family.
+    @raise Layout.Corrupt when any volume is incomplete or invalid. *)
 
 val path : t -> string
 val n : t -> int
@@ -20,6 +35,10 @@ val with_ucg : t -> bool
 val game : t -> string
 (** Registry name of the annotating game (classic stores read as
     ["bcg"]/["ucg"]). *)
+
+val shard : t -> (int * int) option
+(** Shard metadata of the loaded volume; [None] for whole stores and
+    for directory loads (a complete family reads as the merged whole). *)
 
 val length : t -> int
 (** Number of annotated classes. *)

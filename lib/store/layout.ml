@@ -17,8 +17,16 @@ module Rat = Nf_util.Rat
      BCG/UCG stores stay byte-identical.
    flags bit 1 set — a single-game store:
      bit 2: the region is an interval union (else a single interval);
-     bits 8..23: the game's registry schema tag.  Bit 0 and bits 3..7,
-     24..31 must be clear.
+     bits 8..23: the game's registry schema tag.  Bit 0 and bits 3..7
+     must be clear.
+   flags bits 24..31 — shard metadata (append-only, like the game tags):
+     all clear for a whole (unsharded or merged) store — so every
+     pre-shard NFATLAS1 file keeps its exact bytes — else bits 24..27
+     hold the 1-based shard index minus one and bits 28..31 the shard
+     count minus one (k in 2..16, 1 <= i <= k).  A shard volume holds
+     shard i of the k-way parent-prefix split of the enumeration
+     stream (Nf_enum.Unlabeled.iter_connected_sharded); concatenating
+     the k volumes' records in index order is the unsharded stream.
    Record body:  u16 len | graph6 bytes | region, where the region is
                  interval | [union] for classic stores, and a single
                  interval or union (per flags bit 2) for game stores.
@@ -36,7 +44,7 @@ let chunk_header_size = 16
 let footer_size = 16
 
 type content = Classic of { with_ucg : bool } | Game of { tag : int; union : bool }
-type header = { n : int; content : content; chunk_size : int }
+type header = { n : int; content : content; chunk_size : int; shard : (int * int) option }
 type record = { graph6 : string; bcg : Interval.t; ucg : Interval.Union.t option }
 
 let content_with_ucg = function
@@ -206,7 +214,28 @@ let content_of_flags flags =
   else begin
     if flags land lnot (0x2 lor 0x4 lor 0xFFFF00) <> 0 then
       fail "unknown flag bits %x" flags;
-    Game { tag = flags lsr 8; union = flags land 0x4 <> 0 }
+    Game { tag = (flags lsr 8) land 0xFFFF; union = flags land 0x4 <> 0 }
+  end
+
+let max_shards = 16
+
+let shard_flag_bits = function
+  | None -> 0
+  | Some (i, k) ->
+    if k < 2 || k > max_shards || i < 1 || i > k then
+      invalid_arg
+        (Printf.sprintf "Layout: shard %d/%d out of range (1 <= i <= k, 2 <= k <= %d)" i k
+           max_shards);
+    ((i - 1) lsl 24) lor ((k - 1) lsl 28)
+
+let shard_of_flags flags =
+  let bits = (flags lsr 24) land 0xFF in
+  if bits = 0 then None
+  else begin
+    let i = (bits land 0xF) + 1 in
+    let k = (bits lsr 4) + 1 in
+    if k < 2 || i > k then fail "bad shard metadata %d/%d in flags %x" i k flags;
+    Some (i, k)
   end
 
 let encode_header h =
@@ -216,7 +245,7 @@ let encode_header h =
   Buffer.add_string buf magic;
   add_u16 buf schema_version;
   add_u16 buf h.n;
-  add_u32 buf (flags_of_content h.content);
+  add_u32 buf (flags_of_content h.content lor shard_flag_bits h.shard);
   add_u32 buf h.chunk_size;
   let body = Buffer.contents buf in
   add_u32 buf (Crc32.string body);
@@ -234,10 +263,11 @@ let decode_header s =
   let n = get_u16 s 10 "n" in
   if n < 1 || n > 62 then fail "n = %d out of range" n;
   let flags = get_u32 s 12 "flags" in
-  let content = content_of_flags flags in
+  let shard = shard_of_flags flags in
+  let content = content_of_flags (flags land lnot 0xFF000000) in
   let chunk_size = get_u32 s 16 "chunk size" in
   if chunk_size < 1 then fail "chunk size %d < 1" chunk_size;
-  { n; content; chunk_size }
+  { n; content; chunk_size; shard }
 
 (* --- chunks ------------------------------------------------------------- *)
 

@@ -27,6 +27,13 @@ type header = {
   n : int;  (** number of players / vertices, [1..62] *)
   content : content;  (** record payload layout *)
   chunk_size : int;  (** records per full chunk (the last may be short) *)
+  shard : (int * int) option;
+      (** [Some (i, k)]: this volume holds shard [i] of a [k]-way
+          parent-prefix split of the enumeration stream
+          ({!Nf_enum.Unlabeled.iter_connected_sharded}); [None] for a
+          whole (unsharded or merged) store.  Encoded append-only in
+          flag bits 24..31, so unsharded stores keep their exact
+          pre-shard bytes. *)
 }
 
 type record = {
@@ -51,7 +58,21 @@ val flags_of_content : content -> int
 
 val content_of_flags : int -> content
 (** Strict inverse — any unknown flag bit raises {!Corrupt} rather than
-    being ignored, so a store written by a future schema is rejected. *)
+    being ignored, so a store written by a future schema is rejected.
+    Shard bits (24..31) are {e not} accepted here; {!decode_header}
+    strips them via {!shard_of_flags} first. *)
+
+val max_shards : int
+(** Largest representable shard count (16: four flag bits). *)
+
+val shard_flag_bits : (int * int) option -> int
+(** Shard metadata as flag bits 24..31 ([0] for [None]).
+    @raise Invalid_argument outside [1 <= i <= k], [2 <= k <= 16]. *)
+
+val shard_of_flags : int -> (int * int) option
+(** Strict inverse of {!shard_flag_bits} on bits 24..31.
+    @raise Corrupt on malformed shard metadata (index without a count,
+    or index above the count). *)
 
 exception Corrupt of string
 (** Raised by every [decode_*] function on malformed input. *)

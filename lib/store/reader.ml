@@ -51,7 +51,10 @@ let scan ~path = scan_string (read_file path)
    valid header, consecutively numbered CRC-clean chunks, and a footer
    whose totals match.  Each record's graph must decode to a graph6
    string of the header's order, so a flipped byte anywhere — header,
-   chunk framing, chunk body, footer — is reported. *)
+   chunk framing, chunk body, footer — is reported, pinned to the
+   offending chunk index and the byte offset its frame starts at (a
+   damaged multi-gigabyte shard volume is useless to re-transfer whole;
+   the message names the region to refetch). *)
 let verify_string s =
   try
     let header = Layout.decode_header s in
@@ -60,27 +63,33 @@ let verify_string s =
     let chunks = ref 0 in
     let records = ref 0 in
     while !pos < len && not (Layout.is_footer_at s !pos) do
-      let index, recs, next = Layout.decode_chunk ~content:header.Layout.content s ~pos:!pos in
-      if index <> !chunks then
-        raise (Layout.Corrupt (Printf.sprintf "chunk %d out of sequence (expected %d)" index !chunks));
-      if Array.length recs = 0 then
-        raise (Layout.Corrupt (Printf.sprintf "chunk %d is empty" index));
+      let frame_start = !pos in
+      let in_chunk fmt =
+        Printf.ksprintf
+          (fun m ->
+            raise
+              (Layout.Corrupt
+                 (Printf.sprintf "chunk %d (frame at byte %d): %s" !chunks frame_start m)))
+          fmt
+      in
+      let index, recs, next =
+        match Layout.decode_chunk ~content:header.Layout.content s ~pos:!pos with
+        | decoded -> decoded
+        | exception Layout.Corrupt msg -> in_chunk "%s" msg
+      in
+      if index <> !chunks then in_chunk "chunk %d out of sequence (expected %d)" index !chunks;
+      if Array.length recs = 0 then in_chunk "chunk is empty";
       if Array.length recs > header.Layout.chunk_size then
-        raise
-          (Layout.Corrupt
-             (Printf.sprintf "chunk %d holds %d records, above the declared chunk size %d" index
-                (Array.length recs) header.Layout.chunk_size));
+        in_chunk "chunk holds %d records, above the declared chunk size %d" (Array.length recs)
+          header.Layout.chunk_size;
       Array.iter
         (fun r ->
           match Nf_graph.Graph6.decode r.Layout.graph6 with
           | g ->
             if Nf_graph.Graph.order g <> header.Layout.n then
-              raise
-                (Layout.Corrupt
-                   (Printf.sprintf "record in chunk %d has order %d, store is for n = %d" index
-                      (Nf_graph.Graph.order g) header.Layout.n))
-          | exception Invalid_argument msg ->
-            raise (Layout.Corrupt (Printf.sprintf "bad graph6 in chunk %d: %s" index msg)))
+              in_chunk "record has order %d, store is for n = %d" (Nf_graph.Graph.order g)
+                header.Layout.n
+          | exception Invalid_argument msg -> in_chunk "bad graph6: %s" msg)
         recs;
       chunks := !chunks + 1;
       records := !records + Array.length recs;

@@ -10,7 +10,10 @@
     - {!verify} is {e strict}: every byte must be accounted for by a
       valid header, consecutively numbered CRC-clean chunks whose graphs
       decode to the header's order, and a footer with matching totals.
-      A single flipped byte anywhere in the file yields [Error]. *)
+      A single flipped byte anywhere in the file yields [Error], and a
+      failure inside the chunk run is pinned to the offending chunk
+      index and the byte offset its frame starts at — so a damaged
+      volume names the exact region to refetch or rebuild. *)
 
 type scan = {
   header : Layout.header;

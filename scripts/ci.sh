@@ -73,6 +73,46 @@ for game in $games; do
   echo "game registry smoke ($game): quotient on/off byte-identical (both pool widths)"
 done
 
+# Sharded-build acceptance: for every registered game at n=6 and both
+# pool widths, a 3-way sharded build (each volume its own CLI process)
+# merged back together must be byte-identical to the single-process
+# store, and querying the shard directory must answer exactly like the
+# merged file (checked through store export, which serializes every
+# record the index serves).
+echo "== sharded build smoke (3 shards, merge, cmp vs single-process; every game, both pool widths) =="
+for game in $games; do
+  for jobs in 1 4; do
+    shard_dir="$store_dir/shards_${game}_j$jobs"
+    mkdir -p "$shard_dir"
+    for i in 1 2 3; do
+      NETFORM_JOBS=$jobs dune exec bin/netform_cli.exe -- store build -n 6 --chunk 16 \
+        --game "$game" --shard $i/3 -o "$shard_dir/shard$i.nfs" --quiet
+    done
+    dune exec bin/netform_cli.exe -- store shards "$shard_dir" > /dev/null
+    NETFORM_JOBS=$jobs dune exec bin/netform_cli.exe -- store merge "$shard_dir" \
+      -o "$store_dir/merged_${game}_j$jobs.nfs" --quiet
+    dune exec bin/netform_cli.exe -- store verify "$store_dir/merged_${game}_j$jobs.nfs" > /dev/null
+    NETFORM_JOBS=$jobs dune exec bin/netform_cli.exe -- store build -n 6 --chunk 16 \
+      --game "$game" -o "$store_dir/single_${game}_j$jobs.nfs" --quiet
+    cmp "$store_dir/single_${game}_j$jobs.nfs" "$store_dir/merged_${game}_j$jobs.nfs"
+    # a directory of shard volumes must query exactly like the merged store
+    dune exec bin/netform_cli.exe -- store export "$shard_dir" -o "$store_dir/dir_${game}_j$jobs.csv" > /dev/null
+    dune exec bin/netform_cli.exe -- store export "$store_dir/merged_${game}_j$jobs.nfs" \
+      -o "$store_dir/merged_${game}_j$jobs.csv" > /dev/null
+    cmp "$store_dir/dir_${game}_j$jobs.csv" "$store_dir/merged_${game}_j$jobs.csv"
+    rm -rf "$shard_dir"
+  done
+  cmp "$store_dir/merged_${game}_j1.nfs" "$store_dir/merged_${game}_j4.nfs"
+  echo "sharded build smoke ($game): merge byte-identical to single-process build (both pool widths)"
+done
+
+# Full leg (opt-in, minutes of CPU): stream all of n=10 through a sharded
+# split and check the connected-class count against OEIS A001349.
+if [ "${NETFORM_COUNTS_FULL:-0}" = "1" ]; then
+  echo "== full counts leg (n=10 sharded streaming count vs A001349) =="
+  NETFORM_COUNTS_FULL=1 dune exec test/test_enum.exe -- -e sharding
+fi
+
 echo "== bench smoke pass (perf-trajectory JSON, jobs=4) =="
 # experiments are NOT skipped: foot7_petersen_nash_set — the orbit
 # quotient's flagship row — is guarded by bench_check and must be in

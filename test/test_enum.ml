@@ -111,6 +111,108 @@ let test_iter_connected_chunked () =
     (Invalid_argument "Unlabeled.iter_connected_chunked: chunk < 1") (fun () ->
       Unlabeled.iter_connected_chunked ~chunk:0 3 ignore)
 
+(* ---------------- sharded streaming ---------------- *)
+
+let shard_stream ?chunk ~shard n =
+  let acc = ref [] in
+  Unlabeled.iter_connected_sharded ?chunk ~shard n (fun arr ->
+      Array.iter (fun g -> acc := g :: !acc) arr);
+  List.rev !acc
+
+(* the partition contract: for every k, the multiset union of the k
+   shard streams is exactly the unsharded connected stream, the shards
+   are pairwise disjoint, and k = 1 preserves the order bit-for-bit *)
+let test_shard_partition_contract () =
+  for n = 3 to 7 do
+    let whole = Unlabeled.connected_graphs n in
+    let whole_keys = List.sort compare (List.map Graph.adjacency_key whole) in
+    List.iter
+      (fun k ->
+        let shards = List.init k (fun j -> shard_stream ~chunk:5 ~shard:(j + 1, k) n) in
+        (* exhaustive: the concatenation covers every class exactly once *)
+        let union_keys =
+          List.sort compare (List.concat_map (List.map Graph.adjacency_key) shards)
+        in
+        check_bool (Printf.sprintf "union n=%d k=%d" n k) true (union_keys = whole_keys);
+        (* disjoint: no key may appear in two shards *)
+        let seen = Hashtbl.create 256 in
+        List.iteri
+          (fun j shard ->
+            List.iter
+              (fun g ->
+                let key = Graph.adjacency_key g in
+                (match Hashtbl.find_opt seen key with
+                | Some j' ->
+                  Alcotest.failf "n=%d k=%d: class in shards %d and %d" n k (j' + 1) (j + 1)
+                | None -> ());
+                Hashtbl.add seen key j)
+              shard)
+          shards;
+        (* concatenation preserves the unsharded stream order — the
+           property store merges rest on *)
+        check_bool
+          (Printf.sprintf "concat order n=%d k=%d" n k)
+          true
+          (List.for_all2 Graph.equal whole (List.concat shards));
+        (* shard_total is exact below the streaming boundary *)
+        List.iteri
+          (fun j shard ->
+            check_int
+              (Printf.sprintf "shard_total n=%d %d/%d" n (j + 1) k)
+              (List.length shard)
+              (Option.get (Unlabeled.shard_total ~shard:(j + 1, k) n)))
+          shards)
+      [ 1; 2; 3; 5 ];
+    check_bool
+      (Printf.sprintf "k=1 identical n=%d" n)
+      true
+      (List.for_all2 Graph.equal whole (shard_stream ~shard:(1, 1) n))
+  done
+
+let test_shard_guards () =
+  List.iter
+    (fun shard ->
+      check_bool "bad shard rejected" true
+        (match Unlabeled.iter_connected_sharded ~shard 4 ignore with
+        | exception Invalid_argument _ -> true
+        | _ -> false))
+    [ (0, 2); (3, 2); (1, 0); (-1, 3) ];
+  check_bool "chunk < 1 rejected" true
+    (match Unlabeled.iter_connected_sharded ~chunk:0 ~shard:(1, 2) 4 ignore with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* above the streaming boundary the split runs over parent ranges; one
+   n=9 pass per shard proves the contract at scale: the counts sum to
+   the oracle AND the distinct canonical representatives also reach it,
+   which together force disjointness and exhaustiveness *)
+let test_shard_partition_n9 () =
+  let k = 4 in
+  let seen = Hashtbl.create (1 lsl 18) in
+  let total = ref 0 in
+  for i = 1 to k do
+    Unlabeled.iter_connected_sharded ~chunk:4096 ~shard:(i, k) 9 (fun arr ->
+        total := !total + Array.length arr;
+        Array.iter (fun g -> Hashtbl.replace seen (Graph.adjacency_key g) ()) arr)
+  done;
+  check_int "A001349(9) as multiset" (Option.get (Counts.connected_graphs 9)) !total;
+  check_int "A001349(9) as set" (Option.get (Counts.connected_graphs 9)) (Hashtbl.length seen)
+
+(* full-scale smoke (minutes of CPU): stream all of n=10 through a
+   sharded split and hit the OEIS oracle.  Opt-in via
+   NETFORM_COUNTS_FULL=1; ci.sh runs it in its full leg. *)
+let test_shard_count_n10_full () =
+  if Sys.getenv_opt "NETFORM_COUNTS_FULL" <> Some "1" then ()
+  else begin
+    let k = 4 in
+    let total = ref 0 in
+    for i = 1 to k do
+      Unlabeled.iter_connected_sharded ~chunk:8192 ~shard:(i, k) 10 (fun arr ->
+          total := !total + Array.length arr)
+    done;
+    check_int "A001349(10)" (Option.get (Counts.connected_graphs 10)) !total
+  end
+
 let test_unlabeled_all_canonical_distinct () =
   let graphs = Unlabeled.all_graphs 6 in
   let keys = List.map Graph.adjacency_key graphs in
@@ -194,6 +296,13 @@ let () =
           Alcotest.test_case "distinct at n=8" `Slow test_augmentation_distinct_n8;
           Alcotest.test_case "fold order" `Quick test_fold_matches_all_graphs;
           Alcotest.test_case "connected chunks" `Quick test_iter_connected_chunked;
+        ] );
+      ( "sharding",
+        [
+          Alcotest.test_case "partition contract" `Quick test_shard_partition_contract;
+          Alcotest.test_case "guards" `Quick test_shard_guards;
+          Alcotest.test_case "partition at n=9" `Slow test_shard_partition_n9;
+          Alcotest.test_case "n=10 count (NETFORM_COUNTS_FULL)" `Quick test_shard_count_n10_full;
         ] );
       ( "trees",
         [

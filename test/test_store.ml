@@ -77,25 +77,50 @@ let test_header_roundtrip () =
       let h' = Layout.decode_header s in
       check_int "n" h.Layout.n h'.Layout.n;
       check_bool "content" true (h.Layout.content = h'.Layout.content);
-      check_int "chunk size" h.Layout.chunk_size h'.Layout.chunk_size)
+      check_int "chunk size" h.Layout.chunk_size h'.Layout.chunk_size;
+      check_bool "shard" true (h.Layout.shard = h'.Layout.shard))
     [
-      { Layout.n = 1; content = Layout.classic ~with_ucg:false; chunk_size = 1 };
-      { Layout.n = 7; content = Layout.classic ~with_ucg:true; chunk_size = 512 };
-      { Layout.n = 62; content = Layout.classic ~with_ucg:false; chunk_size = 100_000 };
-      { Layout.n = 5; content = Layout.Game { tag = 2; union = false }; chunk_size = 8 };
-      { Layout.n = 5; content = Layout.Game { tag = 0xBEEF; union = true }; chunk_size = 8 };
+      { Layout.n = 1; content = Layout.classic ~with_ucg:false; chunk_size = 1; shard = None };
+      { Layout.n = 7; content = Layout.classic ~with_ucg:true; chunk_size = 512; shard = None };
+      {
+        Layout.n = 62;
+        content = Layout.classic ~with_ucg:false;
+        chunk_size = 100_000;
+        shard = None;
+      };
+      { Layout.n = 5; content = Layout.Game { tag = 2; union = false }; chunk_size = 8; shard = None };
+      {
+        Layout.n = 5;
+        content = Layout.Game { tag = 0xBEEF; union = true };
+        chunk_size = 8;
+        shard = None;
+      };
+      { Layout.n = 7; content = Layout.classic ~with_ucg:true; chunk_size = 512; shard = Some (1, 2) };
+      {
+        Layout.n = 9;
+        content = Layout.Game { tag = 2; union = false };
+        chunk_size = 512;
+        shard = Some (16, 16);
+      };
+      { Layout.n = 6; content = Layout.classic ~with_ucg:false; chunk_size = 8; shard = Some (3, 5) };
     ];
   raises_invalid "n out of range" (fun () ->
       Layout.encode_header
-        { Layout.n = 63; content = Layout.classic ~with_ucg:false; chunk_size = 1 });
+        { Layout.n = 63; content = Layout.classic ~with_ucg:false; chunk_size = 1; shard = None });
   raises_invalid "chunk out of range" (fun () ->
       Layout.encode_header
-        { Layout.n = 5; content = Layout.classic ~with_ucg:false; chunk_size = 0 });
+        { Layout.n = 5; content = Layout.classic ~with_ucg:false; chunk_size = 0; shard = None });
   raises_invalid "tag out of range" (fun () ->
       Layout.encode_header
-        { Layout.n = 5; content = Layout.Game { tag = 0x10000; union = false }; chunk_size = 1 });
+        {
+          Layout.n = 5;
+          content = Layout.Game { tag = 0x10000; union = false };
+          chunk_size = 1;
+          shard = None;
+        });
   let good =
-    Layout.encode_header { Layout.n = 5; content = Layout.classic ~with_ucg:true; chunk_size = 8 }
+    Layout.encode_header
+      { Layout.n = 5; content = Layout.classic ~with_ucg:true; chunk_size = 8; shard = None }
   in
   raises_corrupt "bad magic" (fun () -> Layout.decode_header ("X" ^ String.sub good 1 23));
   raises_corrupt "short" (fun () -> Layout.decode_header (String.sub good 0 10))
@@ -120,6 +145,30 @@ let test_content_flags_contract () =
     (fun flags ->
       raises_corrupt "unknown bits" (fun () -> ignore (Layout.content_of_flags flags)))
     [ 2 lor 1; 4; 8; 0x2 lor 0x8; 0x2 lor (1 lsl 24); 1 lsl 8 ]
+
+(* shard metadata rides in flag bits 24..31, append-only: an unsharded
+   header encodes them as zero, so every pre-shard store byte is
+   untouched (the golden md5 tests below pin that), and the codecs
+   roundtrip every legal (i, k) while rejecting malformed bit patterns *)
+let test_shard_flags_contract () =
+  check_int "unsharded" 0 (Layout.shard_flag_bits None);
+  check_bool "zero decodes to None" true (Layout.shard_of_flags 0 = None);
+  check_int "1/2" (1 lsl 28) (Layout.shard_flag_bits (Some (1, 2)));
+  check_int "16/16" ((15 lsl 24) lor (15 lsl 28)) (Layout.shard_flag_bits (Some (16, 16)));
+  for k = 2 to Layout.max_shards do
+    for i = 1 to k do
+      let bits = Layout.shard_flag_bits (Some (i, k)) in
+      check_bool "only bits 24..31" true (bits land 0xFFFFFF = 0);
+      check_bool "roundtrip" true (Layout.shard_of_flags bits = Some (i, k))
+    done
+  done;
+  List.iter
+    (fun s -> raises_invalid "bad shard" (fun () -> ignore (Layout.shard_flag_bits (Some s))))
+    [ (0, 2); (3, 2); (1, 1); (1, 17); (1, 0) ];
+  (* an index nibble without a count nibble, or index > count, is corrupt *)
+  List.iter
+    (fun bits -> raises_corrupt "bad shard bits" (fun () -> ignore (Layout.shard_of_flags bits)))
+    [ 1 lsl 24; 3 lsl 24; (2 lsl 24) lor (1 lsl 28) ]
 
 let sample_records with_ucg =
   let mk g bcg ucg =
@@ -330,7 +379,7 @@ let test_resume_after_kill_mid_chunk () =
         ~finally:(fun () -> cleanup resumed_path)
         (fun () ->
           let header =
-            { Layout.n = 5; content = Layout.classic ~with_ucg:true; chunk_size = 4 }
+            { Layout.n = 5; content = Layout.classic ~with_ucg:true; chunk_size = 4; shard = None }
           in
           let w = Writer.create ~path:resumed_path ~header in
           let full = Reader.scan_string pristine in
@@ -543,6 +592,188 @@ let test_game_figure_points () =
       check_string "game curves identical" (Nf_analysis.Figures.game_csv live)
         (Nf_analysis.Figures.game_csv from_store))
 
+(* --- sharded builds / merge ---------------------------------------------- *)
+
+let temp_dir () =
+  let path = Filename.temp_file "nf_store_shards" "" in
+  Sys.remove path;
+  Sys.mkdir path 0o755;
+  path
+
+let with_temp_dir f =
+  let dir = temp_dir () in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter (fun name -> Sys.remove (Filename.concat dir name)) (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+let build_shards ~dir ?game ?with_ucg ?(chunk = 4) ~k n =
+  List.init k (fun j ->
+      let path = Filename.concat dir (Printf.sprintf "shard_%02d_of_%02d.nfs" (j + 1) k) in
+      Build.build ?game ?with_ucg ~shard:(j + 1, k) ~chunk ~path ~n ())
+
+let test_shard_build_guards () =
+  raises_invalid "index zero" (fun () -> Build.build ~shard:(0, 3) ~path:"/tmp/never.nfs" ~n:4 ());
+  raises_invalid "index above count" (fun () ->
+      Build.build ~shard:(4, 3) ~path:"/tmp/never.nfs" ~n:4 ());
+  raises_invalid "count above max" (fun () ->
+      Build.build ~shard:(1, 17) ~path:"/tmp/never.nfs" ~n:4 ())
+
+(* --shard 1/1 IS the unsharded build: same bytes, unsharded header *)
+let test_shard_one_way_byte_parity () =
+  with_store ~chunk:4 5 (fun whole _ ->
+      let pristine = read_file whole in
+      let path = temp_store () in
+      Fun.protect
+        ~finally:(fun () -> cleanup path)
+        (fun () ->
+          let outcome = Build.build ~shard:(1, 1) ~chunk:4 ~path ~n:5 () in
+          check_bool "outcome unsharded" true (outcome.Build.shard = None);
+          check_string "bytes identical" pristine (read_file path);
+          check_bool "header unsharded" true
+            ((Reader.scan ~path).Reader.header.Layout.shard = None)))
+
+(* the tentpole acceptance: k shard volumes, built independently, merge
+   into bytes identical to a single-process build — classic and game
+   stores alike *)
+let test_shard_merge_byte_parity () =
+  List.iter
+    (fun (game, k) ->
+      let build_whole path =
+        ignore (Build.build ?game ~chunk:4 ~path ~n:5 ())
+      in
+      let whole = temp_store () in
+      Fun.protect
+        ~finally:(fun () -> cleanup whole)
+        (fun () ->
+          build_whole whole;
+          let pristine = read_file whole in
+          with_temp_dir (fun dir ->
+              let outcomes = build_shards ~dir ?game ~k 5 in
+              check_int "records partition" 21
+                (List.fold_left (fun acc o -> acc + o.Build.records) 0 outcomes);
+              List.iteri
+                (fun j o -> check_bool "shard recorded" true (o.Build.shard = Some (j + 1, k)))
+                outcomes;
+              let out = Filename.concat dir "merged.nfs" in
+              let m = Merge.merge_dir ~dir ~out () in
+              check_int "merged shards" k m.Merge.shards;
+              check_int "merged records" 21 m.Merge.records;
+              check_string "merge byte-identical to single-process build" pristine
+                (read_file out))))
+    [ (None, 3); (None, 5); (Some "transfers", 3) ]
+
+(* a directory of shard volumes loads and queries as the merged store *)
+let test_shard_directory_index_query () =
+  with_temp_dir (fun dir ->
+      ignore (build_shards ~dir ~k:3 5);
+      let idx = Index.load ~path:dir in
+      check_int "all classes" 21 (Index.length idx);
+      check_bool "reads as whole" true (Index.shard idx = None);
+      check_int "n" 5 (Index.n idx);
+      let out = Filename.concat dir "merged.nfs" in
+      ignore (Merge.merge_dir ~dir ~out ());
+      let merged = Index.load ~path:out in
+      check_string "directory query = merged query" (Query.to_csv merged) (Query.to_csv idx);
+      List.iter
+        (fun alpha ->
+          Alcotest.check (Alcotest.list graph) "alpha parity"
+            (Query.bcg_stable_graphs merged ~alpha)
+            (Query.bcg_stable_graphs idx ~alpha))
+        [ Rat.make 1 2; Rat.one; Rat.of_int 2 ];
+      (* one volume alone still loads, and owns up to being a slice *)
+      let one = Index.load ~path:(Filename.concat dir "shard_02_of_03.nfs") in
+      check_bool "volume shard" true (Index.shard one = Some (2, 3));
+      check_bool "volume is a strict slice" true (Index.length one < 21))
+
+(* Reader.verify on a damaged shard volume pins the offending chunk and
+   the byte offset its frame starts at *)
+let test_verify_damaged_shard_message () =
+  with_temp_dir (fun dir ->
+      let o2 =
+        match build_shards ~dir ~k:3 5 with [ _; o2; _ ] -> o2 | _ -> assert false
+      in
+      let path = o2.Build.path in
+      let bytes = read_file path in
+      (* locate chunk 1's frame: decode chunk 0 and take its end *)
+      let header = Layout.decode_header bytes in
+      let _, _, chunk1_start =
+        Layout.decode_chunk ~content:header.Layout.content bytes ~pos:Layout.header_size
+      in
+      let damaged = Bytes.of_string bytes in
+      let at = chunk1_start + Layout.chunk_header_size + 2 in
+      Bytes.set damaged at (Char.chr (Char.code (Bytes.get damaged at) lxor 0x40));
+      write_file path (Bytes.to_string damaged);
+      (match Reader.verify ~path with
+      | Ok _ -> Alcotest.fail "damaged shard verified"
+      | Error msg ->
+        let expected = Printf.sprintf "chunk 1 (frame at byte %d):" chunk1_start in
+        check_bool
+          (Printf.sprintf "message %S pins %S" msg expected)
+          true
+          (String.length msg >= String.length expected
+          && String.sub msg 0 (String.length expected) = expected));
+      (* a merge must refuse the damaged family, naming the volume *)
+      check_bool "merge refuses damaged volume" true
+        (match Merge.merge_dir ~dir ~out:(Filename.concat dir "m.nfs") () with
+        | exception Failure msg ->
+          let rec contains i =
+            i + String.length path <= String.length msg
+            && (String.sub msg i (String.length path) = path || contains (i + 1))
+          in
+          contains 0
+        | _ -> false))
+
+let test_merge_validation () =
+  with_temp_dir (fun dir ->
+      let outcomes = build_shards ~dir ~k:3 5 in
+      let paths = List.map (fun o -> o.Build.path) outcomes in
+      let out = Filename.concat dir "out.nfs" in
+      let fails what ps =
+        check_bool what true
+          (match Merge.merge ~paths:ps ~out () with exception Failure _ -> true | _ -> false)
+      in
+      (match paths with
+      | [ p1; p2; p3 ] ->
+        fails "missing shard" [ p1; p3 ];
+        fails "duplicate shard" [ p1; p2; p2 ];
+        fails "no volumes" [];
+        (* a foreign family member: same split but different chunk size *)
+        let alien = Filename.concat dir "alien.nfs" in
+        ignore (Build.build ~shard:(3, 3) ~chunk:2 ~path:alien ~n:5 ());
+        fails "mixed chunk size" [ p1; p2; alien ];
+        Sys.remove alien;
+        (* an unsharded store is not a shard volume *)
+        let whole = Filename.concat dir "whole.nfs" in
+        ignore (Build.build ~chunk:4 ~path:whole ~n:5 ());
+        fails "unsharded input" [ p1; p2; whole ];
+        Sys.remove whole;
+        ignore (Merge.merge ~paths ~out ());
+        fails "existing output refused" paths;
+        ignore (Merge.merge ~force:true ~paths ~out ())
+      | _ -> Alcotest.fail "expected 3 shards"))
+
+(* a shard volume crash-resumes byte-identically, like any store: the
+   header's shard bits alone reconstruct the slice iterator *)
+let test_shard_resume_parity () =
+  with_temp_dir (fun dir ->
+      let outcomes = build_shards ~dir ~k:3 5 in
+      let path = (List.nth outcomes 1).Build.path in
+      let pristine = read_file path in
+      let resumed_path = temp_store () in
+      Fun.protect
+        ~finally:(fun () -> cleanup resumed_path)
+        (fun () ->
+          write_file
+            (Writer.part_path resumed_path)
+            (String.sub pristine 0 (String.length pristine / 2));
+          let outcome = Build.resume ~path:resumed_path () in
+          check_bool "resumed shard" true (outcome.Build.shard = Some (2, 3));
+          check_string "byte identical" pristine (read_file resumed_path)))
+
 (* --- writer details ----------------------------------------------------- *)
 
 let test_writer_guards () =
@@ -551,7 +782,7 @@ let test_writer_guards () =
     ~finally:(fun () -> cleanup path)
     (fun () ->
       let header =
-        { Layout.n = 4; content = Layout.classic ~with_ucg:false; chunk_size = 2 }
+        { Layout.n = 4; content = Layout.classic ~with_ucg:false; chunk_size = 2; shard = None }
       in
       let w = Writer.create ~path ~header in
       raises_invalid "empty chunk" (fun () -> Writer.append_chunk w [||]);
@@ -629,6 +860,7 @@ let () =
         [
           Alcotest.test_case "header" `Quick test_header_roundtrip;
           Alcotest.test_case "content flags" `Quick test_content_flags_contract;
+          Alcotest.test_case "shard flags" `Quick test_shard_flags_contract;
           Alcotest.test_case "chunk" `Quick test_chunk_roundtrip;
           Alcotest.test_case "footer" `Quick test_footer_roundtrip;
           qcheck prop_chunk_codec_roundtrip;
@@ -671,6 +903,16 @@ let () =
           Alcotest.test_case "mismatch rejected" `Quick test_game_store_mismatch_rejected;
           Alcotest.test_case "resume parity" `Quick test_game_store_resume_parity;
           Alcotest.test_case "figure points" `Quick test_game_figure_points;
+        ] );
+      ( "sharding",
+        [
+          Alcotest.test_case "build guards" `Quick test_shard_build_guards;
+          Alcotest.test_case "1/1 byte parity" `Quick test_shard_one_way_byte_parity;
+          Alcotest.test_case "merge byte parity" `Quick test_shard_merge_byte_parity;
+          Alcotest.test_case "directory index/query" `Quick test_shard_directory_index_query;
+          Alcotest.test_case "damaged shard message" `Quick test_verify_damaged_shard_message;
+          Alcotest.test_case "merge validation" `Quick test_merge_validation;
+          Alcotest.test_case "shard resume parity" `Quick test_shard_resume_parity;
         ] );
       ( "writer",
         [
