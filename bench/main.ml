@@ -284,10 +284,74 @@ let store_rows () =
       Printf.printf
         "store sharded n=7 (bcg): single build %.2fs, %d shards + merge %.2fs, bytes identical\n%!"
         single_t k sharded_t;
+      (* the nf_serve acceptance rows, off the stores already built above.
+
+         warm_query_n7: a live daemon on a unix socket over the n=7
+         BCG-only store, timed per stable-at round trip (client JSON line
+         -> pool dispatch -> α-index stab -> response line) with the
+         index already warm.  interval_index_n8: the α-interval index
+         over all 11117 n=8 classes — mmap streaming pass + build + 1000
+         stabbing queries, one-shot end to end. *)
+      let sock = Filename.temp_file "netform_bench_serve" ".sock" in
+      Sys.remove sock;
+      let server =
+        Domain.spawn (fun () ->
+            Nf_serve.Server.serve ~report:ignore
+              ~addr:(Nf_serve.Server.Unix_socket sock) ~path:single ())
+      in
+      let rec await tries =
+        if tries = 0 then failwith "bench: serve socket never appeared"
+        else if not (Sys.file_exists sock) then begin
+          Unix.sleepf 0.05;
+          await (tries - 1)
+        end
+      in
+      await 200;
+      let client = Nf_serve.Client.connect sock in
+      let alphas = Array.of_list Nf_analysis.Sweep.paper_grid in
+      let round_trip i =
+        let alpha = alphas.(i mod Array.length alphas) in
+        let resp =
+          Nf_serve.Client.request client
+            (Nf_serve.Protocol.Stable_at { game = None; alpha })
+        in
+        assert (Nf_serve.Protocol.response_ok resp)
+      in
+      (* first pass builds the daemon's α-index; then time warm trips *)
+      round_trip 0;
+      let reqs = 200 in
+      let (), served_t = time (fun () -> for i = 1 to reqs do round_trip i done) in
+      ignore (Nf_serve.Client.request client Nf_serve.Protocol.Shutdown);
+      Nf_serve.Client.close client;
+      Domain.join server;
+      let warm_query = served_t /. float_of_int reqs in
+      Printf.printf "serve n=7 (bcg): %d warm stable-at round trips, %.0f ns each\n%!" reqs
+        (warm_query *. 1e9);
+      let (), index8_t =
+        time (fun () ->
+            let m = Nf_serve.Mmap_reader.open_store ~path:path8 () in
+            let count = Nf_serve.Mmap_reader.length m in
+            let regions = Array.make count [] in
+            Nf_serve.Mmap_reader.iter m (fun i r -> regions.(i) <- [ r.Nf_store.Layout.bcg ]);
+            let idx = Nf_serve.Alpha_index.build ~count ~pieces:(Array.get regions) in
+            let eps = Nf_serve.Alpha_index.endpoints idx in
+            assert (Array.length eps > 0);
+            let hits = ref 0 in
+            for i = 0 to 999 do
+              let alpha = eps.(i mod Array.length eps) in
+              hits := !hits + List.length (Nf_serve.Alpha_index.stable_at idx ~alpha)
+            done;
+            assert (!hits > 0);
+            Nf_serve.Mmap_reader.close m)
+      in
+      Printf.printf
+        "serve n=8: mmap pass + alpha-index build + 1000 endpoint stabs in %.3fs\n%!" index8_t;
       [ (Printf.sprintf "netform/store/cold_build_n%d" store_n, Some (cold *. 1e9));
         (Printf.sprintf "netform/store/warm_figures_n%d" store_n, Some (warm *. 1e9));
         ("netform/store/cold_build_n8_smoke", Some (cold8 *. 1e9));
-        ("netform/store/sharded_build_n7", Some (sharded_t *. 1e9)) ])
+        ("netform/store/sharded_build_n7", Some (sharded_t *. 1e9));
+        ("netform/serve/warm_query_n7", Some (warm_query *. 1e9));
+        ("netform/serve/interval_index_n8", Some (index8_t *. 1e9)) ])
 
 (* ---------------- machine-readable report ---------------- *)
 

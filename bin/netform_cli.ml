@@ -674,10 +674,10 @@ let store_export_cmd =
        ~doc:"Dump a store as the annotate-compatible CSV atlas (byte-identical to Dataset.to_csv)")
     Term.(const store_export $ jobs_opt $ store_path_arg $ out)
 
-let store_merge dir out force quiet =
+let store_merge dir out force streaming quiet =
   setup_logs ();
   let report = if quiet then ignore else report_line in
-  match Nf_store.Merge.merge_dir ~force ~report ~dir ~out () with
+  match Nf_store.Merge.merge_dir ~force ~streaming ~report ~dir ~out () with
   | o ->
     Printf.printf "merged %d shards into %s: n=%d game=%s, %d classes in %d chunks in %.2fs\n"
       o.Nf_store.Merge.shards o.Nf_store.Merge.path o.Nf_store.Merge.n o.Nf_store.Merge.game
@@ -701,13 +701,22 @@ let store_merge_cmd =
       & info [ "o"; "out" ] ~docv:"STORE" ~doc:"Canonical store file to write.")
   in
   let force = Arg.(value & flag & info [ "force" ] ~doc:"Overwrite an existing store.") in
+  let streaming =
+    Arg.(
+      value & flag
+      & info [ "streaming" ]
+          ~doc:
+            "Constant-memory merge: verify and re-chunk each volume straight off its input \
+             channel, one decoded chunk resident at a time, instead of loading whole volumes \
+             as strings.  The output bytes are identical either way.")
+  in
   let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No per-volume progress lines.") in
   Cmd.v
     (Cmd.info "merge"
        ~doc:
          "Reassemble a directory of verified shard volumes into one canonical store, \
           byte-identical to a single-process build")
-    Term.(const store_merge $ dir $ out $ force $ quiet)
+    Term.(const store_merge $ dir $ out $ force $ streaming $ quiet)
 
 let store_shards path =
   setup_logs ();
@@ -781,13 +790,315 @@ let store_cmd =
       store_merge_cmd; store_shards_cmd;
     ]
 
+(* ---------------- serve / query ---------------- *)
+
+module Serve = Nf_serve
+
+let serve_run jobs path socket port cache_chunks quiet =
+  setup jobs;
+  match (socket, port) with
+  | Some _, Some _ ->
+    Printf.eprintf "error: pass either --socket or --port, not both\n";
+    1
+  | socket, port -> (
+    let addr =
+      match (socket, port) with
+      | _, Some p -> Serve.Server.Tcp p
+      | Some s, None -> Serve.Server.Unix_socket s
+      | None, None -> Serve.Server.Unix_socket (path ^ ".sock")
+    in
+    let report = if quiet then ignore else report_line in
+    match Serve.Server.serve ?cache_chunks ~report ~addr ~path () with
+    | () -> 0
+    | exception Nf_store.Layout.Corrupt msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+    | exception Failure msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+    | exception Unix.Unix_error (e, fn, arg) ->
+      Printf.eprintf "error: %s: %s %s\n" (Unix.error_message e) fn arg;
+      1)
+
+let serve_cmd =
+  let store =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"STORE" ~doc:"Store file or shard directory to serve.")
+  in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Unix socket to listen on (default: $(i,STORE).sock).")
+  in
+  let port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "port" ] ~docv:"P" ~doc:"TCP port to listen on (binds 127.0.0.1 only).")
+  in
+  let cache_chunks =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cache-chunks" ] ~docv:"K"
+          ~doc:"Decoded-chunk cache bound of the mmap read path (default 64; 0 disables).")
+  in
+  let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No start/shutdown lines.") in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Long-running atlas query daemon: mmap-backed reads, per-game alpha-interval \
+          indexes, line-delimited JSON protocol (stable-at | entry | figure-points | export \
+          | stats | health | shutdown); clean SIGINT/SIGTERM shutdown")
+    Term.(const serve_run $ jobs_opt $ store $ socket $ port $ cache_chunks $ quiet)
+
+(* the one output convention shared by the in-process and --remote
+   paths: stable-at prints one graph6 per line, entry prints `id N` then
+   one `LABEL REGION` line per column, figures/export print the CSV —
+   so `cmp` between the two modes IS the served-vs-Query parity check *)
+let emit_csv ~csv text =
+  match csv with
+  | Some file ->
+    let oc = open_out file in
+    output_string oc text;
+    close_out oc;
+    Printf.eprintf "wrote %s\n" file
+  | None -> print_string text
+
+let query_local ~path ~game ~op ~csv =
+  let index = Nf_store.Index.load ~path in
+  let game =
+    match game with
+    | Some g -> g
+    | None -> (
+      match Nf_store.Index.content index with
+      | Nf_store.Layout.Classic _ -> "bcg"
+      | Nf_store.Layout.Game _ -> Nf_store.Index.game index)
+  in
+  match op with
+  | `Stable_at alpha ->
+    List.iter
+      (fun g -> print_endline (Nf_graph.Graph6.encode g))
+      (Nf_store.Query.game_stable_graphs index ~game ~alpha);
+    0
+  | `Entry g6 -> (
+    let entries = Nf_store.Index.entries index in
+    let found = ref None in
+    Array.iteri
+      (fun i r -> if !found = None && r.Nf_store.Layout.graph6 = g6 then found := Some (i, r))
+      entries;
+    match !found with
+    | None ->
+      Printf.eprintf "error: no record for graph6 %S\n" g6;
+      1
+    | Some (i, r) ->
+      Printf.printf "id %d\n" i;
+      List.iter
+        (fun (k, v) -> Printf.printf "%s %s\n" k v)
+        (Serve.Service.region_strings_of ~content:(Nf_store.Index.content index) r);
+      0)
+  | `Figures ->
+    let text =
+      match Nf_store.Index.content index with
+      | Nf_store.Layout.Classic { with_ucg = true } ->
+        Nf_analysis.Figures.to_csv (Nf_store.Query.figure_points index ())
+      | Nf_store.Layout.Classic { with_ucg = false } | Nf_store.Layout.Game _ ->
+        Nf_analysis.Figures.game_csv (Nf_store.Query.game_figure_points index ())
+    in
+    emit_csv ~csv text;
+    0
+  | `Export ->
+    emit_csv ~csv (Nf_store.Query.to_csv index);
+    0
+  | `Stats ->
+    Printf.printf "n %d\ngame %s\nrecords %d\n" (Nf_store.Index.n index)
+      (Nf_store.Index.game index) (Nf_store.Index.length index);
+    0
+  | `Health | `Shutdown ->
+    Printf.eprintf "error: this operation needs a daemon (pass --remote ADDR)\n";
+    1
+
+let query_remote ~addr ~game ~op ~csv =
+  let client = Serve.Client.connect addr in
+  Fun.protect ~finally:(fun () -> Serve.Client.close client) @@ fun () ->
+  let req =
+    match op with
+    | `Stable_at alpha -> Serve.Protocol.Stable_at { game; alpha }
+    | `Entry g6 -> Serve.Protocol.Entry { graph6 = g6 }
+    | `Figures -> Serve.Protocol.Figure_points { grid = None }
+    | `Export -> Serve.Protocol.Export
+    | `Stats -> Serve.Protocol.Stats
+    | `Health -> Serve.Protocol.Health
+    | `Shutdown -> Serve.Protocol.Shutdown
+  in
+  let resp = Serve.Client.request client req in
+  if not (Serve.Protocol.response_ok resp) then begin
+    Printf.eprintf "error: %s\n" (Serve.Protocol.response_error resp);
+    1
+  end
+  else
+    let malformed () =
+      Printf.eprintf "error: malformed response\n";
+      1
+    in
+    let str_list j = List.filter_map Serve.Json.to_str (Option.value ~default:[] (Serve.Json.to_list j)) in
+    match op with
+    | `Stable_at _ -> (
+      match Serve.Json.member "graphs" resp with
+      | Some gs ->
+        List.iter print_endline (str_list gs);
+        0
+      | None -> malformed ())
+    | `Entry _ -> (
+      match (Serve.Json.member "id" resp, Serve.Json.member "regions" resp) with
+      | Some (Serve.Json.Int i), Some (Serve.Json.Obj kvs) ->
+        Printf.printf "id %d\n" i;
+        List.iter
+          (fun (k, v) ->
+            match Serve.Json.to_str v with Some s -> Printf.printf "%s %s\n" k s | None -> ())
+          kvs;
+        0
+      | _ -> malformed ())
+    | `Figures | `Export -> (
+      match Option.bind (Serve.Json.member "csv" resp) Serve.Json.to_str with
+      | Some text ->
+        emit_csv ~csv text;
+        0
+      | None -> malformed ())
+    | `Stats | `Health -> (
+      match resp with
+      | Serve.Json.Obj kvs ->
+        List.iter
+          (fun (k, v) ->
+            if k <> "ok" && k <> "op" then
+              match v with
+              | Serve.Json.Int i -> Printf.printf "%s %d\n" k i
+              | Serve.Json.Str s -> Printf.printf "%s %s\n" k s
+              | v -> Printf.printf "%s %s\n" k (Serve.Json.to_string v))
+          kvs;
+        0
+      | _ -> malformed ())
+    | `Shutdown ->
+      print_endline "server shutting down";
+      0
+
+let query_run jobs target remote game stable_at entry figures export stats health shutdown csv =
+  setup jobs;
+  let ops =
+    List.concat
+      [
+        (match stable_at with Some a -> [ `Stable_at a ] | None -> []);
+        (match entry with Some g -> [ `Entry g ] | None -> []);
+        (if figures then [ `Figures ] else []);
+        (if export then [ `Export ] else []);
+        (if stats then [ `Stats ] else []);
+        (if health then [ `Health ] else []);
+        (if shutdown then [ `Shutdown ] else []);
+      ]
+  in
+  match ops with
+  | [] ->
+    Printf.eprintf
+      "error: pick one operation (--stable-at, --entry, --figures, --export, --stats, \
+       --health, --shutdown)\n";
+    1
+  | _ :: _ :: _ ->
+    Printf.eprintf "error: pick exactly one operation\n";
+    1
+  | [ op ] -> (
+    let run () =
+      if remote then query_remote ~addr:target ~game ~op ~csv
+      else query_local ~path:target ~game ~op ~csv
+    in
+    match run () with
+    | code -> code
+    | exception Nf_store.Layout.Corrupt msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+    | exception Invalid_argument msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+    | exception Failure msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+    | exception Sys_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+    | exception Unix.Unix_error (e, fn, arg) ->
+      Printf.eprintf "error: %s: %s %s\n" (Unix.error_message e) fn arg;
+      1)
+
+let query_cmd =
+  let target =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TARGET"
+          ~doc:
+            "A store file or shard directory; with $(b,--remote), a daemon address (a unix \
+             socket path, or $(i,HOST:PORT)).")
+  in
+  let remote =
+    Arg.(
+      value & flag
+      & info [ "remote" ]
+          ~doc:
+            "Send the query to a running $(b,netform serve) daemon instead of answering \
+             in-process.  Outputs are byte-identical between the two modes.")
+  in
+  let game =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "game" ] ~docv:"GAME"
+          ~doc:
+            "Game column to query (default: bcg on a classic store, the store's own game \
+             otherwise).")
+  in
+  let stable_at =
+    Arg.(
+      value
+      & opt (some alpha_conv) None
+      & info [ "stable-at" ] ~docv:"ALPHA"
+          ~doc:"Print the graph6 of every class stable at this exact link cost, one per line.")
+  in
+  let entry =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "entry" ] ~docv:"G6" ~doc:"Look up one stored class by its graph6 string.")
+  in
+  let figures =
+    Arg.(value & flag & info [ "figures" ] ~doc:"Print the figure-sweep CSV for the store.")
+  in
+  let export =
+    Arg.(value & flag & info [ "export" ] ~doc:"Print the full atlas CSV (like store export).")
+  in
+  let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print store/daemon statistics.") in
+  let health = Arg.(value & flag & info [ "health" ] ~doc:"Daemon liveness check (--remote).") in
+  let shutdown =
+    Arg.(value & flag & info [ "shutdown" ] ~doc:"Ask the daemon to shut down cleanly (--remote).")
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:
+         "One atlas query, answered in-process from a store, or by a $(b,netform serve) \
+          daemon with $(b,--remote) — byte-identical either way")
+    Term.(
+      const query_run $ jobs_opt $ target $ remote $ game $ stable_at $ entry $ figures
+      $ export $ stats $ health $ shutdown $ csv_opt)
+
 let main_cmd =
   Cmd.group
     (Cmd.info "netform" ~version:"1.0.0"
        ~doc:"Bilateral vs unilateral network formation (Corbo & Parkes, PODC 2005)")
     [
       stability_cmd; named_cmd; games_cmd; enumerate_cmd; sweep_cmd; dynamics_cmd;
-      annotate_cmd; experiments_cmd; store_cmd;
+      annotate_cmd; experiments_cmd; store_cmd; serve_cmd; query_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -19,17 +19,15 @@ let named_graphs =
       ("k33", Nf_named.Families.complete_bipartite 3 3);
     ]
 
+(* Exact forms ("2", "7/2") go through Rat.of_string and never touch a
+   float; only decimal literals ("0.5") take the dyadic float route. *)
 let alpha_of_string s =
   let s = String.trim s in
-  try
-    match String.index_opt s '/' with
-    | Some k ->
-      Ok
-        (Rat.make
-           (int_of_string (String.sub s 0 k))
-           (int_of_string (String.sub s (k + 1) (String.length s - k - 1))))
-    | None -> Ok (Sweep.dyadic (float_of_string s))
-  with _ -> Error (Printf.sprintf "bad link cost %S (use e.g. 2, 0.5 or 7/2)" s)
+  match Rat.of_string_opt s with
+  | Some r -> Ok r
+  | None -> (
+    try Ok (Sweep.dyadic (float_of_string s))
+    with _ -> Error (Printf.sprintf "bad link cost %S (use e.g. 2, 0.5 or 7/2)" s))
 
 let graph_of_spec spec =
   match List.assoc_opt (String.lowercase_ascii spec) named_graphs with

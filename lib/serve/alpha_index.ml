@@ -1,0 +1,132 @@
+(* α-interval index: stable-at queries as binary search + range scan.
+
+   Soundness argument (DESIGN.md §13).  Collect every finite endpoint of
+   every stability piece (interval column, or each interval of a UCG
+   union) into the sorted distinct array e_0 < ... < e_{k-1}.  These
+   split the extended rational line into 2k+1 *elementary positions*:
+
+     position 0      = (-inf, e_0)
+     position 2i+1   = { e_i }            (the endpoint itself)
+     position 2i+2   = (e_i, e_{i+1})     (gap; (e_{k-1}, +inf) at 2k)
+
+   Every stability piece is a union of consecutive elementary positions,
+   because each of its endpoints is one of the e_i — this is where the
+   open/closed semantics are preserved *exactly*: a closed lower bound
+   at e_i starts the range at position 2i+1, an open one at 2i+2, and
+   dually for the upper bound.  And every query point α lands in exactly
+   one elementary position (binary search: if α equals some e_i, it's
+   2i+1, else 2j for j = #endpoints below α), where membership of each
+   piece is constant.  So "which records are stable at α" = "which
+   ranges cover position p" — a segment-tree stabbing query.
+
+   Each piece's position range is inserted into the canonical O(log)
+   node decomposition of an iterative segment tree; a point query
+   collects the node lists on the leaf-to-root path.  When a record's
+   pieces are pairwise disjoint (an interval region, or Union.to_list's
+   normal form) its id appears at most once across that path — a node's
+   span is contained in the range of the piece that inserted it, so two
+   insertions of one record can never own the same node; overlapping
+   pieces can place an id on two path nodes, and the final sort_uniq
+   collapses exactly those repeats.  The merged answer — ascending,
+   each id once — matches [Nf_store.Query.game_entries] exactly. *)
+
+module Interval = Nf_util.Interval
+module Rat = Nf_util.Rat
+
+type t = {
+  endpoints : Rat.t array;  (* sorted, distinct, finite *)
+  size : int;  (* leaves = 2k+1 elementary positions *)
+  nodes : int array array;  (* 2*size heap-shaped node lists, each ascending *)
+  records : int;
+}
+
+let endpoints t = t.endpoints
+let records t = t.records
+
+let build ~count ~pieces =
+  let eps = ref [] in
+  let each_bound i f =
+    List.iter
+      (fun iv ->
+        match Interval.bounds iv with
+        | None -> ()
+        | Some (lo, lo_closed, hi, hi_closed) -> f lo lo_closed hi hi_closed)
+      (pieces i)
+  in
+  for i = 0 to count - 1 do
+    each_bound i (fun lo _ hi _ ->
+        (match lo with Interval.Finite r -> eps := r :: !eps | _ -> ());
+        match hi with Interval.Finite r -> eps := r :: !eps | _ -> ())
+  done;
+  let endpoints = Array.of_list (List.sort_uniq Rat.compare !eps) in
+  let k = Array.length endpoints in
+  let size = (2 * k) + 1 in
+  let nodes = Array.make (2 * size) [] in
+  let rank r =
+    (* exact index of r in endpoints — r is always present by construction *)
+    let lo = ref 0 and hi = ref (k - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if Rat.compare endpoints.(mid) r < 0 then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  in
+  let add_range a b id =
+    (* canonical decomposition of inclusive position range [a, b] *)
+    let a = ref (a + size) and b = ref (b + size + 1) in
+    while !a < !b do
+      if !a land 1 = 1 then begin
+        nodes.(!a) <- id :: nodes.(!a);
+        incr a
+      end;
+      if !b land 1 = 1 then begin
+        decr b;
+        nodes.(!b) <- id :: nodes.(!b)
+      end;
+      a := !a asr 1;
+      b := !b asr 1
+    done
+  in
+  for i = 0 to count - 1 do
+    each_bound i (fun lo lo_closed hi hi_closed ->
+        let a =
+          match lo with
+          | Interval.Neg_inf -> 0
+          | Interval.Finite r ->
+            let j = rank r in
+            if lo_closed then (2 * j) + 1 else (2 * j) + 2
+          | Interval.Pos_inf -> size (* empty after normalization; defensive *)
+        in
+        let b =
+          match hi with
+          | Interval.Pos_inf -> size - 1
+          | Interval.Finite r ->
+            let j = rank r in
+            if hi_closed then (2 * j) + 1 else 2 * j
+          | Interval.Neg_inf -> -1
+        in
+        if a <= b then add_range a b i)
+  done;
+  { endpoints; size; nodes = Array.map (fun l -> Array.of_list (List.rev l)) nodes; records = count }
+
+(* the elementary position α lands in *)
+let position t alpha =
+  let eps = t.endpoints in
+  let k = Array.length eps in
+  let lo = ref 0 and hi = ref k in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Rat.compare eps.(mid) alpha < 0 then lo := mid + 1 else hi := mid
+  done;
+  if !lo < k && Rat.compare eps.(!lo) alpha = 0 then (2 * !lo) + 1 else 2 * !lo
+
+let stable_at t ~alpha =
+  let acc = ref [] in
+  let v = ref (position t alpha + t.size) in
+  while !v >= 1 do
+    Array.iter (fun id -> acc := id :: !acc) t.nodes.(!v);
+    v := !v asr 1
+  done;
+  (* ids are pairwise distinct across the path (see header comment);
+     one sort restores global ascending order *)
+  List.sort_uniq compare !acc

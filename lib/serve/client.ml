@@ -1,0 +1,52 @@
+(* Client side of the wire protocol: connect, one JSON line per
+   request, one line back per request, in order. *)
+
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+(* "HOST:PORT" (or ":PORT") is TCP; anything else is a unix socket path.
+   A path containing ':' is not ambiguous in practice: the daemon only
+   ever binds loopback TCP or a filesystem socket it creates itself. *)
+let sockaddr_of_string addr =
+  match String.rindex_opt addr ':' with
+  | Some i when int_of_string_opt (String.sub addr (i + 1) (String.length addr - i - 1)) <> None
+    ->
+    let port = int_of_string (String.sub addr (i + 1) (String.length addr - i - 1)) in
+    let host = String.sub addr 0 i in
+    let inet =
+      if host = "" || host = "localhost" then Unix.inet_addr_loopback
+      else
+        match Unix.inet_addr_of_string host with
+        | a -> a
+        | exception Failure _ -> (
+          match Unix.gethostbyname host with
+          | { Unix.h_addr_list = [||]; _ } -> failwith (Printf.sprintf "unknown host %S" host)
+          | { Unix.h_addr_list; _ } -> h_addr_list.(0)
+          | exception Not_found -> failwith (Printf.sprintf "unknown host %S" host))
+    in
+    Unix.ADDR_INET (inet, port)
+  | _ -> Unix.ADDR_UNIX addr
+
+let connect addr =
+  let sockaddr = sockaddr_of_string addr in
+  let fd = Unix.socket (Unix.domain_of_sockaddr sockaddr) Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd sockaddr
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+let request_raw t line =
+  output_string t.oc line;
+  output_char t.oc '\n';
+  flush t.oc;
+  match input_line t.ic with
+  | line -> Json.of_string line
+  | exception End_of_file -> failwith "server closed the connection"
+
+let request t req = request_raw t (Json.to_string (Protocol.request_to_json req))
+
+let close t =
+  (* close_out closes the underlying fd; the second close is a no-op
+     error we swallow *)
+  (try close_out t.oc with Sys_error _ -> ());
+  try Unix.close t.fd with Unix.Unix_error _ -> ()

@@ -1,0 +1,24 @@
+(** Client side of the wire protocol.
+
+    Blocking and sequential: {!request} writes one JSON line and reads
+    one response line.  Safe to keep open across many requests — the
+    daemon holds connections until the client closes or it shuts
+    down. *)
+
+type t
+
+val connect : string -> t
+(** [connect addr] — ["HOST:PORT"] / [":PORT"] for TCP (empty host or
+    [localhost] = loopback), anything else a unix socket path.
+    @raise Unix.Unix_error when the connection fails. *)
+
+val request : t -> Protocol.request -> Json.t
+(** One round trip.
+    @raise Failure when the server closes mid-request.
+    @raise Json.Parse_error on a malformed response line. *)
+
+val request_raw : t -> string -> Json.t
+(** {!request} with a caller-supplied wire line (newline appended) —
+    for protocol tests and debugging; the line need not be valid. *)
+
+val close : t -> unit

@@ -1,0 +1,273 @@
+(* Mmap-backed store reader: the serving read path.
+
+   [Nf_store.Index.load] reads the whole store into the heap — right for
+   one-shot CLI calls, wrong for a daemon fronting an n=9/n=10 atlas.
+   Here the file is mapped once ([Unix.map_file], read-only, shared) and
+   a single header/frame walk builds a chunk directory: byte offset,
+   frame length and first-record ordinal per chunk, touching only the
+   16-byte chunk headers.  After that any record is an O(log chunks)
+   binary search plus one lazy chunk decode, and the only heap-resident
+   store bytes are the decoded chunks currently in the bounded cache.
+
+   Ownership rules (DESIGN.md §13): the mapping is private to this
+   module and immutable — bytes are only ever copied out per chunk
+   frame, never aliased, so a concurrently replaced store file cannot
+   corrupt records already decoded (and the kernel keeps the mapped
+   pages of an unlinked file alive until unmap).  Unmapping itself is
+   the GC's business; [close] only drops the decoded-chunk cache.
+
+   The directory walk validates framing, chunk sequence and the
+   CRC-protected footer totals, but does not CRC every chunk body — a
+   chunk's CRC is verified by [Layout.decode_chunk] the first time the
+   chunk is actually decoded, so corruption surfaces as [Layout.Corrupt]
+   on access, pinned to the damaged chunk, while the rest of the store
+   keeps serving.
+
+   A directory of shard volumes is served transparently, exactly like
+   [Index.load]: [Merge.family] proves the volumes form one complete
+   split and each volume gets its own mapping, with record ordinals
+   running across volumes in shard order (= unsharded enumeration
+   order). *)
+
+module Layout = Nf_store.Layout
+module Merge = Nf_store.Merge
+module Build = Nf_store.Build
+
+type map = (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type chunk_entry = {
+  off : int;  (* byte offset of the chunk frame in its volume *)
+  len : int;  (* whole frame length, header through CRC *)
+  count : int;  (* records in the chunk (from the frame header) *)
+  first : int;  (* volume-local ordinal of the chunk's first record *)
+}
+
+type volume = {
+  vpath : string;
+  map : map;
+  vchunks : chunk_entry array;
+  vrecords : int;
+  vfirst : int;  (* store-wide ordinal of this volume's first record *)
+}
+
+type t = {
+  path : string;
+  header : Layout.header;  (* merged view: shard metadata cleared for directories *)
+  vols : volume array;
+  records : int;
+  chunks : int;
+  cache_cap : int;
+  cache : (int * int, Layout.record array) Hashtbl.t;
+  order : (int * int) Queue.t;  (* FIFO eviction order of cache keys *)
+  lock : Mutex.t;
+}
+
+let fail path fmt =
+  Printf.ksprintf (fun m -> raise (Layout.Corrupt (Printf.sprintf "%s: %s" path m))) fmt
+
+let map_file path =
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let len = (Unix.fstat fd).Unix.st_size in
+      if len = 0 then fail path "empty file";
+      Bigarray.array1_of_genarray (Unix.map_file fd Bigarray.char Bigarray.c_layout false [| len |]))
+
+let sub_string map ~pos ~len what path =
+  if pos < 0 || len < 0 || pos + len > Bigarray.Array1.dim map then
+    fail path "unexpected end of mapped store reading %s at byte %d" what pos;
+  String.init len (fun i -> Bigarray.Array1.unsafe_get map (pos + i))
+
+let u32_at map pos =
+  Char.code (Bigarray.Array1.get map pos)
+  lor (Char.code (Bigarray.Array1.get map (pos + 1)) lsl 8)
+  lor (Char.code (Bigarray.Array1.get map (pos + 2)) lsl 16)
+  lor (Char.code (Bigarray.Array1.get map (pos + 3)) lsl 24)
+
+let magic_at map pos magic =
+  let rec eq i = i >= 4 || (Bigarray.Array1.get map (pos + i) = magic.[i] && eq (i + 1)) in
+  pos + 4 <= Bigarray.Array1.dim map && eq 0
+
+(* One header/frame walk over a mapped volume: decode the header, hop
+   chunk header to chunk header recording (offset, frame length, record
+   count, first ordinal), finish on a footer whose CRC-protected totals
+   must match the walk.  Only O(chunks) * 16 bytes are touched. *)
+let open_volume ~vfirst path =
+  let map = map_file path in
+  let dim = Bigarray.Array1.dim map in
+  let header = Layout.decode_header (sub_string map ~pos:0 ~len:Layout.header_size "header" path) in
+  let dir = ref [] in
+  let pos = ref Layout.header_size in
+  let chunks = ref 0 in
+  let records = ref 0 in
+  let complete = ref false in
+  while not !complete do
+    if magic_at map !pos Layout.footer_magic then begin
+      let footer = sub_string map ~pos:!pos ~len:Layout.footer_size "footer" path in
+      let total_chunks, total_records, _ = Layout.decode_footer footer ~pos:0 in
+      if total_chunks <> !chunks then
+        fail path "footer declares %d chunks, directory walk found %d" total_chunks !chunks;
+      if total_records <> !records then
+        fail path "footer declares %d records, directory walk found %d" total_records !records;
+      if !pos + Layout.footer_size <> dim then
+        fail path "%d trailing bytes after footer" (dim - !pos - Layout.footer_size);
+      complete := true
+    end
+    else if magic_at map !pos Layout.chunk_magic then begin
+      if !pos + Layout.chunk_header_size > dim then
+        fail path "truncated chunk header at byte %d" !pos;
+      let index = u32_at map (!pos + 4) in
+      let count = u32_at map (!pos + 8) in
+      let body_len = u32_at map (!pos + 12) in
+      if index <> !chunks then fail path "chunk %d out of sequence (expected %d)" index !chunks;
+      let len = Layout.chunk_header_size + body_len + 4 in
+      if !pos + len > dim then fail path "truncated chunk %d at byte %d" index !pos;
+      dir := { off = !pos; len; count; first = !records } :: !dir;
+      chunks := !chunks + 1;
+      records := !records + count;
+      pos := !pos + len
+    end
+    else fail path "bad frame magic at byte %d (incomplete build?)" !pos
+  done;
+  ( { vpath = path; map; vchunks = Array.of_list (List.rev !dir); vrecords = !records; vfirst },
+    header )
+
+let open_store ?(cache_chunks = 64) ~path () =
+  let vols, header =
+    if Sys.file_exists path && Sys.is_directory path then begin
+      let sorted, merged = Merge.family (Merge.volumes ~dir:path) in
+      let vfirst = ref 0 in
+      let vols =
+        List.map
+          (fun (p, _) ->
+            let v, _ = open_volume ~vfirst:!vfirst p in
+            vfirst := !vfirst + v.vrecords;
+            v)
+          sorted
+      in
+      (Array.of_list vols, merged)
+    end
+    else
+      let v, header = open_volume ~vfirst:0 path in
+      ([| v |], header)
+  in
+  let records = Array.fold_left (fun acc v -> acc + v.vrecords) 0 vols in
+  let chunks = Array.fold_left (fun acc v -> acc + Array.length v.vchunks) 0 vols in
+  {
+    path;
+    header;
+    vols;
+    records;
+    chunks;
+    cache_cap = max 0 cache_chunks;
+    cache = Hashtbl.create 64;
+    order = Queue.create ();
+    lock = Mutex.create ();
+  }
+
+let path t = t.path
+let header t = t.header
+let n t = t.header.Layout.n
+let content t = t.header.Layout.content
+let game t = Build.game_of_content t.header.Layout.content
+let length t = t.records
+let chunks t = t.chunks
+let volumes t = Array.to_list (Array.map (fun v -> v.vpath) t.vols)
+
+let cached_chunks t =
+  Mutex.lock t.lock;
+  let k = Hashtbl.length t.cache in
+  Mutex.unlock t.lock;
+  k
+
+(* CRC-checked decode of one chunk frame, copied out of the mapping *)
+let decode_chunk t vi ci =
+  let v = t.vols.(vi) in
+  let e = v.vchunks.(ci) in
+  let frame = sub_string v.map ~pos:e.off ~len:e.len "chunk frame" v.vpath in
+  let _, recs, _ = Layout.decode_chunk ~content:t.header.Layout.content frame ~pos:0 in
+  if Array.length recs <> e.count then
+    fail v.vpath "chunk %d decodes to %d records, directory said %d" ci (Array.length recs) e.count;
+  recs
+
+let chunk_records t vi ci =
+  let key = (vi, ci) in
+  Mutex.lock t.lock;
+  let hit = Hashtbl.find_opt t.cache key in
+  Mutex.unlock t.lock;
+  match hit with
+  | Some recs -> recs
+  | None ->
+    (* decode outside the lock: concurrent misses may both decode (the
+       results are identical); insertion is serialized and bounded *)
+    let recs = decode_chunk t vi ci in
+    if t.cache_cap > 0 then begin
+      Mutex.lock t.lock;
+      if not (Hashtbl.mem t.cache key) then begin
+        Hashtbl.replace t.cache key recs;
+        Queue.add key t.order;
+        while Hashtbl.length t.cache > t.cache_cap do
+          Hashtbl.remove t.cache (Queue.pop t.order)
+        done
+      end;
+      Mutex.unlock t.lock
+    end;
+    recs
+
+(* store-wide ordinal -> (volume, chunk, offset): two binary searches *)
+let locate t i =
+  if i < 0 || i >= t.records then
+    invalid_arg (Printf.sprintf "Mmap_reader: record %d out of bounds (store holds %d)" i t.records);
+  let vi =
+    let lo = ref 0 and hi = ref (Array.length t.vols - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if t.vols.(mid).vfirst <= i then lo := mid else hi := mid - 1
+    done;
+    !lo
+  in
+  let v = t.vols.(vi) in
+  let local = i - v.vfirst in
+  let ci =
+    let lo = ref 0 and hi = ref (Array.length v.vchunks - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if v.vchunks.(mid).first <= local then lo := mid else hi := mid - 1
+    done;
+    !lo
+  in
+  (vi, ci, local - v.vchunks.(ci).first)
+
+let record t i =
+  let vi, ci, off = locate t i in
+  (chunk_records t vi ci).(off)
+
+let graph6 t i = (record t i).Layout.graph6
+
+(* streaming pass over all records in order; decodes each chunk once and
+   bypasses the cache, so a full scan leaves the cache untouched *)
+let iter t f =
+  let i = ref 0 in
+  Array.iteri
+    (fun vi v ->
+      Array.iteri
+        (fun ci _ ->
+          Array.iter
+            (fun r ->
+              f !i r;
+              incr i)
+            (decode_chunk t vi ci))
+        v.vchunks)
+    t.vols
+
+let fold t ~init ~f =
+  let acc = ref init in
+  iter t (fun i r -> acc := f !acc i r);
+  !acc
+
+let close t =
+  Mutex.lock t.lock;
+  Hashtbl.reset t.cache;
+  Queue.clear t.order;
+  Mutex.unlock t.lock

@@ -1,0 +1,67 @@
+(** Mmap-backed store reader: the serving read path.
+
+    Where {!Nf_store.Index.load} reads a whole store into the heap, this
+    module maps the NFATLAS1 file read-only ([Unix.map_file]) and builds
+    a chunk directory from one header/frame walk that touches only the
+    16-byte chunk headers.  Any record is then two binary searches plus
+    one lazy, CRC-checked chunk decode; the only heap-resident store
+    bytes are the decoded chunks in a small bounded FIFO cache.  A
+    directory of shard volumes is served transparently, exactly like
+    [Index.load]: each volume gets its own mapping and record ordinals
+    run across volumes in shard order.
+
+    Chunk bodies are {e not} CRC-verified at open time — a damaged chunk
+    raises {!Nf_store.Layout.Corrupt} on first access, pinned to the
+    chunk, while the rest of the store keeps serving.  The framing walk
+    and the footer totals are validated at open.
+
+    All read paths are safe for concurrent use from multiple domains:
+    the mapping is immutable, bytes are copied out per frame (never
+    aliased), and the cache is mutex-guarded. *)
+
+type t
+
+val open_store : ?cache_chunks:int -> path:string -> unit -> t
+(** Map a store file, or every volume of a shard directory.
+    [cache_chunks] bounds the decoded-chunk cache (default 64 chunks;
+    [0] disables caching entirely).
+    @raise Nf_store.Layout.Corrupt on framing damage, a truncated file,
+    or footer totals that disagree with the walk.
+    @raise Failure when a directory does not hold one complete shard
+    family. *)
+
+val path : t -> string
+val header : t -> Nf_store.Layout.header
+(** The store header; for a shard directory, the merged view (shard
+    metadata cleared), exactly as [Index.load] reports it. *)
+
+val n : t -> int
+val content : t -> Nf_store.Layout.content
+val game : t -> string
+val length : t -> int
+(** Total records across all volumes. *)
+
+val chunks : t -> int
+val volumes : t -> string list
+(** The mapped volume paths, in shard order (a single file for a plain
+    store). *)
+
+val record : t -> int -> Nf_store.Layout.record
+(** [record t i] is record ordinal [i] in enumeration order.
+    @raise Invalid_argument out of bounds.
+    @raise Nf_store.Layout.Corrupt when the holding chunk fails its CRC. *)
+
+val graph6 : t -> int -> string
+
+val iter : t -> (int -> Nf_store.Layout.record -> unit) -> unit
+(** In-order streaming pass decoding each chunk exactly once; bypasses
+    (and does not pollute) the chunk cache. *)
+
+val fold : t -> init:'a -> f:('a -> int -> Nf_store.Layout.record -> 'a) -> 'a
+
+val cached_chunks : t -> int
+(** Decoded chunks currently cached (always [<= cache_chunks]). *)
+
+val close : t -> unit
+(** Drop the decoded-chunk cache.  The mappings themselves are reclaimed
+    by the GC when [t] is collected. *)

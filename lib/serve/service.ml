@@ -1,0 +1,233 @@
+(* The socket-independent query engine behind the daemon.
+
+   One [Service.t] wraps a mapped store plus the derived read
+   structures, all built lazily and guarded for concurrent use from the
+   pool domains the server dispatches requests on:
+
+   - per-game α-interval indexes (built on the first stable-at for that
+     game column, from one streaming pass over the records);
+   - a graph6 -> ordinal table for entry lookups;
+   - the figure-sweep response cache, keyed by (game, n, α-grid) — the
+     sweep is deterministic, so a cached CSV is byte-identical to a
+     recomputed one, and to what [store query --figures --csv] writes.
+
+   Parity is the contract: every answer below reproduces the in-process
+   [Nf_store.Query] result byte-for-byte.  stable-at mirrors
+   [Query.game_entries]' content dispatch (and its rejection message),
+   figure CSVs call the same [Figures.sweep_via]/[sweep_game_via]
+   functions with the same default grid, and export rebuilds the same
+   [Dataset] entries [Query.to_csv] serializes. *)
+
+module Layout = Nf_store.Layout
+module Interval = Nf_util.Interval
+module Rat = Nf_util.Rat
+module Figures = Nf_analysis.Figures
+
+type column = Col_interval | Col_union
+
+type t = {
+  store : Mmap_reader.t;
+  lock : Mutex.t;
+  mutable indexes : (string * Alpha_index.t) list;
+  mutable by_graph6 : (string, int) Hashtbl.t option;
+  figure_cache : (string, string) Hashtbl.t;
+  mutable figure_hits : int;
+  mutable requests : int;
+}
+
+let create ?cache_chunks ~path () =
+  {
+    store = Mmap_reader.open_store ?cache_chunks ~path ();
+    lock = Mutex.create ();
+    indexes = [];
+    by_graph6 = None;
+    figure_cache = Hashtbl.create 8;
+    figure_hits = 0;
+    requests = 0;
+  }
+
+let store t = t.store
+let n t = Mmap_reader.n t.store
+let game t = Mmap_reader.game t.store
+let length t = Mmap_reader.length t.store
+
+let tick_request t =
+  Mutex.lock t.lock;
+  t.requests <- t.requests + 1;
+  Mutex.unlock t.lock
+
+(* the game a bare query (no --game) means on this store: the interval
+   column of a classic store, the one game of a single-game store *)
+let default_game t =
+  match Mmap_reader.content t.store with
+  | Layout.Classic _ -> "bcg"
+  | Layout.Game _ -> game t
+
+(* read-side mirror of [Query.game_entries]' dispatch, same rejection
+   text so remote and in-process errors agree *)
+let column t ~game:want =
+  let reject () =
+    invalid_arg
+      (Printf.sprintf "Query.game_entries: store carries %S annotations, not %S" (game t) want)
+  in
+  match Mmap_reader.content t.store with
+  | Layout.Classic { with_ucg } ->
+    if want = "bcg" then Col_interval
+    else if want = "ucg" then if with_ucg then Col_union else reject ()
+    else reject ()
+  | Layout.Game { tag; union } -> (
+    match Nf_store.Build.content_of_game want with
+    | Layout.Game { tag = want_tag; union = _ } when want_tag = tag ->
+      if union then Col_union else Col_interval
+    | _ -> reject ()
+    | exception Invalid_argument _ -> reject ())
+
+let pieces_of col (r : Layout.record) =
+  match col with
+  | Col_interval -> [ r.Layout.bcg ]
+  | Col_union -> ( match r.Layout.ucg with Some u -> Interval.Union.to_list u | None -> [])
+
+let index t ~game:want =
+  let col = column t ~game:want in
+  Mutex.lock t.lock;
+  let hit = List.assoc_opt want t.indexes in
+  Mutex.unlock t.lock;
+  match hit with
+  | Some idx -> idx
+  | None ->
+    (* build outside the lock: one streaming pass materializes just the
+       regions, never the volume; a concurrent duplicate build yields an
+       identical structure and the second insert is dropped *)
+    let count = length t in
+    let regions = Array.make count [] in
+    Mmap_reader.iter t.store (fun i r -> regions.(i) <- pieces_of col r);
+    let idx = Alpha_index.build ~count ~pieces:(Array.get regions) in
+    Mutex.lock t.lock;
+    (if not (List.mem_assoc want t.indexes) then t.indexes <- (want, idx) :: t.indexes);
+    let idx = List.assoc want t.indexes in
+    Mutex.unlock t.lock;
+    idx
+
+let stable_ids t ~game ~alpha = Alpha_index.stable_at (index t ~game) ~alpha
+let stable_graph6 t ~game ~alpha = List.map (Mmap_reader.graph6 t.store) (stable_ids t ~game ~alpha)
+
+let find_entry t ~graph6 =
+  let table =
+    Mutex.lock t.lock;
+    let hit = t.by_graph6 in
+    Mutex.unlock t.lock;
+    match hit with
+    | Some tbl -> tbl
+    | None ->
+      let tbl = Hashtbl.create (length t) in
+      Mmap_reader.iter t.store (fun i r -> Hashtbl.replace tbl r.Layout.graph6 i);
+      Mutex.lock t.lock;
+      (if t.by_graph6 = None then t.by_graph6 <- Some tbl);
+      let tbl = Option.get t.by_graph6 in
+      Mutex.unlock t.lock;
+      tbl
+  in
+  match Hashtbl.find_opt table graph6 with
+  | Some i -> Some (i, Mmap_reader.record t.store i)
+  | None -> None
+
+(* the (label, exact region) lines an entry renders as — one pair per
+   column the store carries.  Pure in (content, record) so the CLI's
+   in-process path renders entries with the same function the daemon
+   uses. *)
+let region_strings_of ~content (r : Layout.record) =
+  let union_str () =
+    Interval.Union.to_string (Option.value ~default:Interval.Union.empty r.Layout.ucg)
+  in
+  match content with
+  | Layout.Classic { with_ucg } ->
+    ("bcg", Interval.to_string r.Layout.bcg) :: (if with_ucg then [ ("ucg", union_str ()) ] else [])
+  | Layout.Game { union; _ } ->
+    [
+      ( Nf_store.Build.game_of_content content,
+        if union then union_str () else Interval.to_string r.Layout.bcg );
+    ]
+
+let region_strings t r = region_strings_of ~content:(Mmap_reader.content t.store) r
+
+let stable_graphs t ~game ~alpha =
+  List.map (fun s -> Nf_graph.Graph6.decode s) (stable_graph6 t ~game ~alpha)
+
+let figure_csv t ?grid () =
+  let grid_list = match grid with Some g -> g | None -> Nf_analysis.Sweep.paper_grid in
+  let key =
+    Printf.sprintf "%s|%d|%s" (game t) (n t)
+      (String.concat ";" (List.map Rat.to_string grid_list))
+  in
+  Mutex.lock t.lock;
+  let hit = Hashtbl.find_opt t.figure_cache key in
+  if hit <> None then t.figure_hits <- t.figure_hits + 1;
+  Mutex.unlock t.lock;
+  match hit with
+  | Some csv -> csv
+  | None ->
+    let csv =
+      match Mmap_reader.content t.store with
+      | Layout.Classic { with_ucg = true } ->
+        Figures.to_csv
+          (Figures.sweep_via
+             ~bcg:(fun ~alpha -> stable_graphs t ~game:"bcg" ~alpha)
+             ~ucg:(fun ~alpha -> stable_graphs t ~game:"ucg" ~alpha)
+             ~grid:grid_list ())
+      | Layout.Classic { with_ucg = false } | Layout.Game _ ->
+        let name = game t in
+        let packed = Netform.Game_registry.find_exn name in
+        Figures.game_csv
+          (Figures.sweep_game_via packed
+             ~stable:(fun ~alpha -> stable_graphs t ~game:name ~alpha)
+             ~grid:grid_list ())
+    in
+    Mutex.lock t.lock;
+    Hashtbl.replace t.figure_cache key csv;
+    Mutex.unlock t.lock;
+    csv
+
+(* same entries [Query.to_entries] builds, so [Dataset.to_csv] emits the
+   same bytes as [store export] *)
+let export_csv t =
+  let entries = ref [] in
+  Mmap_reader.iter t.store (fun _ r ->
+      entries :=
+        {
+          Nf_analysis.Dataset.graph = Nf_graph.Graph6.decode r.Layout.graph6;
+          bcg_stable = r.Layout.bcg;
+          ucg_nash = r.Layout.ucg;
+        }
+        :: !entries);
+  Nf_analysis.Dataset.to_csv (List.rev !entries)
+
+type stats = {
+  records : int;
+  chunks : int;
+  volumes : int;
+  cached_chunks : int;
+  indexed_games : (string * int) list;  (* game, distinct endpoints *)
+  figure_cache_entries : int;
+  figure_cache_hits : int;
+  requests : int;
+}
+
+let stats t =
+  Mutex.lock t.lock;
+  let indexed =
+    List.map (fun (g, idx) -> (g, Array.length (Alpha_index.endpoints idx))) t.indexes
+  in
+  let s =
+    {
+      records = Mmap_reader.length t.store;
+      chunks = Mmap_reader.chunks t.store;
+      volumes = List.length (Mmap_reader.volumes t.store);
+      cached_chunks = 0;
+      indexed_games = List.sort compare indexed;
+      figure_cache_entries = Hashtbl.length t.figure_cache;
+      figure_cache_hits = t.figure_hits;
+      requests = t.requests;
+    }
+  in
+  Mutex.unlock t.lock;
+  { s with cached_chunks = Mmap_reader.cached_chunks t.store }

@@ -78,6 +78,8 @@ exception Corrupt of string
 (** Raised by every [decode_*] function on malformed input. *)
 
 val magic : string
+val chunk_magic : string
+val footer_magic : string
 val schema_version : int
 val header_size : int
 val chunk_header_size : int

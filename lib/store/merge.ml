@@ -89,7 +89,7 @@ let family vols =
     check 1 sorted;
     (sorted, { h0 with Layout.shard = None })
 
-let merge ?(force = false) ?(report = ignore) ~paths ~out () =
+let merge ?(force = false) ?(streaming = false) ?(report = ignore) ~paths ~out () =
   let start = Unix.gettimeofday () in
   let vols, header = family (List.map (fun p -> (p, header_of_file p)) paths) in
   let k = List.length vols in
@@ -97,10 +97,12 @@ let merge ?(force = false) ?(report = ignore) ~paths ~out () =
     failwith (Printf.sprintf "%s already exists (pass force to overwrite)" out);
   (* strict per-volume verification up front: a damaged shard must name
      itself (with Reader.verify's chunk/byte pinpointing) before the
-     output file is even created *)
+     output file is even created.  In streaming mode the same checks run
+     off the channel, one chunk resident at a time. *)
+  let verify path = if streaming then Reader.verify_stream ~path else Reader.verify ~path in
   List.iter
     (fun (p, _) ->
-      match Reader.verify ~path:p with
+      match verify p with
       | Ok _ -> ()
       | Error msg -> failwith (Printf.sprintf "Merge: %s: %s" p msg))
     vols;
@@ -112,28 +114,43 @@ let merge ?(force = false) ?(report = ignore) ~paths ~out () =
       Writer.append_chunk writer
         (Array.init (min chunk_size (Queue.length queue)) (fun _ -> Queue.pop queue))
     in
+    (* only ever emit full chunks mid-stream; a short chunk is legal
+       solely at the very end, exactly as in a live build *)
+    let fold_in recs =
+      Array.iter (fun r -> Queue.add r queue) recs;
+      while Queue.length queue >= chunk_size do
+        emit ()
+      done
+    in
     List.iter
       (fun (p, _) ->
-        let s = read_file p in
-        let scan = Reader.scan_string s in
-        let pos = ref Layout.header_size in
-        for _ = 1 to scan.Reader.chunks do
-          let _, recs, next = Layout.decode_chunk ~content:header.Layout.content s ~pos:!pos in
-          pos := next;
-          Array.iter (fun r -> Queue.add r queue) recs;
-          (* only ever emit full chunks mid-stream; a short chunk is
-             legal solely at the very end, exactly as in a live build *)
-          while Queue.length queue >= chunk_size do
-            emit ()
-          done
-        done;
-        report (Printf.sprintf "%s: %d records folded in" p scan.Reader.records))
+        let records =
+          if streaming then
+            (* channel pull: one decoded chunk resident per step, never
+               the volume as a string *)
+            let _, (), _, records =
+              Reader.fold_chunks ~path:p ~init:() (fun _ () _ recs -> fold_in recs)
+            in
+            records
+          else begin
+            let s = read_file p in
+            let scan = Reader.scan_string s in
+            let pos = ref Layout.header_size in
+            for _ = 1 to scan.Reader.chunks do
+              let _, recs, next = Layout.decode_chunk ~content:header.Layout.content s ~pos:!pos in
+              pos := next;
+              fold_in recs
+            done;
+            scan.Reader.records
+          end
+        in
+        report (Printf.sprintf "%s: %d records folded in" p records))
       vols;
     if Queue.length queue > 0 then emit ();
     Writer.finalize writer
   with
   | () ->
-    (match Reader.verify ~path:out with
+    (match verify out with
     | Ok _ -> ()
     | Error msg -> failwith (Printf.sprintf "Merge: merged store %s failed verification: %s" out msg));
     {
@@ -149,7 +166,7 @@ let merge ?(force = false) ?(report = ignore) ~paths ~out () =
     Writer.abort writer;
     raise e
 
-let merge_dir ?force ?report ~dir ~out () =
+let merge_dir ?force ?streaming ?report ~dir ~out () =
   match volumes ~dir with
   | [] -> failwith (Printf.sprintf "Merge: no shard volumes found in %s" dir)
-  | vols -> merge ?force ?report ~paths:(List.map fst vols) ~out ()
+  | vols -> merge ?force ?streaming ?report ~paths:(List.map fst vols) ~out ()

@@ -115,6 +115,98 @@ let verify ~path =
   | s -> verify_string s
   | exception Sys_error msg -> Error msg
 
+(* --- streaming (channel) access --------------------------------------
+
+   Constant-memory counterparts of the whole-file string paths above:
+   the store is pulled through the channel one frame at a time, so an
+   n=10-scale volume streams through a merge or a verification without
+   ever being resident as a string.  Strictness matches [verify]: every
+   chunk is CRC-checked by [Layout.decode_chunk] as it passes, chunks
+   must be consecutively numbered, the footer totals must match the
+   stream, and nothing may follow the footer. *)
+
+let really_read ic len what =
+  match In_channel.really_input_string ic len with
+  | Some s -> s
+  | None -> raise (Layout.Corrupt (Printf.sprintf "unexpected end of file reading %s" what))
+
+let fold_chunks ~path ~init f =
+  In_channel.with_open_bin path (fun ic ->
+      let header = Layout.decode_header (really_read ic Layout.header_size "header") in
+      let content = header.Layout.content in
+      let chunks = ref 0 in
+      let records = ref 0 in
+      let acc = ref init in
+      let finished = ref false in
+      while not !finished do
+        let magic = really_read ic 4 "frame magic" in
+        if magic = Layout.footer_magic then begin
+          let footer = magic ^ really_read ic (Layout.footer_size - 4) "footer" in
+          let total_chunks, total_records, _ = Layout.decode_footer footer ~pos:0 in
+          if total_chunks <> !chunks then
+            raise
+              (Layout.Corrupt
+                 (Printf.sprintf "footer declares %d chunks, stream held %d" total_chunks !chunks));
+          if total_records <> !records then
+            raise
+              (Layout.Corrupt
+                 (Printf.sprintf "footer declares %d records, stream held %d" total_records
+                    !records));
+          (match In_channel.input_char ic with
+          | Some _ -> raise (Layout.Corrupt "trailing bytes after footer")
+          | None -> ());
+          finished := true
+        end
+        else if magic = Layout.chunk_magic then begin
+          let head = really_read ic (Layout.chunk_header_size - 4) "chunk header" in
+          (* body length sits at frame offset 12 = offset 8 of [head] *)
+          let body_len = Int32.to_int (String.get_int32_le head 8) land 0xFFFFFFFF in
+          let frame = magic ^ head ^ really_read ic (body_len + 4) "chunk body" in
+          let index, recs, _ = Layout.decode_chunk ~content frame ~pos:0 in
+          if index <> !chunks then
+            raise
+              (Layout.Corrupt
+                 (Printf.sprintf "chunk %d out of sequence (expected %d)" index !chunks));
+          acc := f header !acc index recs;
+          chunks := !chunks + 1;
+          records := !records + Array.length recs
+        end
+        else
+          raise
+            (Layout.Corrupt
+               (Printf.sprintf "bad frame magic after chunk %d (incomplete build?)" !chunks))
+      done;
+      (header, !acc, !chunks, !records))
+
+let verify_stream ~path =
+  try
+    let header, (), chunks, records =
+      fold_chunks ~path ~init:() (fun header () index recs ->
+          let in_chunk fmt =
+            Printf.ksprintf
+              (fun m -> raise (Layout.Corrupt (Printf.sprintf "chunk %d: %s" index m)))
+              fmt
+          in
+          if Array.length recs = 0 then in_chunk "chunk is empty";
+          if Array.length recs > header.Layout.chunk_size then
+            in_chunk "chunk holds %d records, above the declared chunk size %d" (Array.length recs)
+              header.Layout.chunk_size;
+          Array.iter
+            (fun r ->
+              match Nf_graph.Graph6.decode r.Layout.graph6 with
+              | g ->
+                if Nf_graph.Graph.order g <> header.Layout.n then
+                  in_chunk "record has order %d, store is for n = %d" (Nf_graph.Graph.order g)
+                    header.Layout.n
+              | exception Invalid_argument msg -> in_chunk "bad graph6: %s" msg)
+            recs)
+    in
+    let data_end = (Unix.stat path).Unix.st_size - Layout.footer_size in
+    Ok { header; chunks; records; data_end; complete = true }
+  with
+  | Layout.Corrupt msg -> Error msg
+  | Sys_error msg -> Error msg
+
 let load ~path =
   let s = read_file path in
   let header = Layout.decode_header s in

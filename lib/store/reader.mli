@@ -38,3 +38,29 @@ val load : path:string -> Layout.header * Layout.record array
 val scan_string : string -> scan
 val verify_string : string -> (scan, string) result
 (** In-memory variants, exposed for tests. *)
+
+(** {2 Streaming access}
+
+    Constant-memory counterparts of the whole-file paths: the store is
+    pulled through a channel one CRC-framed chunk at a time, so an
+    n=10-scale volume merges or verifies without ever being resident as
+    a string. *)
+
+val fold_chunks :
+  path:string ->
+  init:'a ->
+  (Layout.header -> 'a -> int -> Layout.record array -> 'a) ->
+  Layout.header * 'a * int * int
+(** [fold_chunks ~path ~init f] folds [f header acc index records] over
+    the chunks of a {e complete} store in order, holding one decoded
+    chunk at a time, and returns [(header, acc, chunks, records)].
+    Strict like {!verify}: raises {!Layout.Corrupt} on any CRC or
+    framing damage, a chunk out of sequence, a missing footer, footer
+    totals that disagree with the stream, or trailing bytes.
+    @raise Sys_error when the file cannot be read. *)
+
+val verify_stream : path:string -> (scan, string) result
+(** Strict whole-file verification with {!fold_chunks}' memory profile —
+    the record-level checks of {!verify} (graph6 decodes, order matches
+    the header) over one chunk at a time; never raises.  Corruption
+    messages are pinned to the chunk index. *)

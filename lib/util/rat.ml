@@ -45,3 +45,33 @@ let pp ppf r =
   else Format.fprintf ppf "%d/%d" r.num r.den
 
 let to_string r = Format.asprintf "%a" pp r
+
+(* A strict decimal integer: an optional leading '-', then digits only.
+   [int_of_string] alone would also admit hex, octal, '+' and '_'
+   separators — none of which [to_string] ever emits, and none of which
+   a wire protocol should silently accept. *)
+let parse_int s =
+  let open Stdlib in
+  let digits body =
+    String.length body > 0 && String.for_all (fun c -> c >= '0' && c <= '9') body
+  in
+  let body =
+    if String.length s > 0 && s.[0] = '-' then String.sub s 1 (String.length s - 1) else s
+  in
+  if digits body then int_of_string_opt s else None
+
+let of_string_opt s =
+  match String.index_opt s '/' with
+  | None -> Option.map of_int (parse_int s)
+  | Some k -> (
+    let p = String.sub s 0 k in
+    let q = String.sub s (k + 1) (String.length s - k - 1) in
+    match (parse_int p, parse_int q) with
+    | Some p, Some q when q <> 0 -> Some (make p q)
+    | _ -> None)
+
+let of_string s =
+  match of_string_opt s with
+  | Some r -> r
+  | None ->
+    invalid_arg (Printf.sprintf "Rat.of_string: %S is not an integer or P/Q rational" s)

@@ -36,3 +36,14 @@ val is_integer : t -> bool
 val to_float : t -> float
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
+
+val of_string : string -> t
+(** Exact inverse of {!to_string}: parses ["P"] and ["P/Q"] with [P], [Q]
+    strict decimal integers (optional leading [-], digits only — no hex,
+    no [_] separators, no floats).  [of_string (to_string r) = r] for
+    every [t]; non-normalized inputs such as ["2/4"] or ["1/-2"] are
+    accepted and normalized by {!make}.
+    @raise Invalid_argument on anything else (including ["1/0"]). *)
+
+val of_string_opt : string -> t option
+(** Like {!of_string}, [None] instead of raising. *)

@@ -95,6 +95,10 @@ for game in $games; do
     NETFORM_JOBS=$jobs dune exec bin/netform_cli.exe -- store build -n 6 --chunk 16 \
       --game "$game" -o "$store_dir/single_${game}_j$jobs.nfs" --quiet
     cmp "$store_dir/single_${game}_j$jobs.nfs" "$store_dir/merged_${game}_j$jobs.nfs"
+    # the constant-memory streaming merge must emit the same bytes
+    NETFORM_JOBS=$jobs dune exec bin/netform_cli.exe -- store merge "$shard_dir" --streaming \
+      -o "$store_dir/streamed_${game}_j$jobs.nfs" --quiet
+    cmp "$store_dir/merged_${game}_j$jobs.nfs" "$store_dir/streamed_${game}_j$jobs.nfs"
     # a directory of shard volumes must query exactly like the merged store
     dune exec bin/netform_cli.exe -- store export "$shard_dir" -o "$store_dir/dir_${game}_j$jobs.csv" > /dev/null
     dune exec bin/netform_cli.exe -- store export "$store_dir/merged_${game}_j$jobs.nfs" \
@@ -103,7 +107,48 @@ for game in $games; do
     rm -rf "$shard_dir"
   done
   cmp "$store_dir/merged_${game}_j1.nfs" "$store_dir/merged_${game}_j4.nfs"
-  echo "sharded build smoke ($game): merge byte-identical to single-process build (both pool widths)"
+  echo "sharded build smoke ($game): merge (in-memory and --streaming) byte-identical to single-process build (both pool widths)"
+done
+
+# Serve smoke: for every registered game and both pool widths, start a
+# netform serve daemon on the n=5 store the registry smoke built, drive
+# it through the remote client path, and require every served answer to
+# be byte-identical to the in-process one — `query --remote` against
+# `query`, figure CSV against `store query --figures --csv`, export
+# against `store export`.  The daemon must then acknowledge the shutdown
+# op, exit 0, and remove its socket.  The daemon is the built binary
+# run directly (not through `dune exec`) so the backgrounded process
+# never contends for dune's build lock.
+echo "== serve smoke (daemon per game, remote vs in-process byte parity, both pool widths) =="
+CLI=_build/default/bin/netform_cli.exe
+for game in $games; do
+  for jobs in 1 4; do
+    store="$store_dir/${game}_j$jobs.nfs"
+    sock="$store_dir/serve_${game}_j$jobs.sock"
+    NETFORM_JOBS=$jobs "$CLI" serve "$store" --socket "$sock" --quiet &
+    srv=$!
+    tries=0
+    until [ -S "$sock" ]; do
+      tries=$((tries + 1))
+      [ "$tries" -le 100 ] || { echo "serve smoke ($game): socket never appeared" >&2; exit 1; }
+      sleep 0.1
+    done
+    "$CLI" query "$sock" --remote --stable-at 3/2 > "$store_dir/serve_remote.txt"
+    "$CLI" query "$store" --stable-at 3/2 > "$store_dir/serve_local.txt"
+    cmp "$store_dir/serve_remote.txt" "$store_dir/serve_local.txt"
+    "$CLI" query "$sock" --remote --figures > "$store_dir/serve_figures_remote.csv"
+    "$CLI" store query "$store" --figures --csv "$store_dir/serve_figures_local.csv" > /dev/null
+    cmp "$store_dir/serve_figures_remote.csv" "$store_dir/serve_figures_local.csv"
+    "$CLI" query "$sock" --remote --export > "$store_dir/serve_export_remote.csv"
+    "$CLI" store export "$store" -o "$store_dir/serve_export_local.csv" > /dev/null
+    cmp "$store_dir/serve_export_remote.csv" "$store_dir/serve_export_local.csv"
+    "$CLI" query "$sock" --remote --health > /dev/null
+    "$CLI" query "$sock" --remote --stats > /dev/null
+    "$CLI" query "$sock" --remote --shutdown > /dev/null
+    wait "$srv"
+    [ ! -e "$sock" ] || { echo "serve smoke ($game): socket not removed on shutdown" >&2; exit 1; }
+  done
+  echo "serve smoke ($game): served answers byte-identical to in-process queries (both pool widths)"
 done
 
 # Full leg (opt-in, minutes of CPU): stream all of n=10 through a sharded

@@ -1,0 +1,581 @@
+(* Tests for nf_serve: the mmap read path vs Index.load, the
+   α-interval index vs naive Interval.mem filtering (including exact
+   endpoint queries, for every registered game), service-level parity
+   with Nf_store.Query, the wire protocol codecs, and a live daemon
+   exercised by concurrent clients. *)
+
+module Rat = Nf_util.Rat
+module Interval = Nf_util.Interval
+module Graph6 = Nf_graph.Graph6
+module Layout = Nf_store.Layout
+module Build = Nf_store.Build
+module Index = Nf_store.Index
+module Query = Nf_store.Query
+open Nf_serve
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+let check_ids = Alcotest.(check (list int))
+let check_strings = Alcotest.(check (list string))
+
+(* --- fixtures ----------------------------------------------------------- *)
+
+let temp_store () =
+  let path = Filename.temp_file "nf_serve_test" ".nfs" in
+  Sys.remove path;
+  path
+
+let with_store ?game ?with_ucg ?(chunk = 4) n f =
+  let path = temp_store () in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      ignore (Build.build ?game ?with_ucg ~chunk ~path ~n ());
+      f path)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "nf_serve_shards" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter (fun name -> Sys.remove (Filename.concat dir name)) (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
+
+let record_equal (a : Layout.record) (b : Layout.record) =
+  a.Layout.graph6 = b.Layout.graph6
+  && Interval.equal a.Layout.bcg b.Layout.bcg
+  &&
+  match (a.Layout.ucg, b.Layout.ucg) with
+  | None, None -> true
+  | Some x, Some y -> Interval.Union.equal x y
+  | _ -> false
+
+(* --- mmap reader -------------------------------------------------------- *)
+
+(* every record served off the mapping equals the heap-loaded one, and
+   the header agrees field-for-field *)
+let test_mmap_record_parity () =
+  with_store ~chunk:4 5 (fun path ->
+      let idx = Index.load ~path in
+      let m = Mmap_reader.open_store ~path () in
+      check_int "length" (Index.length idx) (Mmap_reader.length m);
+      check_int "n" (Index.n idx) (Mmap_reader.n m);
+      check_bool "content" true (Index.content idx = Mmap_reader.content m);
+      check_string "game" (Index.game idx) (Mmap_reader.game m);
+      let entries = Index.entries idx in
+      Array.iteri
+        (fun i r ->
+          check_bool
+            (Printf.sprintf "record %d" i)
+            true
+            (record_equal r (Mmap_reader.record m i));
+          check_string "graph6 accessor" r.Layout.graph6 (Mmap_reader.graph6 m i))
+        entries;
+      (* iter visits the same records in the same order *)
+      let seen = ref [] in
+      Mmap_reader.iter m (fun i r -> seen := (i, r.Layout.graph6) :: !seen);
+      check_int "iter count" (Array.length entries) (List.length !seen);
+      List.iter
+        (fun (i, g6) -> check_string "iter order" entries.(i).Layout.graph6 g6)
+        !seen;
+      check_bool "oob low" true
+        (match Mmap_reader.record m (-1) with exception Invalid_argument _ -> true | _ -> false);
+      check_bool "oob high" true
+        (match Mmap_reader.record m (Mmap_reader.length m) with
+        | exception Invalid_argument _ -> true
+        | _ -> false);
+      Mmap_reader.close m)
+
+(* a shard directory maps volume-by-volume and serves the merged view *)
+let test_mmap_shard_directory () =
+  with_temp_dir (fun dir ->
+      List.iter
+        (fun j ->
+          let path = Filename.concat dir (Printf.sprintf "shard_%02d_of_03.nfs" j) in
+          ignore (Build.build ~shard:(j, 3) ~chunk:4 ~path ~n:5 ()))
+        [ 1; 2; 3 ];
+      let idx = Index.load ~path:dir in
+      let m = Mmap_reader.open_store ~path:dir () in
+      check_int "volumes" 3 (List.length (Mmap_reader.volumes m));
+      check_int "length" (Index.length idx) (Mmap_reader.length m);
+      check_bool "merged header unsharded" true
+        ((Mmap_reader.header m).Layout.shard = None);
+      Array.iteri
+        (fun i r ->
+          check_bool (Printf.sprintf "record %d" i) true (record_equal r (Mmap_reader.record m i)))
+        (Index.entries idx);
+      Mmap_reader.close m)
+
+(* the decoded-chunk cache honors its bound; iter bypasses it *)
+let test_mmap_cache_bound () =
+  with_store ~chunk:4 5 (fun path ->
+      let m = Mmap_reader.open_store ~cache_chunks:2 ~path () in
+      for i = 0 to Mmap_reader.length m - 1 do
+        ignore (Mmap_reader.record m i);
+        check_bool "bound" true (Mmap_reader.cached_chunks m <= 2)
+      done;
+      check_bool "cache in use" true (Mmap_reader.cached_chunks m > 0);
+      Mmap_reader.close m;
+      check_int "close drops cache" 0 (Mmap_reader.cached_chunks m);
+      let uncached = Mmap_reader.open_store ~cache_chunks:0 ~path () in
+      for i = 0 to Mmap_reader.length uncached - 1 do
+        ignore (Mmap_reader.record uncached i)
+      done;
+      check_int "cache disabled" 0 (Mmap_reader.cached_chunks uncached);
+      let streaming = Mmap_reader.open_store ~path () in
+      Mmap_reader.iter streaming (fun _ _ -> ());
+      check_int "iter bypasses cache" 0 (Mmap_reader.cached_chunks streaming))
+
+(* a damaged chunk body maps fine, fails loudly on first decode, and
+   leaves every other chunk serving *)
+let test_mmap_corruption_isolated () =
+  with_store ~chunk:4 5 (fun path ->
+      let bytes = read_file path in
+      let at = Layout.header_size + Layout.chunk_header_size + 2 in
+      let damaged = Bytes.of_string bytes in
+      Bytes.set damaged at (Char.chr (Char.code (Bytes.get damaged at) lxor 0x40));
+      write_file path (Bytes.to_string damaged);
+      let m = Mmap_reader.open_store ~path () in
+      check_bool "chunk 0 corrupt on access" true
+        (match Mmap_reader.record m 0 with exception Layout.Corrupt _ -> true | _ -> false);
+      (* the last record lives in the last chunk, untouched by the flip *)
+      let last = Mmap_reader.length m - 1 in
+      check_bool "last chunk still serves" true
+        (String.length (Mmap_reader.graph6 m last) > 0);
+      Mmap_reader.close m)
+
+(* open-time framing validation: a truncated tail is refused outright *)
+let test_mmap_truncation_refused () =
+  with_store ~chunk:4 5 (fun path ->
+      let bytes = read_file path in
+      write_file path (String.sub bytes 0 (String.length bytes - 7));
+      check_bool "truncated store refused" true
+        (match Mmap_reader.open_store ~path () with
+        | exception Layout.Corrupt _ -> true
+        | m ->
+          Mmap_reader.close m;
+          false))
+
+(* --- α-interval index --------------------------------------------------- *)
+
+let ep r = Interval.Finite r
+
+(* hand-picked regions exercising every endpoint shape: closed/open on
+   either side, points, rays, unions, empties *)
+let unit_pieces =
+  [|
+    [ Interval.closed (Rat.of_int 1) (Rat.of_int 2) ];
+    [ Interval.make ~lo:(ep Rat.one) ~lo_closed:false ~hi:(ep (Rat.of_int 2)) ~hi_closed:false ];
+    [ Interval.point (Rat.make 3 2) ];
+    [ Interval.make ~lo:Interval.Neg_inf ~lo_closed:false ~hi:(ep Rat.one) ~hi_closed:true ];
+    [ Interval.make ~lo:(ep (Rat.of_int 2)) ~lo_closed:true ~hi:Interval.Pos_inf ~hi_closed:false ];
+    [];
+    [ Interval.open_closed Rat.zero (ep Rat.one); Interval.closed (Rat.of_int 2) (Rat.of_int 3) ];
+    [ Interval.empty ];
+    [ Interval.full ];
+  |]
+
+let naive_stable_at pieces ~alpha =
+  let hit ps = List.exists (fun p -> Interval.mem alpha p) ps in
+  Array.to_list pieces
+  |> List.mapi (fun i ps -> (i, ps))
+  |> List.filter_map (fun (i, ps) -> if hit ps then Some i else None)
+
+(* probe set for a piece array: every distinct endpoint exactly, points
+   just off each endpoint, midpoints of consecutive endpoints, and a
+   point beyond each end of the line *)
+let probes_of_endpoints eps =
+  let eps = Array.to_list eps in
+  let nudge = Rat.make 1 1000003 in
+  let near e = [ Rat.sub e nudge; e; Rat.add e nudge ] in
+  let rec mids = function
+    | a :: (b :: _ as rest) -> Rat.div (Rat.add a b) (Rat.of_int 2) :: mids rest
+    | _ -> []
+  in
+  let outer =
+    match eps with
+    | [] -> [ Rat.zero ]
+    | first :: _ ->
+      let last = List.nth eps (List.length eps - 1) in
+      [ Rat.sub first Rat.one; Rat.add last Rat.one ]
+  in
+  List.concat_map near eps @ mids eps @ outer
+
+let test_alpha_index_unit () =
+  let idx = Alpha_index.build ~count:(Array.length unit_pieces) ~pieces:(Array.get unit_pieces) in
+  check_int "records" (Array.length unit_pieces) (Alpha_index.records idx);
+  let probes = probes_of_endpoints (Alpha_index.endpoints idx) in
+  check_bool "probes cover the endpoints" true (List.length probes > 10);
+  List.iter
+    (fun alpha ->
+      check_ids
+        (Printf.sprintf "stable at %s" (Rat.to_string alpha))
+        (naive_stable_at unit_pieces ~alpha)
+        (Alpha_index.stable_at idx ~alpha))
+    probes
+
+let qcheck test = QCheck_alcotest.to_alcotest test
+
+let arb_rat =
+  QCheck.map
+    (fun (p, q) -> Rat.make p (1 + abs q))
+    QCheck.(pair (int_range (-60) 60) (int_range 0 12))
+
+let arb_interval =
+  QCheck.map
+    (fun ((a, b), (lc, hc, shape)) ->
+      match shape mod 5 with
+      | 0 -> Interval.make ~lo:(ep (Rat.min a b)) ~lo_closed:lc ~hi:(ep (Rat.max a b)) ~hi_closed:hc
+      | 1 -> Interval.make ~lo:Interval.Neg_inf ~lo_closed:false ~hi:(ep a) ~hi_closed:hc
+      | 2 -> Interval.make ~lo:(ep a) ~lo_closed:lc ~hi:Interval.Pos_inf ~hi_closed:false
+      | 3 -> Interval.point a
+      | _ -> Interval.empty)
+    QCheck.(pair (pair arb_rat arb_rat) (triple bool bool small_nat))
+
+let prop_alpha_index_matches_naive =
+  QCheck.Test.make ~count:200 ~name:"alpha index = naive filter on random regions"
+    QCheck.(small_list (small_list arb_interval))
+    (fun regions ->
+      let pieces = Array.of_list regions in
+      let idx = Alpha_index.build ~count:(Array.length pieces) ~pieces:(Array.get pieces) in
+      List.for_all
+        (fun alpha -> naive_stable_at pieces ~alpha = Alpha_index.stable_at idx ~alpha)
+        (probes_of_endpoints (Alpha_index.endpoints idx)))
+
+(* --- satellite 3: boundary differential, every registered game ---------- *)
+
+(* at every distinct region endpoint (exactly), between consecutive
+   endpoints, and outside the endpoint span, three independent answers
+   must agree: the α-interval index, Nf_store.Query on the same store,
+   and a fresh Equilibria sweep *)
+let test_boundary_differential () =
+  List.iter
+    (fun game_name ->
+      with_store ~game:game_name ~chunk:8 5 (fun path ->
+          let idx = Index.load ~path in
+          let service = Service.create ~path () in
+          let packed = Netform.Game_registry.find_exn game_name in
+          (* the store's own distinct finite region endpoints, exactly *)
+          let endpoints =
+            let eps = ref [] in
+            Array.iter
+              (fun (r : Layout.record) ->
+                let pieces =
+                  match r.Layout.ucg with
+                  | Some u -> Interval.Union.to_list u
+                  | None -> [ r.Layout.bcg ]
+                in
+                List.iter
+                  (fun p ->
+                    match Interval.bounds p with
+                    | None -> ()
+                    | Some (lo, _, hi, _) ->
+                      List.iter
+                        (function Interval.Finite e -> eps := e :: !eps | _ -> ())
+                        [ lo; hi ])
+                  pieces)
+              (Index.entries idx);
+            Array.of_list (List.sort_uniq Rat.compare !eps)
+          in
+          check_bool (game_name ^ " has finite endpoints") true (Array.length endpoints > 0);
+          List.iter
+            (fun alpha ->
+              let served = Service.stable_ids service ~game:game_name ~alpha in
+              let queried = Query.game_entries idx ~game:game_name ~alpha in
+              check_ids
+                (Printf.sprintf "%s ids at %s" game_name (Rat.to_string alpha))
+                queried served;
+              let fresh =
+                List.map Graph6.encode
+                  (Nf_analysis.Equilibria.stable_graphs_packed packed ~n:5 ~alpha)
+              in
+              check_strings
+                (Printf.sprintf "%s graphs at %s" game_name (Rat.to_string alpha))
+                fresh
+                (Service.stable_graph6 service ~game:game_name ~alpha))
+            (probes_of_endpoints endpoints)))
+    (Netform.Game_registry.names ())
+
+(* --- service ------------------------------------------------------------ *)
+
+let test_service_query_parity () =
+  with_store ~chunk:4 5 (fun path ->
+      let idx = Index.load ~path in
+      let s = Service.create ~path () in
+      check_string "default game" "bcg" (Service.default_game s);
+      List.iter
+        (fun alpha ->
+          List.iter
+            (fun game ->
+              check_ids
+                (Printf.sprintf "%s at %s" game (Rat.to_string alpha))
+                (Query.game_entries idx ~game ~alpha)
+                (Service.stable_ids s ~game ~alpha))
+            [ "bcg"; "ucg" ])
+        [ Rat.make 1 2; Rat.one; Rat.make 3 2; Rat.of_int 2; Rat.of_int 5 ];
+      (* the rejection text matches Query.game_entries' own *)
+      let rejection f =
+        match f () with
+        | exception Invalid_argument msg -> msg
+        | _ -> "no rejection"
+      in
+      check_string "unknown game rejection"
+        (rejection (fun () -> Query.game_entries idx ~game:"transfers" ~alpha:Rat.one))
+        (rejection (fun () -> Service.stable_ids s ~game:"transfers" ~alpha:Rat.one));
+      (* figures and export byte parity, and the figure cache *)
+      check_string "figure csv"
+        (Nf_analysis.Figures.to_csv (Query.figure_points idx ()))
+        (Service.figure_csv s ());
+      let stats0 = Service.stats s in
+      check_string "figure csv (cached)"
+        (Nf_analysis.Figures.to_csv (Query.figure_points idx ()))
+        (Service.figure_csv s ());
+      let stats1 = Service.stats s in
+      check_int "cache hit counted" (stats0.Service.figure_cache_hits + 1)
+        stats1.Service.figure_cache_hits;
+      check_string "export csv" (Query.to_csv idx) (Service.export_csv s);
+      (* entry lookup round-trips every stored graph6 *)
+      Array.iteri
+        (fun i (r : Layout.record) ->
+          match Service.find_entry s ~graph6:r.Layout.graph6 with
+          | Some (j, r') ->
+            check_int "entry ordinal" i j;
+            check_bool "entry record" true (record_equal r r')
+          | None -> Alcotest.fail "entry not found")
+        (Index.entries idx);
+      check_bool "missing entry" true (Service.find_entry s ~graph6:"~~~~" = None))
+
+let test_service_game_store_figures () =
+  with_store ~game:"transfers" ~chunk:8 5 (fun path ->
+      let idx = Index.load ~path in
+      let s = Service.create ~path () in
+      check_string "default game" "transfers" (Service.default_game s);
+      check_string "game figure csv"
+        (Nf_analysis.Figures.game_csv (Query.game_figure_points idx ()))
+        (Service.figure_csv s ()))
+
+(* --- protocol ----------------------------------------------------------- *)
+
+let roundtrip req =
+  match Protocol.request_of_json (Protocol.request_to_json req) with
+  | Ok req' -> req' = req
+  | Error _ -> false
+
+let test_protocol_roundtrip () =
+  List.iter
+    (fun req -> check_bool "roundtrip" true (roundtrip req))
+    [
+      Protocol.Stable_at { game = None; alpha = Rat.make 3 2 };
+      Protocol.Stable_at { game = Some "ucg"; alpha = Rat.make (-7) 3 };
+      Protocol.Entry { graph6 = "DQc" };
+      Protocol.Figure_points { grid = None };
+      Protocol.Figure_points { grid = Some [ Rat.one; Rat.make 5 4 ] };
+      Protocol.Export;
+      Protocol.Stats;
+      Protocol.Health;
+      Protocol.Shutdown;
+    ]
+
+let test_protocol_errors () =
+  let bad line =
+    match Protocol.request_of_line line with Ok _ -> false | Error _ -> true
+  in
+  check_bool "not json" true (bad "nonsense");
+  check_bool "not an object" true (bad "[1,2]");
+  check_bool "missing op" true (bad {|{"alpha":"1"}|});
+  check_bool "unknown op" true (bad {|{"op":"frobnicate"}|});
+  check_bool "stable-at needs alpha" true (bad {|{"op":"stable-at"}|});
+  check_bool "alpha must parse" true (bad {|{"op":"stable-at","alpha":"1/0"}|});
+  check_bool "entry needs graph6" true (bad {|{"op":"entry"}|});
+  let ok line = match Protocol.request_of_line line with Ok r -> Some r | Error _ -> None in
+  check_bool "exact rational alpha" true
+    (ok {|{"op":"stable-at","alpha":"22/7"}|}
+    = Some (Protocol.Stable_at { game = None; alpha = Rat.make 22 7 }));
+  let resp = Protocol.error_response "boom" in
+  check_bool "error response" true ((not (Protocol.response_ok resp)) && Protocol.response_error resp = "boom");
+  check_bool "ok response" true (Protocol.response_ok (Protocol.ok_response [ ("op", Json.Str "health") ]))
+
+let test_json_roundtrip () =
+  List.iter
+    (fun s -> check_string "parse/print" s (Json.to_string (Json.of_string s)))
+    [
+      {|null|};
+      {|true|};
+      {|-42|};
+      {|"a\"b\\c\nd"|};
+      {|[1,2,[3,{"k":"v"}]]|};
+      {|{"ok":true,"graphs":["DQc","D]w"],"count":2}|};
+    ];
+  check_bool "parse error raised" true
+    (match Json.of_string "{" with exception Json.Parse_error _ -> true | _ -> false);
+  check_bool "trailing bytes rejected" true
+    (match Json.of_string "1 x" with exception Json.Parse_error _ -> true | _ -> false);
+  (* escapes and unicode survive a round trip through the printer *)
+  let v = Json.Obj [ ("s", Json.Str "tab\there\nand \xe2\x88\x9e") ] in
+  check_bool "reparse" true (Json.of_string (Json.to_string v) = v)
+
+(* --- daemon end-to-end --------------------------------------------------- *)
+
+let wait_for_socket path =
+  let rec go tries =
+    if tries = 0 then Alcotest.fail (Printf.sprintf "socket %s never appeared" path)
+    else if Sys.file_exists path then ()
+    else begin
+      Unix.sleepf 0.05;
+      go (tries - 1)
+    end
+  in
+  go 200
+
+let expect_str resp field =
+  match Option.bind (Json.member field resp) Json.to_str with
+  | Some s -> s
+  | None -> Alcotest.fail (Printf.sprintf "response lacks string %S" field)
+
+let expect_strings resp field =
+  match Option.bind (Json.member field resp) Json.to_list with
+  | Some l -> List.filter_map Json.to_str l
+  | None -> Alcotest.fail (Printf.sprintf "response lacks list %S" field)
+
+let test_daemon_end_to_end () =
+  with_store ~chunk:4 5 (fun path ->
+      let sock = Filename.temp_file "nf_serve_sock" ".sock" in
+      Sys.remove sock;
+      let server =
+        Domain.spawn (fun () ->
+            Server.serve ~report:ignore ~addr:(Server.Unix_socket sock) ~path ())
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          (* belt and braces: if an assertion failed mid-test, still ask
+             the daemon down so the domain can be joined *)
+          (try
+             let c = Client.connect sock in
+             ignore (Client.request c Protocol.Shutdown);
+             Client.close c
+           with _ -> ());
+          (try Domain.join server with _ -> ());
+          if Sys.file_exists sock then Sys.remove sock)
+        (fun () ->
+          wait_for_socket sock;
+          let idx = Index.load ~path in
+          (* four concurrent connections, used interleaved *)
+          let clients = List.init 4 (fun _ -> Client.connect sock) in
+          let alphas = [ Rat.make 1 2; Rat.one; Rat.make 3 2; Rat.of_int 2 ] in
+          List.iteri
+            (fun i c ->
+              let alpha = List.nth alphas i in
+              let resp = Client.request c (Protocol.Stable_at { game = None; alpha }) in
+              check_bool "ok" true (Protocol.response_ok resp);
+              check_strings
+                (Printf.sprintf "stable at %s over the wire" (Rat.to_string alpha))
+                (List.map Graph6.encode (Query.game_stable_graphs idx ~game:"bcg" ~alpha))
+                (expect_strings resp "graphs"))
+            clients;
+          (* the same connections again, out of the order they were opened *)
+          List.iteri
+            (fun i c ->
+              let resp = Client.request c Protocol.Health in
+              check_bool "health ok" true (Protocol.response_ok resp);
+              check_string (Printf.sprintf "health %d" i) "serving" (expect_str resp "status"))
+            (List.rev clients);
+          let c0 = List.hd clients in
+          let fig = Client.request c0 (Protocol.Figure_points { grid = None }) in
+          check_string "figures over the wire"
+            (Nf_analysis.Figures.to_csv (Query.figure_points idx ()))
+            (expect_str fig "csv");
+          let exp = Client.request c0 Protocol.Export in
+          check_string "export over the wire" (Query.to_csv idx) (expect_str exp "csv");
+          let entry_g6 = (Index.entries idx).(3).Layout.graph6 in
+          let ent = Client.request c0 (Protocol.Entry { graph6 = entry_g6 }) in
+          check_string "entry graph6" entry_g6 (expect_str ent "graph6");
+          (match Json.member "id" ent with
+          | Some (Json.Int 3) -> ()
+          | _ -> Alcotest.fail "entry id mismatch");
+          let missing = Client.request c0 (Protocol.Entry { graph6 = "~~~~" }) in
+          check_bool "missing entry is an error" true (not (Protocol.response_ok missing));
+          (* a malformed line answers an error and keeps the connection *)
+          let bad = Client.request_raw c0 "this is not json" in
+          check_bool "malformed line" true (not (Protocol.response_ok bad));
+          let again = Client.request c0 Protocol.Health in
+          check_bool "connection survives" true (Protocol.response_ok again);
+          let stats = Client.request c0 Protocol.Stats in
+          check_bool "stats ok" true (Protocol.response_ok stats);
+          check_bool "stats counts requests" true
+            (match Json.member "requests" stats with Some (Json.Int r) -> r > 0 | _ -> false);
+          (* shutdown: acknowledged, then the daemon drains and exits *)
+          let down = Client.request c0 Protocol.Shutdown in
+          check_string "shutdown acknowledged" "shutting-down" (expect_str down "status");
+          List.iter Client.close clients;
+          Domain.join server;
+          check_bool "socket removed" true (not (Sys.file_exists sock))))
+
+(* SIGTERM reaches the serve loop's handler and produces the same clean
+   drain as the shutdown op *)
+let test_daemon_sigterm () =
+  with_store ~chunk:4 5 (fun path ->
+      let sock = Filename.temp_file "nf_serve_sock" ".sock" in
+      Sys.remove sock;
+      let server =
+        Domain.spawn (fun () ->
+            Server.serve ~report:ignore ~addr:(Server.Unix_socket sock) ~path ())
+      in
+      wait_for_socket sock;
+      let c = Client.connect sock in
+      check_bool "serving" true (Protocol.response_ok (Client.request c Protocol.Health));
+      Client.close c;
+      Unix.kill (Unix.getpid ()) Sys.sigterm;
+      Domain.join server;
+      check_bool "socket removed" true (not (Sys.file_exists sock)))
+
+(* --- runner -------------------------------------------------------------- *)
+
+let () =
+  Alcotest.run "nf_serve"
+    [
+      ( "mmap",
+        [
+          Alcotest.test_case "record parity" `Quick test_mmap_record_parity;
+          Alcotest.test_case "shard directory" `Quick test_mmap_shard_directory;
+          Alcotest.test_case "cache bound" `Quick test_mmap_cache_bound;
+          Alcotest.test_case "corruption isolated" `Quick test_mmap_corruption_isolated;
+          Alcotest.test_case "truncation refused" `Quick test_mmap_truncation_refused;
+        ] );
+      ( "alpha index",
+        [
+          Alcotest.test_case "unit regions" `Quick test_alpha_index_unit;
+          qcheck prop_alpha_index_matches_naive;
+          Alcotest.test_case "boundary differential" `Quick test_boundary_differential;
+        ] );
+      ( "service",
+        [
+          Alcotest.test_case "query parity" `Quick test_service_query_parity;
+          Alcotest.test_case "game store figures" `Quick test_service_game_store_figures;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "request roundtrip" `Quick test_protocol_roundtrip;
+          Alcotest.test_case "request errors" `Quick test_protocol_errors;
+        ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "end to end" `Quick test_daemon_end_to_end;
+          Alcotest.test_case "sigterm" `Quick test_daemon_sigterm;
+        ] );
+    ]

@@ -756,6 +756,75 @@ let test_merge_validation () =
         ignore (Merge.merge ~force:true ~paths ~out ())
       | _ -> Alcotest.fail "expected 3 shards"))
 
+(* satellite: the streaming merge — one chunk resident at a time — emits
+   the same bytes and the same report lines as the in-memory one *)
+let test_streaming_merge_byte_parity () =
+  List.iter
+    (fun game ->
+      with_temp_dir (fun dir ->
+          ignore (build_shards ~dir ?game ~k:3 5);
+          let out_mem = Filename.concat dir "merged_mem.nfs" in
+          let out_str = Filename.concat dir "merged_str.nfs" in
+          let lines_of out streaming =
+            let lines = ref [] in
+            let m =
+              Merge.merge_dir ~streaming ~report:(fun l -> lines := l :: !lines) ~dir ~out ()
+            in
+            check_int "records" 21 m.Merge.records;
+            List.rev !lines
+          in
+          let mem_lines = lines_of out_mem false in
+          let str_lines = lines_of out_str true in
+          check_string "streaming merge byte-identical" (read_file out_mem) (read_file out_str);
+          check_bool "same report lines" true (mem_lines = str_lines)))
+    [ None; Some "transfers"; Some "ucg" ]
+
+(* fold_chunks walks a complete store chunk-by-chunk in order, and
+   verify_stream matches strict verify on both clean and damaged bytes *)
+let test_fold_chunks_and_verify_stream () =
+  with_store ~chunk:4 5 (fun path _ ->
+      let header, order, chunks, records =
+        Reader.fold_chunks ~path ~init:[] (fun h acc index recs ->
+            check_int "callback header n" 5 h.Layout.n;
+            (index, Array.length recs) :: acc)
+      in
+      check_int "n" 5 header.Layout.n;
+      check_int "records" 21 records;
+      check_bool "chunks in order" true
+        (List.rev (List.map fst order) = List.init chunks Fun.id);
+      check_int "chunk count" chunks (List.length order);
+      check_int "record partition" records
+        (List.fold_left (fun acc (_, c) -> acc + c) 0 order);
+      (* clean file: stream verify = strict verify, scan for scan *)
+      (match (Reader.verify ~path, Reader.verify_stream ~path) with
+      | Ok a, Ok b ->
+        check_int "chunks agree" a.Reader.chunks b.Reader.chunks;
+        check_int "records agree" a.Reader.records b.Reader.records;
+        check_int "data_end agrees" a.Reader.data_end b.Reader.data_end;
+        check_bool "complete" true (a.Reader.complete && b.Reader.complete)
+      | _ -> Alcotest.fail "clean store failed verification");
+      (* any flipped byte in a chunk body fails both, pinned to the chunk *)
+      let pristine = read_file path in
+      let at = Layout.header_size + Layout.chunk_header_size + 1 in
+      let damaged = Bytes.of_string pristine in
+      Bytes.set damaged at (Char.chr (Char.code (Bytes.get damaged at) lxor 0x10));
+      write_file path (Bytes.to_string damaged);
+      (match Reader.verify_stream ~path with
+      | Ok _ -> Alcotest.fail "damaged store stream-verified"
+      | Error msg ->
+        check_bool
+          (Printf.sprintf "message %S pins chunk 0" msg)
+          true
+          (String.length msg >= 7 && String.sub msg 0 7 = "chunk 0");
+        check_bool "fold_chunks raises too" true
+          (match Reader.fold_chunks ~path ~init:() (fun _ () _ _ -> ()) with
+          | exception Layout.Corrupt _ -> true
+          | _ -> false));
+      (* truncation is an error, not an exception *)
+      write_file path (String.sub pristine 0 (String.length pristine - 5));
+      check_bool "truncated is Error" true (Result.is_error (Reader.verify_stream ~path));
+      write_file path pristine)
+
 (* a shard volume crash-resumes byte-identically, like any store: the
    header's shard bits alone reconstruct the slice iterator *)
 let test_shard_resume_parity () =
@@ -912,6 +981,8 @@ let () =
           Alcotest.test_case "directory index/query" `Quick test_shard_directory_index_query;
           Alcotest.test_case "damaged shard message" `Quick test_verify_damaged_shard_message;
           Alcotest.test_case "merge validation" `Quick test_merge_validation;
+          Alcotest.test_case "streaming merge parity" `Quick test_streaming_merge_byte_parity;
+          Alcotest.test_case "fold_chunks / verify_stream" `Quick test_fold_chunks_and_verify_stream;
           Alcotest.test_case "shard resume parity" `Quick test_shard_resume_parity;
         ] );
       ( "writer",

@@ -70,10 +70,40 @@ let test_rat_compare () =
   check_bool "not is_integer" false (Rat.is_integer (Rat.make 1 2));
   check_bool "to_float" true (Rat.to_float (Rat.make 1 2) = 0.5)
 
+let test_rat_of_string () =
+  check rat "integer" (Rat.of_int 5) (Rat.of_string "5");
+  check rat "negative integer" (Rat.of_int (-12)) (Rat.of_string "-12");
+  check rat "fraction" (Rat.make 3 2) (Rat.of_string "3/2");
+  check rat "negative fraction" (Rat.make (-3) 7) (Rat.of_string "-3/7");
+  check rat "normalizes" (Rat.make 1 2) (Rat.of_string "2/4");
+  check rat "negative denominator" (Rat.make (-1) 2) (Rat.of_string "1/-2");
+  check rat "zero" Rat.zero (Rat.of_string "0");
+  List.iter
+    (fun s ->
+      check_bool (Printf.sprintf "%S rejected" s) true (Rat.of_string_opt s = None);
+      Alcotest.check_raises (Printf.sprintf "%S raises" s)
+        (Invalid_argument
+           (Printf.sprintf "Rat.of_string: %S is not an integer or P/Q rational" s))
+        (fun () -> ignore (Rat.of_string s)))
+    [ ""; " "; "1/0"; "0/0"; "1.5"; "1e3"; "1/"; "/2"; "1//2"; "0x10"; "1_000"; "+1"; "- 1"; "1/2/3" ]
+
 let rat_arbitrary =
   QCheck.map
     (fun (n, d) -> Rat.make n (if d = 0 then 1 else d))
     QCheck.(pair (int_range (-50) 50) (int_range (-20) 20))
+
+(* satellite contract: of_string is an exact left inverse of to_string *)
+let prop_rat_string_roundtrip =
+  QCheck.Test.make ~name:"rat of_string (to_string r) = r" ~count:500 rat_arbitrary
+    (fun r -> Rat.equal r (Rat.of_string (Rat.to_string r)))
+
+(* and on raw P/Q spellings it agrees with make, normalization included *)
+let prop_rat_of_string_pq =
+  QCheck.Test.make ~name:"rat of_string P/Q = make P Q" ~count:500
+    QCheck.(pair (int_range (-200) 200) (int_range (-40) 40))
+    (fun (p, q) ->
+      let q = if q = 0 then 1 else q in
+      Rat.equal (Rat.make p q) (Rat.of_string (Printf.sprintf "%d/%d" p q)))
 
 let prop_rat_add_commutative =
   QCheck.Test.make ~name:"rat add commutative" ~count:500
@@ -399,6 +429,9 @@ let () =
           Alcotest.test_case "normalization" `Quick test_rat_normalization;
           Alcotest.test_case "arithmetic" `Quick test_rat_arith;
           Alcotest.test_case "compare" `Quick test_rat_compare;
+          Alcotest.test_case "of_string" `Quick test_rat_of_string;
+          qcheck prop_rat_string_roundtrip;
+          qcheck prop_rat_of_string_pq;
           qcheck prop_rat_add_commutative;
           qcheck prop_rat_mul_distributes;
           qcheck prop_rat_ordering_total;
