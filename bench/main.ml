@@ -2,7 +2,7 @@
 
    Running this executable does two things:
 
-   1. prints every table and figure of the paper's evaluation (the E1-E21
+   1. prints every table and figure of the paper's evaluation (the E1-E22
       reproduction suite from nf_analysis.Experiments) — the "rows and
       series the paper reports";
    2. times the computation behind each artifact with Bechamel, one
@@ -188,6 +188,15 @@ let kernel_tests =
     Test.make ~name:"graph6_roundtrip_n30" (Staged.stage (fun () ->
         let g = Nf_graph.Random_graph.gnp (Nf_util.Prng.create 11) 30 0.3 in
         Nf_graph.Graph6.decode (Nf_graph.Graph6.encode g)));
+    (* the multi-word BFS trajectory: full APSP distance sums over a
+       4-word slab (n=256 at the mc-poa default density) — the inner-loop
+       cost every large-n Monte-Carlo move evaluation rests on *)
+    (let g256 =
+       Nf_graph.Random_graph.gnp (Nf_util.Prng.create 256)
+         256 (Nf_dynamics.Mc_poa.default_init_p 256)
+     in
+     Test.make ~name:"all_sums_n256" (Staged.stage (fun () ->
+         Nf_graph.Kernel.with_loaded g256 Nf_graph.Kernel.all_distance_sums)));
   ]
 
 (* registry-driven games: the extension game's full annotation sweep
@@ -353,6 +362,24 @@ let store_rows () =
         ("netform/serve/warm_query_n7", Some (warm_query *. 1e9));
         ("netform/serve/interval_index_n8", Some (index8_t *. 1e9)) ])
 
+(* ---------------- large-n dynamics trajectory ---------------- *)
+
+(* The multi-word kernel acceptance row: one seeded Monte-Carlo trial at
+   n=128 (a 3-word slab) run end to end — G(n,p) init, the randomized
+   better-response walk to pairwise stability, exact social cost of the
+   converged state.  One-shot wall clock for the same reason as the store
+   rows: a single trial runs for ~0.5s, far past any sensible Bechamel
+   quota. *)
+let dynamics_rows () =
+  let t0 = Unix.gettimeofday () in
+  let trials = Nf_dynamics.Mc_poa.run ~n:128 ~alpha:(Rat.of_int 2) ~trials:1 ~seed:1 () in
+  let dt = Unix.gettimeofday () -. t0 in
+  let t = List.hd trials in
+  assert t.Nf_dynamics.Mc_poa.converged;
+  Printf.printf "\nmc-poa n=128 smoke: %d evals, %d moves, converged in %.2fs\n%!"
+    t.Nf_dynamics.Mc_poa.evals t.Nf_dynamics.Mc_poa.moves dt;
+  [ ("netform/dynamics/mc_poa_n128_smoke", Some (dt *. 1e9)) ]
+
 (* ---------------- machine-readable report ---------------- *)
 
 let json_escape s =
@@ -446,7 +473,7 @@ let run_benchmarks () =
         | Some _ | None -> (name, None))
       rows
   in
-  let rows = rows @ store_rows () in
+  let rows = rows @ store_rows () @ dynamics_rows () in
   List.iter
     (fun (name, estimate) ->
       match estimate with

@@ -8,8 +8,9 @@
      enumerate    equilibrium counts over all connected topologies
      sweep        Figures 2 & 3, or any one game's sweep via --game
      dynamics     run improving-path / best-response dynamics (--game)
+     mc-poa       Monte-Carlo PoA estimate at large n (seeded, CSV)
      annotate     export the equilibrium atlas (graph6 + exact regions)
-     experiments  run the full E1-E21 reproduction suite
+     experiments  run the full E1-E22 reproduction suite
      store        persistent equilibrium-atlas store (build | resume |
                   query | verify | export | merge | shards), classic or
                   --game stores; build accepts --shard I/K and merge
@@ -297,19 +298,29 @@ let dynamics jobs game_str n alpha seed steps =
       Printf.eprintf "game %S has no improving-path dynamics\n" name;
       1
     | Some packed ->
-      let start = Nf_graph.Random_graph.connected_gnp rng n 0.3 in
-      Printf.printf "start: %s\n" (Graph.to_string start);
+      let start =
+        Nf_graph.Random_graph.connected_gnp rng n
+          (if n > 62 then Nf_dynamics.Mc_poa.default_init_p n else 0.3)
+      in
+      (* past the one-word order, edge lists and per-move traces flood the
+         terminal: print graphs as order/size summaries instead *)
+      let show g =
+        if n > 62 then Printf.sprintf "graph(n=%d, m=%d)" (Graph.order g) (Graph.size g)
+        else Graph.to_string g
+      in
+      Printf.printf "start: %s\n" (show start);
       let outcome = Nf_dynamics.Game_dynamics.run packed ~alpha ~rng ~max_steps:steps start in
-      List.iter
-        (fun move ->
-          match move with
-          | Game.Add (i, j) -> Printf.printf "  + link %d-%d\n" i j
-          | Game.Delete (i, j) -> Printf.printf "  - link %d-%d (severed by %d)\n" i j i)
-        outcome.Nf_dynamics.Game_dynamics.trace;
+      if n <= 62 then
+        List.iter
+          (fun move ->
+            match move with
+            | Game.Add (i, j) -> Printf.printf "  + link %d-%d\n" i j
+            | Game.Delete (i, j) -> Printf.printf "  - link %d-%d (severed by %d)\n" i j i)
+          outcome.Nf_dynamics.Game_dynamics.trace;
       Printf.printf "final (%s after %d moves): %s\n"
         (if outcome.Nf_dynamics.Game_dynamics.converged then "stable" else "step cap hit")
         outcome.Nf_dynamics.Game_dynamics.steps
-        (Graph.to_string outcome.Nf_dynamics.Game_dynamics.final);
+        (show outcome.Nf_dynamics.Game_dynamics.final);
       0)
 
 let dynamics_cmd =
@@ -326,6 +337,65 @@ let dynamics_cmd =
     (Cmd.info "dynamics"
        ~doc:"Run improving-path dynamics for any registered game, or UCG best response")
     Term.(const dynamics $ jobs_opt $ game $ n_arg 8 $ alpha_opt $ seed $ steps)
+
+(* ---------------- mc-poa ---------------- *)
+
+let mc_poa jobs n alpha trials seed factor init_p csv =
+  setup jobs;
+  if n < 2 then begin
+    Printf.eprintf "mc-poa: need -n >= 2\n";
+    1
+  end
+  else begin
+    let results =
+      Nf_dynamics.Mc_poa.run ?init_p ~max_evals_factor:factor ~n ~alpha ~trials ~seed ()
+    in
+    print_string
+      (Nf_dynamics.Mc_poa.summary_to_string
+         (Nf_dynamics.Mc_poa.summarize ~n ~alpha results));
+    (match csv with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Nf_dynamics.Mc_poa.to_csv ~n ~alpha results);
+      close_out oc;
+      Printf.printf "wrote %s\n" path);
+    0
+  end
+
+let mc_poa_cmd =
+  let trials =
+    Arg.(value & opt int 4 & info [ "trials" ] ~docv:"T" ~doc:"Number of seeded trials.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED") in
+  let factor =
+    Arg.(
+      value & opt int 60
+      & info [ "max-evals-factor" ] ~docv:"F"
+          ~doc:
+            "Per-trial evaluation budget, as a multiple of C(n,2) pair slots; a trial \
+             still churning past it is reported unconverged.")
+  in
+  let init_p =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "init-p" ] ~docv:"P"
+          ~doc:
+            "Edge density of the connected G(n,p) initial graphs (default \
+             (ln n + 1)/n, just above the connectivity threshold).")
+  in
+  Cmd.v
+    (Cmd.info "mc-poa"
+       ~doc:
+         "Monte-Carlo price-of-anarchy estimate for the BCG at large n: seeded random \
+          starts, randomized better-response walks to pairwise stability, exact-rational \
+          social cost against the star/clique optimum, reported next to the paper's \
+          O(min(sqrt(alpha), n/sqrt(alpha))) bound.  Fixed seed implies byte-identical \
+          CSV output whatever $(b,--jobs) is.")
+    Term.(
+      const mc_poa $ jobs_opt $ n_arg 128 $ alpha_opt $ trials $ seed $ factor $ init_p
+      $ csv_opt)
 
 (* ---------------- annotate ---------------- *)
 
@@ -437,7 +507,7 @@ let experiments_cmd =
   Cmd.v
     (Cmd.info "experiments"
        ~doc:
-         "Run the full paper-reproduction suite (E1-E21), or one game's sweep experiment \
+         "Run the full paper-reproduction suite (E1-E22), or one game's sweep experiment \
           with $(b,--game)")
     Term.(
       const experiments $ jobs_opt $ n_arg 6 $ game_opt $ only_opt $ out_dir_opt
@@ -1098,7 +1168,7 @@ let main_cmd =
        ~doc:"Bilateral vs unilateral network formation (Corbo & Parkes, PODC 2005)")
     [
       stability_cmd; named_cmd; games_cmd; enumerate_cmd; sweep_cmd; dynamics_cmd;
-      annotate_cmd; experiments_cmd; store_cmd; serve_cmd; query_cmd;
+      mc_poa_cmd; annotate_cmd; experiments_cmd; store_cmd; serve_cmd; query_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

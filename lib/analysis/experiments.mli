@@ -1,6 +1,6 @@
-(** The per-experiment runners indexed in DESIGN.md (E1–E21): one per
+(** The per-experiment runners indexed in DESIGN.md (E1–E22): one per
     table/figure/claim in the paper (E1–E13) plus the extension studies
-    (E14–E21).  Each produces a self-contained text report; {!run_all}
+    (E14–E22).  Each produces a self-contained text report; {!run_all}
     concatenates every experiment at the given size.
 
     Defaults keep a full run to a couple of minutes; the [n] parameters
@@ -8,7 +8,7 @@
     cost. *)
 
 type result = {
-  id : string;  (** "E1" ... "E21" *)
+  id : string;  (** "E1" ... "E22" *)
   title : string;
   body : string;  (** rendered tables/plots *)
   ok : bool;  (** all programmatic assertions in the experiment held *)
@@ -73,6 +73,14 @@ val e21_stochastic_stability : ?n:int -> unit -> result
     + minimum arborescences over all labeled stable states.  Asserts the
     observed characterization: the stochastically stable states are
     exactly the connected pairwise stable states. *)
+
+val e22_large_n_monte_carlo : ?n:int -> ?trials:int -> unit -> result
+(** The large-n regime through the multi-word kernel: Monte-Carlo PoA
+    estimates ({!Nf_dynamics.Mc_poa}) at n/2 and n (default n = 128)
+    reported against Proposition 4's [min(√α, n/√α)] curve, with every
+    converged sample re-verified by [Bcg.is_pairwise_stable]; plus the
+    exact stability windows of the n-cycle (Lemma 6) and a 200-leaf star,
+    computed directly at orders enumeration never reaches. *)
 
 val game_sweep : game:string -> ?n:int -> unit -> result
 (** Single-game exhaustive sweep ([netform experiments --game]) for any

@@ -1,0 +1,336 @@
+module Graph = Nf_graph.Graph
+module Kernel = Nf_graph.Kernel
+module Random_graph = Nf_graph.Random_graph
+module Prng = Nf_util.Prng
+module Rat = Nf_util.Rat
+module Pool = Nf_util.Pool
+module Theory = Netform.Theory
+
+(* Large-n Monte-Carlo price-of-anarchy estimation for the bilateral
+   connection game.
+
+   Exhaustive annotation stops at the enumerable orders; this module
+   samples instead: seeded random initial graphs, a randomized
+   first-improvement better-response walk run entirely inside a kernel
+   workspace (edge toggles + allocation-free BFS, so n in the hundreds is
+   a per-trial cost of seconds, not hours), and the exact-rational social
+   cost of the resulting stable states against the closed-form optimum.
+
+   The improving-move semantics are copied predicate-for-predicate from
+   [Bcg] ([addition_blocks] / deletion loss with the same integer
+   cross-multiplication), so a converged trial is pairwise stable by
+   [Bcg.is_pairwise_stable]'s own definition — the differential tests pin
+   exactly that. *)
+
+let inf = Kernel.inf
+
+type trial = {
+  index : int;  (** trial number within the run *)
+  seed : int;  (** derived per-trial PRNG seed *)
+  init_edges : int;
+  moves : int;  (** improving moves applied *)
+  evals : int;  (** pair-slots evaluated (the convergence-time measure) *)
+  converged : bool;  (** reached a pairwise-stable state within the budget *)
+  final_edges : int;
+  diameter : int;  (** of the final graph; [-1] when disconnected *)
+  social_cost : Rat.t option;  (** exact [2αm + W]; [None] when disconnected *)
+  poa : Rat.t option;  (** social cost / closed-form optimum *)
+  final : Graph.t;
+}
+
+type summary = {
+  n : int;
+  alpha : Rat.t;
+  trials : int;
+  converged_trials : int;
+  mean_poa : float;  (** over converged trials; [nan] when none *)
+  max_poa : float;
+  mean_moves : float;
+  max_evals_seen : int;
+  theory_bound : float;  (** [Theory.poa_upper_bound] at this α, n *)
+}
+
+(* closed-form optimum (Lemma 4/5): min of star and clique social cost,
+   kept exact-rational — 2α(n−1) + 2(n−1)² vs αn(n−1) + n(n−1) *)
+let optimum_cost ~alpha n =
+  let star =
+    Rat.add
+      (Rat.mul (Rat.of_int (2 * (n - 1))) alpha)
+      (Rat.of_int (2 * (n - 1) * (n - 1)))
+  in
+  let clique =
+    Rat.add (Rat.mul (Rat.of_int (n * (n - 1))) alpha) (Rat.of_int (n * (n - 1)))
+  in
+  if Rat.compare star clique <= 0 then star else clique
+
+(* same integer benefit/loss algebra as [Bcg] *)
+let ibenefit ~base after = if base = inf then (if after = inf then 0 else inf) else base - after
+let iloss ~base after = if base = inf || after = inf then inf else after - base
+
+(* splitmix-style spread of the base seed so per-trial streams are
+   independent of each other and of how trials land on domains *)
+let trial_seed ~seed index = seed + (0x9E3779B9 * (index + 1))
+
+let default_init_p n =
+  if n < 2 then 0.0 else Float.min 1.0 ((log (float_of_int n) +. 1.0) /. float_of_int n)
+
+let run_trial ~n ~alpha ~max_evals ~init_p ~seed index =
+  if n < 2 then invalid_arg "Mc_poa.run_trial: need n >= 2";
+  let tseed = trial_seed ~seed index in
+  let rng = Prng.create tseed in
+  let p = match init_p with Some p -> p | None -> default_init_p n in
+  (* connected start: severing a bridge costs the severing player an
+     infinite distance sum, so no improving deletion ever disconnects —
+     a connected initial graph pins every final state to a finite social
+     cost instead of the vacuously-stable multi-component artifacts a
+     raw G(n,p) draw can fall into *)
+  let g0 = Random_graph.connected_gnp rng n p in
+  let init_edges = Graph.size g0 in
+  (* the cyclic scan order: one seeded shuffle of the C(n,2) pairs *)
+  let np = n * (n - 1) / 2 in
+  let pairs = Array.make np 0 in
+  let t = ref 0 in
+  Nf_util.Subset.iter_pairs n (fun i j ->
+      pairs.(!t) <- (i * n) + j;
+      incr t);
+  Prng.shuffle rng pairs;
+  Kernel.with_loaded g0 (fun ws ->
+      let num = Rat.num alpha
+      and den = Rat.den alpha in
+      let lt k = k = inf || num < k * den
+      and le k = k = inf || num <= k * den in
+      (* Lazily-versioned distance-sum cache: an applied move changes
+         distances for potentially every vertex, but each evaluation only
+         reads the two endpoints' sums — so instead of an O(n · BFS)
+         all-sources refresh per move, each vertex's sum is recomputed by
+         one single-source sweep the first time it is read after a move.
+         [ver.(v) = cur] certifies [base.(v)] is current. *)
+      let base = Array.make n 0
+      and ver = Array.make n 0
+      and cur = ref 1 in
+      let base_of v =
+        if ver.(v) <> !cur then begin
+          base.(v) <- Kernel.distance_sum_from ws v;
+          ver.(v) <- !cur
+        end;
+        base.(v)
+      in
+      let m = ref init_edges
+      and moves = ref 0
+      and evals = ref 0
+      and pass_moves = ref 0
+      and stable = ref false
+      and idx = ref 0 in
+      while (not !stable) && !evals < max_evals do
+        if !idx >= np then
+          (* Convergence certificate: one complete pass over the C(n,2)
+             pairs with no improving move — every pair was then evaluated
+             on the same unchanging graph, which is pairwise stability by
+             definition.  A count of consecutive clean evaluations would
+             NOT do: the order is re-drawn between passes, and a clean
+             window spanning two permutations can miss pairs entirely. *)
+          if !pass_moves = 0 then stable := true
+          else begin
+            idx := 0;
+            pass_moves := 0;
+            (* a FIXED scan order can trap first-improvement dynamics in
+               a deterministic better-response cycle (the BCG has no
+               potential function); re-drawing the order every pass makes
+               the walk a randomized round-based process that escapes
+               such cycles with probability 1 *)
+            Prng.shuffle rng pairs
+          end
+        else begin
+        let code = pairs.(!idx) in
+        incr idx;
+        incr evals;
+        let i = code / n
+        and j = code mod n in
+        (* both endpoints' pre-move sums, refreshed before the toggle so
+           the cache always describes the untoggled graph *)
+        let bi_base = base_of i in
+        let bj_base = base_of j in
+        let applied =
+          if Kernel.has_edge ws i j then begin
+            (* deletion slot: either endpoint severs unilaterally.  The
+               second endpoint's BFS runs only when the first did not
+               already decide the move — lazily skipping roughly half
+               the sweeps without changing the predicate. *)
+            Kernel.toggle ws i j;
+            let li = iloss ~base:bi_base (Kernel.distance_sum_from ws i) in
+            let improving =
+              (not (le li))
+              || not (le (iloss ~base:bj_base (Kernel.distance_sum_from ws j)))
+            in
+            if improving then begin
+              decr m;
+              true
+            end
+            else begin
+              Kernel.toggle ws i j;
+              false
+            end
+          end
+          else begin
+            (* addition slot: bilateral, both must consent — the exact
+               [Bcg.addition_blocks] predicate
+               [(lt bi && le bj) || (lt bj && le bi)].  When [le bi]
+               fails both disjuncts are dead (lt ⊆ le), so [j]'s BFS is
+               skipped. *)
+            Kernel.toggle ws i j;
+            let bi = ibenefit ~base:bi_base (Kernel.distance_sum_from ws i) in
+            let improving =
+              le bi
+              &&
+              let bj = ibenefit ~base:bj_base (Kernel.distance_sum_from ws j) in
+              (lt bi && le bj) || (lt bj && le bi)
+            in
+            if improving then begin
+              incr m;
+              true
+            end
+            else begin
+              Kernel.toggle ws i j;
+              false
+            end
+          end
+        in
+        if applied then begin
+          incr moves;
+          incr pass_moves;
+          (* one version bump invalidates every cached sum in O(1);
+             refreshes happen per-endpoint on demand, never as an
+             all-sources sweep *)
+          incr cur
+        end
+        end
+      done;
+      let converged = !stable in
+      (* final statistics off one full fresh sweep *)
+      let sums = Kernel.all_distance_sums ws in
+      let ecc = Kernel.eccentricities ws in
+      let wiener = ref 0
+      and diameter = ref 0
+      and connected = ref true in
+      for v = 0 to n - 1 do
+        if sums.(v) = inf then connected := false
+        else begin
+          wiener := !wiener + sums.(v);
+          if ecc.(v) > !diameter then diameter := ecc.(v)
+        end
+      done;
+      let social_cost, poa =
+        if not !connected then (None, None)
+        else begin
+          let cost =
+            Rat.add (Rat.mul (Rat.of_int (2 * !m)) alpha) (Rat.of_int !wiener)
+          in
+          (Some cost, Some (Rat.div cost (optimum_cost ~alpha n)))
+        end
+      in
+      let final =
+        Graph.build n (fun add ->
+            for v = 0 to n - 1 do
+              Kernel.iter_neighbors ws v (fun w -> if v < w then add v w)
+            done)
+      in
+      {
+        index;
+        seed = tseed;
+        init_edges;
+        moves = !moves;
+        evals = !evals;
+        converged;
+        final_edges = !m;
+        diameter = (if !connected then !diameter else -1);
+        social_cost;
+        poa;
+        final;
+      })
+
+let run ?pool ?init_p ?(max_evals_factor = 60) ~n ~alpha ~trials ~seed () =
+  if n < 2 then invalid_arg "Mc_poa.run: need n >= 2";
+  if trials < 1 then invalid_arg "Mc_poa.run: need trials >= 1";
+  let np = n * (n - 1) / 2 in
+  let max_evals = max np (max_evals_factor * np) in
+  Pool.parallel_map ?pool
+    (run_trial ~n ~alpha ~max_evals ~init_p ~seed)
+    (List.init trials Fun.id)
+
+let summarize ~n ~alpha results =
+  let trials = List.length results in
+  let converged = List.filter (fun t -> t.converged) results in
+  let poas =
+    List.filter_map (fun t -> Option.map Rat.to_float t.poa) converged
+  in
+  let mean_poa =
+    match poas with
+    | [] -> nan
+    | _ -> List.fold_left ( +. ) 0.0 poas /. float_of_int (List.length poas)
+  in
+  let max_poa =
+    match poas with
+    | [] -> nan
+    | _ -> List.fold_left Float.max neg_infinity poas
+  in
+  let mean_moves =
+    match converged with
+    | [] -> nan
+    | _ ->
+      List.fold_left (fun acc t -> acc +. float_of_int t.moves) 0.0 converged
+      /. float_of_int (List.length converged)
+  in
+  {
+    n;
+    alpha;
+    trials;
+    converged_trials = List.length converged;
+    mean_poa;
+    max_poa;
+    mean_moves;
+    max_evals_seen = List.fold_left (fun acc t -> max acc t.evals) 0 results;
+    theory_bound = Theory.poa_upper_bound ~alpha:(Rat.to_float alpha) ~n;
+  }
+
+(* ---------------- deterministic CSV ----------------
+   Fixed seed ⇒ byte-identical output whatever the pool width: trials are
+   seeded independently and [Pool.parallel_map] returns results in input
+   order. *)
+
+let csv_header =
+  "trial,seed,n,alpha,init_edges,moves,evals,converged,final_edges,diameter,\
+   social_cost,opt_cost,poa"
+
+let csv_row ~n ~alpha t =
+  let opt = optimum_cost ~alpha n in
+  Printf.sprintf "%d,%d,%d,%s,%d,%d,%d,%d,%d,%s,%s,%s,%s" t.index t.seed n
+    (Rat.to_string alpha) t.init_edges t.moves t.evals
+    (if t.converged then 1 else 0)
+    t.final_edges
+    (if t.diameter < 0 then "inf" else string_of_int t.diameter)
+    (match t.social_cost with Some c -> Rat.to_string c | None -> "inf")
+    (Rat.to_string opt)
+    (match t.poa with Some r -> Printf.sprintf "%.6f" (Rat.to_float r) | None -> "inf")
+
+let to_csv ~n ~alpha results =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf csv_header;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun t ->
+      Buffer.add_string buf (csv_row ~n ~alpha t);
+      Buffer.add_char buf '\n')
+    results;
+  Buffer.contents buf
+
+let summary_to_string s =
+  let b = Buffer.create 256 in
+  Printf.bprintf b "mc-poa: n=%d alpha=%s trials=%d converged=%d\n" s.n
+    (Rat.to_string s.alpha) s.trials s.converged_trials;
+  Printf.bprintf b "  PoA estimate: mean=%.4f max=%.4f (converged trials)\n" s.mean_poa
+    s.max_poa;
+  Printf.bprintf b "  theory: PoA <= O(min(sqrt(a), n/sqrt(a))) = %.4f at this (a, n)\n"
+    s.theory_bound;
+  Printf.bprintf b "  convergence: mean moves=%.1f, worst evals=%d\n" s.mean_moves
+    s.max_evals_seen;
+  Buffer.contents b

@@ -1,24 +1,29 @@
 module Bitset = Nf_util.Bitset
 module Ext_int = Nf_util.Ext_int
 
-(* Frontier-based BFS over bitset rows: the next frontier is the union of
-   the neighbor rows of the current frontier minus everything seen, so each
-   level costs O(n) word operations instead of a queue per vertex. *)
+(* Textbook queue BFS over [Graph.iter_neighbors].  Deliberately NOT the
+   kernel's bitset-frontier algebra: this is the persistent reference the
+   kernel is differential-tested against, so it should share as little
+   machinery with it as possible.  Works at any order. *)
 let distances g src =
   let n = Graph.order g in
+  if src < 0 || src >= n then invalid_arg "Bfs.distances: vertex out of range";
   let dist = Array.make n (-1) in
   dist.(src) <- 0;
-  let seen = ref (Bitset.singleton src) in
-  let frontier = ref (Bitset.singleton src) in
-  let level = ref 0 in
-  while not (Bitset.is_empty !frontier) do
-    incr level;
-    let next = ref Bitset.empty in
-    Bitset.iter (fun v -> next := Bitset.union !next (Graph.neighbors g v)) !frontier;
-    let next_frontier = Bitset.diff !next !seen in
-    Bitset.iter (fun v -> dist.(v) <- !level) next_frontier;
-    seen := Bitset.union !seen next_frontier;
-    frontier := next_frontier
+  let queue = Array.make n 0 in
+  queue.(0) <- src;
+  let head = ref 0
+  and tail = ref 1 in
+  while !head < !tail do
+    let v = queue.(!head) in
+    incr head;
+    let dv = dist.(v) in
+    Graph.iter_neighbors g v (fun w ->
+        if dist.(w) < 0 then begin
+          dist.(w) <- dv + 1;
+          queue.(!tail) <- w;
+          incr tail
+        end)
   done;
   dist
 
@@ -27,26 +32,12 @@ let distances_ext g src =
     (fun d -> if d < 0 then Ext_int.Inf else Ext_int.Fin d)
     (distances g src)
 
-(* Same levels as [distances], but stops the moment [dst] enters a
-   frontier instead of exhausting the component. *)
 let distance g src dst =
   let n = Graph.order g in
   if src < 0 || src >= n || dst < 0 || dst >= n then
     invalid_arg "Bfs.distance: vertex out of range";
-  if src = dst then Ext_int.Fin 0
-  else begin
-    let rec go seen frontier level =
-      if Bitset.is_empty frontier then Ext_int.Inf
-      else begin
-        let next = ref Bitset.empty in
-        Bitset.iter (fun v -> next := Bitset.union !next (Graph.neighbors g v)) frontier;
-        let fresh = Bitset.diff !next seen in
-        if Bitset.mem dst fresh then Ext_int.Fin level
-        else go (Bitset.union seen fresh) fresh (level + 1)
-      end
-    in
-    go (Bitset.singleton src) (Bitset.singleton src) 1
-  end
+  let d = (distances g src).(dst) in
+  if d < 0 then Ext_int.Inf else Ext_int.Fin d
 
 let distance_sum g v =
   let dist = distances g v in
@@ -63,6 +54,11 @@ let eccentricity g v =
   if !disconnected then Ext_int.Inf else Ext_int.Fin !worst
 
 let reachable g src =
+  let n = Graph.order g in
+  if n > Bitset.max_size then
+    invalid_arg
+      (Printf.sprintf "Bfs.reachable: order %d > %d (one-word bitset result)" n
+         Bitset.max_size);
   let dist = distances g src in
   let acc = ref Bitset.empty in
   Array.iteri (fun v d -> if d >= 0 then acc := Bitset.add v !acc) dist;

@@ -11,8 +11,8 @@ val distances_ext : Graph.t -> int -> Nf_util.Ext_int.t array
 (** As {!distances} with unreachable vertices mapped to [Inf]. *)
 
 val distance : Graph.t -> int -> int -> Nf_util.Ext_int.t
-(** [distance g src dst] is the hop distance, with early exit as soon as
-    the BFS labels [dst] (it agrees with [(distances g src).(dst)]).
+(** [distance g src dst] is the hop distance (it agrees with
+    [(distances g src).(dst)]).
     @raise Invalid_argument when either vertex is out of range. *)
 
 val distance_sum : Graph.t -> int -> Nf_util.Ext_int.t
@@ -23,4 +23,5 @@ val eccentricity : Graph.t -> int -> Nf_util.Ext_int.t
 (** Greatest distance from the vertex; [Inf] when [g] is disconnected. *)
 
 val reachable : Graph.t -> int -> Nf_util.Bitset.t
-(** The connected component of the vertex, as a bitset. *)
+(** The connected component of the vertex, as a one-word bitset.
+    @raise Invalid_argument when the order exceeds 62. *)

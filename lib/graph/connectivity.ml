@@ -2,10 +2,18 @@ module Bitset = Nf_util.Bitset
 
 let is_connected g =
   let n = Graph.order g in
-  n = 0 || Bitset.cardinal (Bfs.reachable g 0) = n
+  n = 0
+  ||
+  let reached = ref 0 in
+  Array.iter (fun d -> if d >= 0 then incr reached) (Bfs.distances g 0);
+  !reached = n
 
 let components g =
   let n = Graph.order g in
+  if n > Bitset.max_size then
+    invalid_arg
+      (Printf.sprintf "Connectivity.components: order %d > %d (one-word bitset \
+                       components)" n Bitset.max_size);
   let remaining = ref (Bitset.full n) in
   let acc = ref [] in
   while not (Bitset.is_empty !remaining) do

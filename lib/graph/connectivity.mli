@@ -6,10 +6,12 @@
     contribution is [+∞]. *)
 
 val is_connected : Graph.t -> bool
-(** The empty graph (0 vertices) counts as connected. *)
+(** The empty graph (0 vertices) counts as connected.  Works at any
+    order. *)
 
 val components : Graph.t -> Nf_util.Bitset.t list
-(** Connected components as vertex bitsets, ordered by least vertex. *)
+(** Connected components as one-word vertex bitsets, ordered by least
+    vertex.  @raise Invalid_argument when the order exceeds 62. *)
 
 val component_count : Graph.t -> int
 

@@ -1,51 +1,90 @@
 module Bitset = Nf_util.Bitset
+module Bw = Nf_util.Bitset_w
 
+(* Adjacency lives in one flat slab: row [v] is the [words] ints at offset
+   [v * words], 62 usable bits per word (see [Bitset_w]).  For n <= 62 the
+   slab is one int per vertex and each row IS the historical one-word
+   [Bitset.t] — same array shape, same integers — so [equal]/[compare]/
+   [hash]/[adjacency_key] and every consumer of [neighbors] behave exactly
+   as before the multi-word refactor. *)
 type t = {
   n : int;
-  adj : int array;  (** [adj.(v)] is the neighbor bitset of [v] *)
+  words : int;  (** [Bw.words_for n], cached *)
+  adj : int array;  (** flat [n * words] slab *)
 }
 
 let empty n =
-  if n < 0 || n > Bitset.max_size then invalid_arg "Graph.empty: bad order";
-  { n; adj = Array.make n Bitset.empty }
+  if n < 0 then invalid_arg "Graph.empty: bad order";
+  let words = Bw.words_for n in
+  { n; words; adj = Array.make (n * words) 0 }
 
 let order g = g.n
+let words g = g.words
 
 let check_vertex g v =
   if v < 0 || v >= g.n then invalid_arg "Graph: vertex out of range"
 
-let has_edge g i j = Bitset.mem j g.adj.(i)
+let has_edge g i j = g.adj.((i * g.words) + Bw.word_of j) land Bw.bit_of j <> 0
+let row_word g v k = g.adj.((v * g.words) + k)
 
 let add_edge g i j =
   check_vertex g i;
   check_vertex g j;
   if i = j then invalid_arg "Graph.add_edge: loop";
   let adj = Array.copy g.adj in
-  adj.(i) <- Bitset.add j adj.(i);
-  adj.(j) <- Bitset.add i adj.(j);
+  Bw.set adj (i * g.words) j;
+  Bw.set adj (j * g.words) i;
   { g with adj }
 
 let remove_edge g i j =
   check_vertex g i;
   check_vertex g j;
   let adj = Array.copy g.adj in
-  adj.(i) <- Bitset.remove j adj.(i);
-  adj.(j) <- Bitset.remove i adj.(j);
+  Bw.clear adj (i * g.words) j;
+  Bw.clear adj (j * g.words) i;
   { g with adj }
 
 let toggle_edge g i j = if has_edge g i j then remove_edge g i j else add_edge g i j
-let neighbors g v = g.adj.(v)
-let degree g v = Bitset.cardinal g.adj.(v)
+
+let neighbors g v =
+  if g.words > 1 then
+    invalid_arg
+      (Printf.sprintf
+         "Graph.neighbors: order %d > %d needs multi-word rows; use iter_neighbors or \
+          row_word"
+         g.n Bitset.max_size);
+  g.adj.(v)
+
+let iter_neighbors g v f = Bw.iter f g.adj (v * g.words) g.words
+let degree g v = Bw.cardinal g.adj (v * g.words) g.words
 
 let size g =
-  let total = Array.fold_left (fun acc row -> acc + Bitset.cardinal row) 0 g.adj in
-  total / 2
+  let total = ref 0 in
+  Array.iter (fun w -> total := !total + Bw.popcount w) g.adj;
+  !total / 2
 
-let of_edges n edge_list = List.fold_left (fun g (i, j) -> add_edge g i j) (empty n) edge_list
+(* Bulk constructor: one mutable slab filled in place, then frozen — the
+   only way to build a large graph without paying a full-slab copy per
+   edge the way persistent [add_edge] does. *)
+let build n fill =
+  if n < 0 then invalid_arg "Graph.build: bad order";
+  let words = Bw.words_for n in
+  let adj = Array.make (n * words) 0 in
+  let add i j =
+    if i < 0 || i >= n || j < 0 || j >= n then invalid_arg "Graph: vertex out of range";
+    if i = j then invalid_arg "Graph.add_edge: loop";
+    Bw.set adj (i * words) j;
+    Bw.set adj (j * words) i
+  in
+  fill add;
+  { n; words; adj }
+
+let of_edges n edge_list =
+  build n (fun add -> List.iter (fun (i, j) -> add i j) edge_list)
 
 let iter_edges g f =
   for i = 0 to g.n - 1 do
-    Bitset.iter (fun j -> if i < j then f i j) g.adj.(i)
+    iter_neighbors g i (fun j -> if i < j then f i j)
   done
 
 let fold_edges g f init =
@@ -68,47 +107,80 @@ let non_edges g =
   List.rev !acc
 
 let complement g =
-  let all = Bitset.full g.n in
-  { g with adj = Array.mapi (fun v row -> Bitset.remove v (Bitset.diff all row)) g.adj }
+  let adj = Array.make (g.n * g.words) 0 in
+  let full = Array.make g.words 0 in
+  Bw.blit_full_mask full 0 g.n g.words;
+  for v = 0 to g.n - 1 do
+    let off = v * g.words in
+    for k = 0 to g.words - 1 do
+      adj.(off + k) <- full.(k) land lnot g.adj.(off + k)
+    done;
+    Bw.clear adj off v
+  done;
+  { g with adj }
 
 let is_complete g = size g = g.n * (g.n - 1) / 2
 let is_empty_graph g = size g = 0
 
 let add_vertex g nbrs =
-  if not (Nf_util.Bitset.subset nbrs (Bitset.full g.n)) then
+  if not (Nf_util.Bitset.subset nbrs (Bitset.full (min g.n Bitset.max_size))) then
     invalid_arg "Graph.add_vertex: neighbor out of range";
   let n = g.n + 1 in
-  if n > Bitset.max_size then invalid_arg "Graph.add_vertex: too large";
-  let adj = Array.make n Bitset.empty in
-  Array.blit g.adj 0 adj 0 g.n;
-  adj.(g.n) <- nbrs;
-  Bitset.iter (fun v -> adj.(v) <- Bitset.add g.n adj.(v)) nbrs;
-  { n; adj }
+  if n > Bitset.max_size then
+    invalid_arg
+      (Printf.sprintf
+         "Graph.add_vertex: resulting order %d > %d (augmentation is one-word only)" n
+         Bitset.max_size)
+  else begin
+    (* one-word regime: words = 1 both before and after, plain row append *)
+    let adj = Array.make n Bitset.empty in
+    Array.blit g.adj 0 adj 0 g.n;
+    adj.(g.n) <- nbrs;
+    Bitset.iter (fun v -> adj.(v) <- Bitset.add g.n adj.(v)) nbrs;
+    { n; words = 1; adj }
+  end
 
 let relabel g perm =
   if Array.length perm <> g.n then invalid_arg "Graph.relabel: size mismatch";
-  let adj = Array.make g.n Bitset.empty in
+  let adj = Array.make (g.n * g.words) 0 in
   for v = 0 to g.n - 1 do
-    let row = Bitset.fold (fun w acc -> Bitset.add perm.(w) acc) g.adj.(v) Bitset.empty in
-    adj.(perm.(v)) <- row
+    let off = perm.(v) * g.words in
+    iter_neighbors g v (fun w -> Bw.set adj off perm.(w))
   done;
   { g with adj }
 
 let induced g vs =
   let vs = Array.of_list vs in
   let k = Array.length vs in
-  let sub = empty k in
-  let sub = ref sub in
-  for a = 0 to k - 2 do
-    for b = a + 1 to k - 1 do
-      if has_edge g vs.(a) vs.(b) then sub := add_edge !sub a b
-    done
-  done;
-  !sub
+  build k (fun add ->
+      for a = 0 to k - 2 do
+        for b = a + 1 to k - 1 do
+          if has_edge g vs.(a) vs.(b) then add a b
+        done
+      done)
 
 let union g1 g2 =
   if g1.n <> g2.n then invalid_arg "Graph.union: order mismatch";
-  { g1 with adj = Array.map2 Bitset.union g1.adj g2.adj }
+  { g1 with adj = Array.map2 ( lor ) g1.adj g2.adj }
+
+(* [v]'s and [u]'s rows agree outside the pair itself — the twin test the
+   symmetry tier runs n^2 times per graph, word-generic so quotient
+   detection survives past 62 vertices. *)
+let twin_rows_equal g u v =
+  let ou = u * g.words
+  and ov = v * g.words in
+  let wu = Bw.word_of v
+  and wv = Bw.word_of u in
+  let rec go k =
+    k >= g.words
+    ||
+    let ru = g.adj.(ou + k)
+    and rv = g.adj.(ov + k) in
+    let ru = if k = wu then ru land lnot (Bw.bit_of v) else ru in
+    let rv = if k = wv then rv land lnot (Bw.bit_of u) else rv in
+    ru = rv && go (k + 1)
+  in
+  go 0
 
 let equal g1 g2 = g1.n = g2.n && g1.adj = g2.adj
 let compare g1 g2 = Stdlib.compare (g1.n, g1.adj) (g2.n, g2.adj)
@@ -116,7 +188,10 @@ let hash g = Hashtbl.hash (g.n, g.adj)
 
 let adjacency_key g =
   let buf = Buffer.create (g.n * 8) in
-  Buffer.add_char buf (Char.chr g.n);
+  (* one-byte header up to 255 (the historical key for every stored
+     graph); a textual header beyond, where no golden bytes exist *)
+  if g.n < 256 then Buffer.add_char buf (Char.chr g.n)
+  else Buffer.add_string buf (Printf.sprintf "#%d;" g.n);
   Array.iter (fun row -> Buffer.add_string buf (Printf.sprintf "%x," row)) g.adj;
   Buffer.contents buf
 

@@ -1,20 +1,28 @@
 (** Undirected simple graphs on vertices [0 .. n-1].
 
-    The representation is one adjacency bitset per vertex, so edge tests,
-    neighborhood scans, and copies are O(1)/O(n) word operations.  All
-    operations are persistent: editing returns a new graph, which keeps the
-    equilibrium-search code (which tries many one-edge perturbations of the
-    same graph) free of state bugs at negligible cost for the orders this
-    library targets (n ≤ 62). *)
+    The representation is one adjacency row per vertex inside a flat
+    multi-word slab (62 bits per word, see {!Nf_util.Bitset_w}), so edge
+    tests, neighborhood scans, and copies are O(words) operations at any
+    order.  For n ≤ 62 a row is a single word and bit-for-bit the
+    historical one-word [Bitset.t] — the enumeration and symmetry code
+    that consumes {!neighbors} is unchanged.  All operations are
+    persistent: editing returns a new graph, which keeps the
+    equilibrium-search code (which tries many one-edge perturbations of
+    the same graph) free of state bugs; bulk construction at large n goes
+    through {!build} instead. *)
 
 type t
 
 val empty : int -> t
-(** [empty n] is the edgeless graph on [n] vertices.
-    @raise Invalid_argument unless [0 <= n <= Bitset.max_size]. *)
+(** [empty n] is the edgeless graph on [n] vertices, for any [n >= 0].
+    @raise Invalid_argument when [n < 0]. *)
 
 val order : t -> int
 (** Number of vertices. *)
+
+val words : t -> int
+(** Slab words per adjacency row ([Bitset_w.words_for (order g)]);
+    [1] exactly when [order g <= 62]. *)
 
 val size : t -> int
 (** Number of edges. *)
@@ -25,8 +33,27 @@ val add_edge : t -> int -> int -> t
 
 val remove_edge : t -> int -> int -> t
 val toggle_edge : t -> int -> int -> t
+
 val neighbors : t -> int -> Nf_util.Bitset.t
+(** One-word neighbor row.
+    @raise Invalid_argument when [words g > 1] (order above 62) — those
+    callers iterate with {!iter_neighbors} or read {!row_word}. *)
+
+val iter_neighbors : t -> int -> (int -> unit) -> unit
+(** Apply to each neighbor in ascending order; any order. *)
+
+val row_word : t -> int -> int -> int
+(** [row_word g v k] is word [k] of vertex [v]'s adjacency row. *)
+
 val degree : t -> int -> int
+
+val build : int -> ((int -> int -> unit) -> unit) -> t
+(** [build n fill] constructs a graph by calling [fill add] where
+    [add i j] inserts edge [{i,j}] into a single mutable slab — O(1) per
+    edge instead of a slab copy, the constructor for large-n graphs.
+    @raise Invalid_argument from [add] on loops or out-of-range
+    vertices. *)
+
 val of_edges : int -> (int * int) list -> t
 val edges : t -> (int * int) list
 (** Edge list with [i < j], lexicographically sorted. *)
@@ -43,8 +70,10 @@ val is_empty_graph : t -> bool
 
 val add_vertex : t -> Nf_util.Bitset.t -> t
 (** [add_vertex g nbrs] appends vertex [n] adjacent to exactly [nbrs] — the
-    augmentation step of isomorphism-free enumeration.
-    @raise Invalid_argument when [nbrs] mentions vertices ≥ [order g]. *)
+    augmentation step of isomorphism-free enumeration, which lives entirely
+    in the one-word regime.
+    @raise Invalid_argument when [nbrs] mentions vertices ≥ [order g] or
+    the resulting order would exceed 62. *)
 
 val relabel : t -> int array -> t
 (** [relabel g perm] renames vertex [v] to [perm.(v)]; [perm] must be a
@@ -56,6 +85,11 @@ val induced : t -> int list -> t
 
 val union : t -> t -> t
 (** Edge union of two graphs on the same vertex set. *)
+
+val twin_rows_equal : t -> int -> int -> bool
+(** [twin_rows_equal g u v]: do [u]'s and [v]'s neighbor rows agree once
+    the pair itself is masked out?  The word-generic twin test behind
+    {!Nf_iso.Symmetry} orbit detection. *)
 
 val equal : t -> t -> bool
 val compare : t -> t -> int

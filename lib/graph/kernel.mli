@@ -1,12 +1,18 @@
-(** Zero-allocation batched distance kernel.
+(** Zero-allocation batched distance kernel, word-count-generic.
 
     A {!t} is a reusable per-domain workspace: mutable adjacency rows
-    (bitsets), preallocated distance-sum / eccentricity / reach / frontier
-    scratch arrays, and an edge-toggle primitive.  Loading a graph and
-    running any number of single-source or all-sources distance-sum sweeps
-    allocates nothing after the workspace exists — every intermediate value
-    is an immediate [int], and infinity is represented as {!inf}
+    stored in a flat multi-word slab (62 bits per word, [Bitset_w]
+    layout), preallocated distance-sum / eccentricity / reach / frontier
+    scratch, and an edge-toggle primitive.  Loading a graph and running
+    any number of single-source or all-sources distance-sum sweeps
+    allocates nothing after the workspace exists — every intermediate
+    value is an immediate [int], and infinity is represented as {!inf}
     ([max_int]) instead of boxed [Ext_int.t].
+
+    For n ≤ 62 the slab is one word per vertex and every routine runs a
+    verbatim copy of the historical single-word code (same instruction
+    stream as the PR 4 bench rows); beyond 62 the same frontier algebra
+    runs as loops over [words] ints per row, still allocation-free.
 
     {b Ownership rules}: a workspace is single-owner mutable state. Obtain
     one with {!with_ws} (or {!with_loaded}) which borrows the calling
@@ -24,19 +30,40 @@ val inf : int
 
 val create : ?hint:int -> unit -> t
 (** Fresh workspace with capacity for [hint] (default 16) vertices; grows
-    on demand in {!load}/{!load_rows}. *)
+    on demand in {!load}/{!load_rows}/{!load_edges}. *)
 
 val load : t -> Graph.t -> unit
-(** Copy a graph's adjacency rows into the workspace. *)
+(** Copy a graph's adjacency rows into the workspace (any order). *)
 
 val load_rows : t -> int -> (int -> Bitset.t) -> unit
 (** [load_rows ws n row] loads an [n]-vertex graph whose adjacency row for
-    vertex [v] is [row v]; rows are masked to [0..n-1] and self-loops
-    stripped.  Lets callers build graphs (e.g. from directed strategy
-    profiles) without constructing a persistent [Graph.t]. *)
+    vertex [v] is the one-word bitset [row v]; rows are masked to
+    [0..n-1] and self-loops stripped.  Lets callers build graphs (e.g.
+    from directed strategy profiles) without constructing a persistent
+    [Graph.t].
+    @raise Invalid_argument when [n > 62] — one-word rows cannot name
+    higher vertices; large graphs load through {!load_edges}. *)
+
+val load_edges : t -> int -> ((int -> int -> unit) -> unit) -> unit
+(** [load_edges ws n iter] loads an [n]-vertex graph from an edge
+    iterator: [iter add] must call [add i j] for each undirected edge.
+    Works at any order; self-loops are ignored, out-of-range vertices
+    raise. *)
 
 val order : t -> int
+
+val words : t -> int
+(** Slab words per adjacency row; [1] exactly when the one-word fast path
+    is active. *)
+
 val neighbors : t -> int -> Bitset.t
+(** One-word neighbor row.
+    @raise Invalid_argument when [words ws > 1] (order above 62). *)
+
+val iter_neighbors : t -> int -> (int -> unit) -> unit
+(** Apply to each neighbor in ascending order; any order. *)
+
+val degree : t -> int -> int
 val has_edge : t -> int -> int -> bool
 
 val toggle : t -> int -> int -> unit
@@ -54,15 +81,23 @@ val reach_stats : t -> int -> int * int
 val all_distance_sums : t -> int array
 (** Bit-parallel all-sources sweep: every per-vertex frontier expands
     simultaneously each round, so the whole all-pairs pass costs
-    O(diameter) rounds of O(n) word operations.  Returns the workspace's
-    internal sums array ([sums.(v)] = distance sum from [v], {!inf} when
-    [v] cannot reach every vertex) — valid until the next kernel call; copy
-    it if it must survive.  Also refreshes {!eccentricities}. *)
+    O(diameter) rounds of O(n · words) word operations.  Returns the
+    workspace's internal sums array ([sums.(v)] = distance sum from [v],
+    {!inf} when [v] cannot reach every vertex) — valid until the next
+    kernel call; copy it if it must survive.  Also refreshes
+    {!eccentricities}. *)
 
 val eccentricities : t -> int array
 (** Per-vertex eccentricities computed by the latest {!all_distance_sums}
     ({!inf} for vertices that do not reach everything).  Same borrowing
     rule as the sums array. *)
+
+val set_min_words_for_testing : int -> unit
+(** Force subsequent loads to use at least this many words per row, so the
+    differential test harness can pin the generic multi-word loops against
+    the one-word fast path on the same n ≤ 62 inputs.  [1] restores
+    normal dispatch.  Test-only: process-global, not for concurrent use
+    with live workloads. *)
 
 val with_ws : (t -> 'a) -> 'a
 (** Borrow the calling domain's resident workspace.  The workspace is

@@ -1,10 +1,12 @@
 module Prng = Nf_util.Prng
 
+(* Built through [Graph.build]: one mutable slab, O(1) per edge, so the
+   large-n Monte-Carlo workloads do not pay a slab copy per sampled edge.
+   The PRNG consumption order (pair order of [iter_pairs]) is unchanged,
+   so seeds reproduce the exact graphs the persistent constructor drew. *)
 let gnp rng n p =
-  let g = ref (Graph.empty n) in
-  Nf_util.Subset.iter_pairs n (fun i j ->
-      if Prng.float rng 1.0 < p then g := Graph.add_edge !g i j);
-  !g
+  Graph.build n (fun add ->
+      Nf_util.Subset.iter_pairs n (fun i j -> if Prng.float rng 1.0 < p then add i j))
 
 let gnm rng n m =
   let max_m = n * (n - 1) / 2 in
@@ -15,12 +17,11 @@ let gnm rng n m =
       pairs.(!k) <- (i, j);
       incr k);
   Prng.shuffle rng pairs;
-  let g = ref (Graph.empty n) in
-  for e = 0 to m - 1 do
-    let i, j = pairs.(e) in
-    g := Graph.add_edge !g i j
-  done;
-  !g
+  Graph.build n (fun add ->
+      for e = 0 to m - 1 do
+        let i, j = pairs.(e) in
+        add i j
+      done)
 
 let tree rng n =
   if n <= 0 then invalid_arg "Random_graph.tree: need n >= 1"

@@ -154,13 +154,13 @@ let detect_twins g =
   let n = Graph.order g in
   let cls = ref [||] and snd = ref [||] in
   for v = 1 to n - 1 do
-    let nv = Graph.neighbors g v in
     (* link v to its smallest twin u < v: one link per vertex is enough to
        wire each twin class's full orbit connectivity *)
     let u = ref 0 and twin = ref (-1) in
     while !twin < 0 && !u < v do
-      let nu = Graph.neighbors g !u in
-      if Bitset.remove v nu = Bitset.remove !u nv then twin := !u else incr u
+      (* rows equal modulo the pair itself — word-generic, so the twin
+         tier keeps working past the one-word 62-vertex regime *)
+      if Graph.twin_rows_equal g !u v then twin := !u else incr u
     done;
     if !twin >= 0 then begin
       if Array.length !cls = 0 then begin

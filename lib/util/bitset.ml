@@ -4,7 +4,12 @@ let max_size = Sys.int_size - 1
 let empty = 0
 
 let check k =
-  if k < 0 || k >= max_size then invalid_arg "Bitset: element out of range"
+  if k < 0 || k >= max_size then
+    invalid_arg
+      (Printf.sprintf
+         "Bitset: element %d out of range 0..%d (one-word bitset; use Bitset_w rows \
+          beyond %d elements)"
+         k (max_size - 1) max_size)
 
 let singleton k =
   check k;

@@ -1,0 +1,87 @@
+(* Multi-word bitset rows stored inside flat int slabs.
+
+   The one-word [Bitset] caps everything at 62 vertices.  This module is
+   the layer that breaks the ceiling: a "row" is [words] consecutive ints
+   inside a caller-owned [int array] slab, each word carrying
+   [bits_per_word] = 62 usable bits, so word 0 of any row is exactly the
+   old one-word [Bitset.t] representation.  Keeping 62 (not 63) bits per
+   word means a one-word row and a [Bitset.t] are the same integer —
+   which is what lets the graph/kernel fast paths stay byte-compatible
+   with the single-word code they replaced.
+
+   There is deliberately no abstract type here: the graph kernel and the
+   persistent graph own their slabs and want zero-overhead indexed access,
+   so this module is a namespace of loops over [(array, offset, words)]
+   triples rather than a container. *)
+
+let bits_per_word = Bitset.max_size (* 62 *)
+
+let words_for n = if n <= 0 then 1 else (n + bits_per_word - 1) / bits_per_word
+
+(* mask of the [k] low bits, 0 <= k <= bits_per_word *)
+let full_word k = if k <= 0 then 0 else (1 lsl k) - 1
+
+(* full-row mask for [n] elements written into [a] at [off] *)
+let blit_full_mask a off n words =
+  for k = 0 to words - 1 do
+    let lo = k * bits_per_word in
+    let bits = min bits_per_word (max 0 (n - lo)) in
+    a.(off + k) <- full_word bits
+  done
+
+let word_of j = j / bits_per_word
+let bit_of j = 1 lsl (j mod bits_per_word)
+let get a off j = a.(off + word_of j) land bit_of j <> 0
+let set a off j = a.(off + word_of j) <- a.(off + word_of j) lor bit_of j
+let clear a off j = a.(off + word_of j) <- a.(off + word_of j) land lnot (bit_of j)
+let toggle a off j = a.(off + word_of j) <- a.(off + word_of j) lxor bit_of j
+
+let popcount x =
+  let rec count acc x = if x = 0 then acc else count (acc + 1) (x land (x - 1)) in
+  count 0 x
+
+let cardinal a off words =
+  let total = ref 0 in
+  for k = 0 to words - 1 do
+    total := !total + popcount a.(off + k)
+  done;
+  !total
+
+let is_empty_row a off words =
+  let rec go k = k >= words || (a.(off + k) = 0 && go (k + 1)) in
+  go 0
+
+(* Index of an isolated bit [b] (a power of two): branch cascade instead
+   of a linear probe, shared with the kernel's frontier loops. *)
+let bit_index b =
+  let k = if b land 0xFFFFFFFF = 0 then 32 else 0 in
+  let b = b lsr k in
+  let k2 = if b land 0xFFFF = 0 then 16 else 0 in
+  let b = b lsr k2 in
+  let k3 = if b land 0xFF = 0 then 8 else 0 in
+  let b = b lsr k3 in
+  let k4 = if b land 0xF = 0 then 4 else 0 in
+  let b = b lsr k4 in
+  let k5 = if b land 0x3 = 0 then 2 else 0 in
+  let b = b lsr k5 in
+  k + k2 + k3 + k4 + k5 + (b lsr 1)
+
+let iter f a off words =
+  for k = 0 to words - 1 do
+    let base = k * bits_per_word in
+    let w = ref a.(off + k) in
+    while !w <> 0 do
+      let b = !w land - !w in
+      f (base + bit_index b);
+      w := !w lxor b
+    done
+  done
+
+let equal_rows a aoff b boff words =
+  let rec go k = k >= words || (a.(aoff + k) = b.(boff + k) && go (k + 1)) in
+  go 0
+
+let union_into dst doff src soff words =
+  for k = 0 to words - 1 do
+    dst.(doff + k) <- dst.(doff + k) lor src.(soff + k)
+  done

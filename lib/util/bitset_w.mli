@@ -1,0 +1,55 @@
+(** Multi-word bitset rows inside flat [int array] slabs.
+
+    Breaks {!Bitset}'s 62-element ceiling for the graph layer: a row is
+    [words] consecutive ints at some offset of a caller-owned slab, each
+    word holding {!bits_per_word} = 62 usable bits — so a one-word row is
+    bit-for-bit the old [Bitset.t], which is what keeps the n ≤ 62 fast
+    paths byte-compatible.  No abstract container: just loops over
+    [(array, offset, words)] triples, because the owners (graph, kernel)
+    want zero-overhead indexed access into slabs they allocate. *)
+
+val bits_per_word : int
+(** Usable bits per slab word ([Bitset.max_size] = 62). *)
+
+val words_for : int -> int
+(** [words_for n] is the row width for [n] elements (at least 1, so an
+    empty graph still has well-formed rows). *)
+
+val full_word : int -> int
+(** [full_word k] is the mask of the [k] low bits ([0 <= k <= 62]). *)
+
+val blit_full_mask : int array -> int -> int -> int -> unit
+(** [blit_full_mask a off n words] writes the full-set row for [n]
+    elements ([n] low bits set across [words] words) at [a.(off ..)]. *)
+
+val word_of : int -> int
+(** Word index of element [j] within a row. *)
+
+val bit_of : int -> int
+(** Isolated bit of element [j] within its word. *)
+
+val get : int array -> int -> int -> bool
+(** [get a off j]: is element [j] in the row at [a.(off ..)]? *)
+
+val set : int array -> int -> int -> unit
+val clear : int array -> int -> int -> unit
+val toggle : int array -> int -> int -> unit
+
+val popcount : int -> int
+(** Number of set bits in one word (Kernighan loop — sets are sparse). *)
+
+val cardinal : int array -> int -> int -> int
+(** [cardinal a off words]: population of the row at [a.(off ..)]. *)
+
+val is_empty_row : int array -> int -> int -> bool
+
+val bit_index : int -> int
+(** Index of an isolated bit (a power of two), branch cascade. *)
+
+val iter : (int -> unit) -> int array -> int -> int -> unit
+(** [iter f a off words] applies [f] to each element of the row in
+    ascending order. *)
+
+val equal_rows : int array -> int -> int array -> int -> int -> bool
+val union_into : int array -> int -> int array -> int -> int -> unit
+(** [union_into dst doff src soff words]: [dst |= src] word-wise. *)

@@ -25,7 +25,16 @@ let exists_subset ground pred =
 let iter_subsets_of_size ground k f =
   iter_subsets ground (fun s -> if Bitset.cardinal s = k then f s)
 
-let count_subsets ground = 1 lsl Bitset.cardinal ground
+(* [1 lsl 62] is already undefined behavior territory on 63-bit ints (the
+   shift lands in the sign bit), so refuse cardinals the shift cannot
+   represent instead of silently returning garbage. *)
+let count_subsets ground =
+  let c = Bitset.cardinal ground in
+  if c >= Sys.int_size - 1 then
+    invalid_arg
+      (Printf.sprintf "Subset.count_subsets: 2^%d exceeds the native int range (cardinal \
+                       must be < %d)" c (Sys.int_size - 1))
+  else 1 lsl c
 
 let iter_pairs n f =
   for i = 0 to n - 2 do

@@ -17,6 +17,9 @@ val iter_subsets_of_size : Bitset.t -> int -> (Bitset.t -> unit) -> unit
 (** [iter_subsets_of_size ground k f] applies [f] to every size-[k] subset. *)
 
 val count_subsets : Bitset.t -> int
+(** [2^|ground|].
+    @raise Invalid_argument when the cardinal is ≥ [Sys.int_size - 1]
+    (the shift would overflow the native int). *)
 
 val iter_pairs : int -> (int -> int -> unit) -> unit
 (** [iter_pairs n f] applies [f i j] to every pair [0 <= i < j < n]. *)

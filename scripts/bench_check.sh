@@ -5,9 +5,10 @@
 #
 #   usage: scripts/bench_check.sh FRESH.json [BASELINE.json]
 #
-# Guarded rows are the netform/kernels/, netform/store/, netform/games/
-# and netform/serve/ groups — the substrate the experiment rows sit on,
-# the registry-driven game annotation path, the serving stack — and the
+# Guarded rows are the netform/kernels/, netform/store/, netform/games/,
+# netform/serve/ and netform/dynamics/ groups — the substrate the
+# experiment rows sit on, the registry-driven game annotation path, the
+# serving stack, the large-n Monte-Carlo workload — and the
 # foot7_petersen_nash_set experiment row, the orbit quotient's flagship
 # trajectory (DESIGN.md §11).  Rows whose baseline estimate is
 # below the noise floor are reported but never fail the check (micro-rows
@@ -45,7 +46,7 @@ extract "$baseline" > "$tmp/baseline"
 
 awk -v tolerance="$tolerance" -v min_ns="$min_ns" '
   NR == FNR { fresh[$1] = $2; next }
-  $1 ~ /^netform\/(kernels|store|games|serve)\// || $1 == "netform/experiments/foot7_petersen_nash_set" {
+  $1 ~ /^netform\/(kernels|store|games|serve|dynamics)\// || $1 == "netform/experiments/foot7_petersen_nash_set" {
     base = $2
     if (!($1 in fresh)) {
       printf "MISSING   %-55s (in baseline, absent from fresh report)\n", $1
@@ -71,4 +72,4 @@ awk -v tolerance="$tolerance" -v min_ns="$min_ns" '
     exit failed ? 1 : 0
   }' "$tmp/fresh" "$tmp/baseline"
 
-echo "bench_check: no kernel/store/games/serve row regressed past ${tolerance}x"
+echo "bench_check: no kernel/store/games/serve/dynamics row regressed past ${tolerance}x"

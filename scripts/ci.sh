@@ -151,6 +151,18 @@ for game in $games; do
   echo "serve smoke ($game): served answers byte-identical to in-process queries (both pool widths)"
 done
 
+# Monte-Carlo PoA smoke: the large-n workload's cross-job determinism
+# contract — the same seeded run under NETFORM_JOBS=1 and =4 must emit
+# byte-identical CSV.  n=64 keeps the leg past the one-word ceiling
+# (2-word rows) while staying a couple of seconds end to end.
+echo "== mc-poa smoke (n=64, seeded, jobs=1 vs jobs=4 CSV byte parity) =="
+for jobs in 1 4; do
+  NETFORM_JOBS=$jobs "$CLI" mc-poa -n 64 --alpha 2 --trials 2 --seed 42 \
+    --csv "$store_dir/mc_poa_j$jobs.csv" > /dev/null
+done
+cmp "$store_dir/mc_poa_j1.csv" "$store_dir/mc_poa_j4.csv"
+echo "mc-poa smoke: jobs=1 and jobs=4 CSVs byte-identical"
+
 # Full leg (opt-in, minutes of CPU): stream all of n=10 through a sharded
 # split and check the connected-class count against OEIS A001349.
 if [ "${NETFORM_COUNTS_FULL:-0}" = "1" ]; then

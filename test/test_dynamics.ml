@@ -124,6 +124,83 @@ let test_ucg_state_graph_consistent () =
   check (Alcotest.testable Graph.pp Graph.equal) "graph = union of purchases" !expected
     final.Ucg_dynamics.graph
 
+(* ---------------- Monte-Carlo PoA (large-n workload) ---------------- *)
+
+module Mc_poa = Nf_dynamics.Mc_poa
+module Pool = Nf_util.Pool
+
+let test_mc_poa_trial_deterministic () =
+  (* identical arguments must reproduce the trial record bit-for-bit,
+     including the final graph *)
+  let go () =
+    Mc_poa.run_trial ~n:40 ~alpha:(r 3) ~max_evals:(60 * 780) ~init_p:None ~seed:12345 0
+  in
+  let t1 = go () and t2 = go () in
+  check_bool "trial records identical" true (t1 = t2);
+  check_bool "converged" true t1.Mc_poa.converged
+
+let test_mc_poa_pool_width_parity () =
+  (* the CSV is the cross-job determinism contract: jobs=1 and jobs=4 must
+     produce byte-identical output for the same seed *)
+  let n = 32
+  and alpha = r 2
+  and trials = 3
+  and seed = 99 in
+  let p1 = Pool.create ~jobs:1
+  and p4 = Pool.create ~jobs:4 in
+  Fun.protect
+    ~finally:(fun () ->
+      Pool.shutdown p1;
+      Pool.shutdown p4)
+    (fun () ->
+      let a = Mc_poa.run ~pool:p1 ~n ~alpha ~trials ~seed () in
+      let b = Mc_poa.run ~pool:p4 ~n ~alpha ~trials ~seed () in
+      check Alcotest.string "csv identical across pool widths"
+        (Mc_poa.to_csv ~n ~alpha a) (Mc_poa.to_csv ~n ~alpha b))
+
+let test_mc_poa_converged_is_stable () =
+  (* the walk's improving-move predicates are Bcg's, so converged finals
+     must pass the reference stability check — past the one-word ceiling *)
+  List.iter
+    (fun alpha ->
+      let ts = Mc_poa.run ~n:70 ~alpha ~trials:2 ~seed:4242 () in
+      List.iter
+        (fun t ->
+          check_bool "converged within budget" true t.Mc_poa.converged;
+          check_bool "final is pairwise stable" true
+            (Bcg.is_pairwise_stable ~alpha t.Mc_poa.final);
+          check_bool "connected final has social cost" true
+            (t.Mc_poa.social_cost <> None);
+          match t.Mc_poa.poa with
+          | None -> Alcotest.fail "converged connected trial must report PoA"
+          | Some q -> check_bool "poa >= 1" true (Rat.compare q (r 1) >= 0))
+        ts)
+    [ r 2; r 5 ]
+
+let test_mc_poa_summary_csv_and_guards () =
+  let n = 32
+  and alpha = r 2 in
+  let ts = Mc_poa.run ~n ~alpha ~trials:4 ~seed:7 () in
+  let s = Mc_poa.summarize ~n ~alpha ts in
+  check Alcotest.int "trials" 4 s.Mc_poa.trials;
+  check_bool "converged_trials <= trials" true (s.Mc_poa.converged_trials <= 4);
+  check (Alcotest.float 1e-9) "theory bound"
+    (Theory.poa_upper_bound ~alpha:(Rat.to_float alpha) ~n)
+    s.Mc_poa.theory_bound;
+  if s.Mc_poa.converged_trials > 0 then begin
+    check_bool "mean poa >= 1" true (s.Mc_poa.mean_poa >= 1.0);
+    check_bool "max >= mean" true (s.Mc_poa.max_poa >= s.Mc_poa.mean_poa)
+  end;
+  let csv = Mc_poa.to_csv ~n ~alpha ts in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  check Alcotest.int "csv is header + one row per trial" 5 (List.length lines);
+  check Alcotest.string "csv header" Mc_poa.csv_header (List.hd lines);
+  Alcotest.check_raises "n too small" (Invalid_argument "Mc_poa.run: need n >= 2")
+    (fun () -> ignore (Mc_poa.run ~n:1 ~alpha ~trials:1 ~seed:1 ()));
+  Alcotest.check_raises "trials too small"
+    (Invalid_argument "Mc_poa.run: need trials >= 1") (fun () ->
+      ignore (Mc_poa.run ~n:8 ~alpha ~trials:0 ~seed:1 ()))
+
 (* ---------------- Meta (Jackson-Watts digraph) ---------------- *)
 
 let test_meta_counts_match_equilibria () =
@@ -217,6 +294,13 @@ let () =
           Alcotest.test_case "converges to nash" `Quick test_ucg_run_converges_to_nash;
           Alcotest.test_case "from empty" `Quick test_ucg_from_empty;
           Alcotest.test_case "state consistency" `Quick test_ucg_state_graph_consistent;
+        ] );
+      ( "mc_poa",
+        [
+          Alcotest.test_case "trial determinism" `Quick test_mc_poa_trial_deterministic;
+          Alcotest.test_case "pool width parity" `Quick test_mc_poa_pool_width_parity;
+          Alcotest.test_case "converged finals stable" `Quick test_mc_poa_converged_is_stable;
+          Alcotest.test_case "summary, csv, guards" `Quick test_mc_poa_summary_csv_and_guards;
         ] );
       ( "meta",
         [

@@ -257,6 +257,116 @@ let test_graph6_rejects_malformed () =
      '@' = 64 puts a 1 in them *)
   rejects "nonzero padding bits" "D?@"
 
+(* ---------------- multi-word orders (n > 62) ---------------- *)
+
+let test_large_graph_ops () =
+  let n = 130 in
+  let g =
+    Graph.build n (fun add ->
+        for i = 0 to n - 2 do
+          add i (i + 1)
+        done;
+        add 0 (n - 1);
+        add 0 100)
+  in
+  check_int "order" n (Graph.order g);
+  check_int "words" 3 (Graph.words g);
+  check_int "size" (n + 1) (Graph.size g);
+  check_bool "edge across words" true (Graph.has_edge g 0 100);
+  check_bool "edge 0-(n-1)" true (Graph.has_edge g 0 (n - 1));
+  check_int "degree 0" 3 (Graph.degree g 0);
+  let g' = Graph.remove_edge g 0 100 in
+  check_int "remove across words" n (Graph.size g');
+  check_bool "removed" false (Graph.has_edge g' 0 100);
+  (* iter_neighbors ascending, matching degree *)
+  let nbrs = ref [] in
+  Graph.iter_neighbors g 0 (fun v -> nbrs := v :: !nbrs);
+  check (Alcotest.list Alcotest.int) "neighbors of 0" [ 1; 100; n - 1 ] (List.rev !nbrs);
+  (* relabel / induced survive word boundaries *)
+  let rev = Array.init n (fun v -> n - 1 - v) in
+  let rg = Graph.relabel g rev in
+  check_bool "relabel keeps edges" true (Graph.has_edge rg (n - 1) (n - 2));
+  check_int "relabel keeps size" (Graph.size g) (Graph.size rg);
+  let sub = Graph.induced g (List.init 70 Fun.id) in
+  check_int "induced order" 70 (Graph.order sub);
+  check_int "induced size" 69 (Graph.size sub);
+  (* complement: size C(n,2) - m, no self loops *)
+  let comp = Graph.complement g in
+  check_int "complement size" ((n * (n - 1) / 2) - Graph.size g) (Graph.size comp);
+  check_bool "complement flips" true (Graph.has_edge comp 0 50);
+  check_bool "no self loop" false (Graph.has_edge comp 5 5);
+  (* connectivity + BFS at large order *)
+  check_bool "cycle connected" true (Connectivity.is_connected g);
+  check ext "apsp diameter finite" (Apsp.diameter g) (Apsp.diameter g);
+  let dist = Bfs.distances g 0 in
+  check_int "wraparound distance" 1 dist.(n - 1)
+
+let test_twin_rows_equal_large () =
+  (* a 70-vertex star: all leaves are twins, hub is not *)
+  let g = Graph.of_edges 70 (List.init 69 (fun i -> (0, i + 1))) in
+  check_bool "leaves 1,2 twins" true (Graph.twin_rows_equal g 1 2);
+  check_bool "leaves across words" true (Graph.twin_rows_equal g 1 69);
+  check_bool "hub vs leaf" false (Graph.twin_rows_equal g 0 1);
+  (* adjacent twins: a 64-clique's vertices are twins modulo the pair *)
+  let k = 64 in
+  let clique =
+    Graph.build k (fun add -> Nf_util.Subset.iter_pairs k (fun i j -> add i j))
+  in
+  check_bool "clique adjacent twins" true (Graph.twin_rows_equal clique 62 63);
+  let broken = Graph.remove_edge clique 0 63 in
+  check_bool "broken twin" false (Graph.twin_rows_equal broken 62 63)
+
+let test_graph6_multibyte () =
+  check_int "max_order" 258047 Graph6.max_order;
+  (* 63 is the first 4-byte-header order; its empty encoding is '~' + the
+     18-bit big-endian order + body *)
+  let e63 = Graph6.encode (Graph.empty 63) in
+  check_bool "header starts with ~" true (e63.[0] = '~');
+  check graph "empty 63 roundtrip" (Graph.empty 63) (Graph6.decode e63);
+  let rng = Prng.create 0x67366d77 in
+  List.iter
+    (fun n ->
+      let g = Random_graph.gnp rng n (3.0 /. float_of_int n) in
+      check graph "multibyte roundtrip" g (Graph6.decode (Graph6.encode g)))
+    [ 63; 64; 65; 100; 129 ];
+  (* a non-canonical multi-byte header for a small order must not decode *)
+  let small = Graph6.encode (Graph.empty 5) in
+  let forged =
+    "~" ^ String.init 3 (fun i -> Char.chr (63 + (if i = 2 then 5 else 0)))
+    ^ String.sub small 1 (String.length small - 1)
+  in
+  check_bool "non-canonical multibyte header rejected" true
+    (match Graph6.decode forged with exception Invalid_argument _ -> true | _ -> false);
+  (* '~~' (6-byte header form) is beyond max_order: rejected *)
+  check_bool "6-byte header rejected" true
+    (match Graph6.decode "~~??????" with exception Invalid_argument _ -> true | _ -> false)
+
+let test_large_order_error_messages () =
+  Alcotest.check_raises "add_vertex past one word"
+    (Invalid_argument "Graph.add_vertex: resulting order 63 > 62 (augmentation is \
+                       one-word only)")
+    (fun () -> ignore (Graph.add_vertex (Graph.empty 62) Bitset.empty));
+  Alcotest.check_raises "components past one word"
+    (Invalid_argument
+       "Connectivity.components: order 63 > 62 (one-word bitset components)")
+    (fun () -> ignore (Connectivity.components (Graph.empty 63)));
+  (* constructing an order > max_order graph means an ~8.6 GB slab, so the
+     encode-side ceiling is pinned by value here and exercised via the
+     decode-side '~~' rejection in [test_graph6_multibyte] *)
+  check_int "graph6 max order" 258047 Graph6.max_order
+
+let prop_large_random_roundtrip =
+  QCheck.Test.make ~name:"gnp at 63..200 graph6 roundtrip + degree sum" ~count:30
+    QCheck.(pair (int_range 63 200) (int_bound 10000))
+    (fun (n, seed) ->
+      let rng = Prng.create (seed + n) in
+      let g = Random_graph.gnp rng n (2.0 /. float_of_int n) in
+      let degree_sum = ref 0 in
+      for v = 0 to n - 1 do
+        degree_sum := !degree_sum + Graph.degree g v
+      done;
+      !degree_sum = 2 * Graph.size g && Graph.equal g (Graph6.decode (Graph6.encode g)))
+
 (* ---------------- Prüfer ---------------- *)
 
 let test_prufer_known () =
@@ -470,6 +580,15 @@ let () =
           Alcotest.test_case "known" `Quick test_graph6_known;
           Alcotest.test_case "random roundtrip" `Quick test_graph6_roundtrip_random;
           Alcotest.test_case "rejects malformed" `Quick test_graph6_rejects_malformed;
+        ] );
+      ( "multiword",
+        [
+          Alcotest.test_case "large graph ops" `Quick test_large_graph_ops;
+          Alcotest.test_case "twin rows past 62" `Quick test_twin_rows_equal_large;
+          Alcotest.test_case "graph6 multibyte" `Quick test_graph6_multibyte;
+          Alcotest.test_case "error messages name limits" `Quick
+            test_large_order_error_messages;
+          QCheck_alcotest.to_alcotest prop_large_random_roundtrip;
         ] );
       ( "prufer",
         [

@@ -407,6 +407,143 @@ let test_load_rows () =
   check_bool "out of range stripped" false (Kernel.has_edge ws 0 5 || Kernel.has_edge ws 2 60);
   check_int "path sum" 3 (Kernel.distance_sum_from ws 0)
 
+(* ---------------- multi-word rows (n > 62) ---------------- *)
+
+(* the boundary zoo: orders straddling each word-count transition *)
+let boundary_orders = [ 62; 63; 64; 65; 127; 128; 129 ]
+
+let large_corpus () =
+  let rng = Prng.create 0x77647364 in
+  List.concat_map
+    (fun n -> [ Random_graph.gnp rng n (2.0 /. float_of_int n); Random_graph.gnp rng n 0.08 ])
+    boundary_orders
+  @ [
+      Graph.empty 100;
+      (* disconnected with a far component, forcing high-word traffic *)
+      Graph.of_edges 130 [ (0, 1); (1, 2); (128, 129) ];
+      Nf_named.Families.cycle 150;
+      Nf_named.Families.star 200;
+      Random_graph.tree (Prng.create 5) 300;
+      Random_graph.gnp (Prng.create 6) 300 0.02;
+    ]
+
+(* kernel vs the persistent queue-BFS reference, at orders up to 300 *)
+let test_multiword_vs_bfs () =
+  let ws = Kernel.create () in
+  List.iter
+    (fun g ->
+      Kernel.load ws g;
+      let n = Graph.order g in
+      check_int "words match graph" (Graph.words g) (Kernel.words ws);
+      let sums = Kernel.all_distance_sums ws in
+      let ecc = Kernel.eccentricities ws in
+      for v = 0 to n - 1 do
+        check ext "multi-word batch sum = queue BFS" (naive_sum g v) (ext_of_kernel sums.(v));
+        check ext "multi-word single-source = queue BFS" (naive_sum g v)
+          (ext_of_kernel (Kernel.distance_sum_from ws v));
+        check ext "multi-word eccentricity = queue BFS" (Bfs.eccentricity g v)
+          (ext_of_kernel ecc.(v));
+        let fsum, reached = Kernel.reach_stats ws v in
+        let dist = Bfs.distances g v in
+        let nsum = ref 0 and nreached = ref 0 in
+        Array.iter (fun d -> if d >= 0 then begin nsum := !nsum + d; incr nreached end) dist;
+        check_int "multi-word reach sum" !nsum fsum;
+        check_int "multi-word reach count" !nreached reached
+      done)
+    (large_corpus ())
+
+(* same n ≤ 62 graphs through the one-word fast path and the forced
+   generic loops: every public kernel observable must agree bit-for-bit *)
+let test_forced_multiword_parity () =
+  let corpus = random_corpus () in
+  Fun.protect
+    ~finally:(fun () -> Kernel.set_min_words_for_testing 1)
+    (fun () ->
+      List.iter
+        (fun g ->
+          let n = Graph.order g in
+          Kernel.set_min_words_for_testing 1;
+          let one_sums, one_ecc =
+            Kernel.with_loaded g (fun ws ->
+                let sums = Array.copy (Kernel.all_distance_sums ws) in
+                (sums, Array.copy (Kernel.eccentricities ws)))
+          in
+          List.iter
+            (fun forced ->
+              Kernel.set_min_words_for_testing forced;
+              Kernel.with_loaded g (fun ws ->
+                  check_int "forced word count" (max forced 1) (Kernel.words ws);
+                  let sums = Kernel.all_distance_sums ws in
+                  let ecc = Kernel.eccentricities ws in
+                  for v = 0 to n - 1 do
+                    check_int "sums parity (forced words)" one_sums.(v) sums.(v);
+                    check_int "ecc parity (forced words)" one_ecc.(v) ecc.(v);
+                    check_int "single-source parity" one_sums.(v)
+                      (Kernel.distance_sum_from ws v)
+                  done))
+            [ 2; 3; 5 ])
+        corpus)
+
+(* toggle walks through the generic loops, tracked against persistent
+   graph edits — the same contract the one-word path is held to above *)
+let test_multiword_toggle_deltas () =
+  let rng = Prng.create 0x6d77746f in
+  let ws = Kernel.create () in
+  List.iter
+    (fun n ->
+      let g = ref (Random_graph.gnp rng n (3.0 /. float_of_int n)) in
+      Kernel.load ws !g;
+      for _step = 1 to 25 do
+        let i = Prng.int rng n in
+        let j = (i + 1 + Prng.int rng (n - 1)) mod n in
+        Kernel.toggle ws i j;
+        g := (if Graph.has_edge !g i j then Graph.remove_edge else Graph.add_edge) !g i j;
+        check_bool "edge presence tracks" (Graph.has_edge !g i j) (Kernel.has_edge ws i j);
+        let sums = Kernel.all_distance_sums ws in
+        for v = 0 to n - 1 do
+          check ext "post-toggle sums track" (naive_sum !g v) (ext_of_kernel sums.(v))
+        done
+      done)
+    [ 63; 65; 129 ]
+
+let test_multiword_range_messages () =
+  let ws = Kernel.create () in
+  Alcotest.check_raises "load_rows past one word"
+    (Invalid_argument
+       "Kernel.load_rows: order 63 outside 0..62 (one-word rows; use load_edges \
+        beyond 62 vertices)")
+    (fun () -> Kernel.load_rows ws 63 (fun _ -> Bitset.empty));
+  Kernel.load ws (Graph.empty 70);
+  Alcotest.check_raises "neighbors past one word"
+    (Invalid_argument
+       "Kernel.neighbors: order 70 > 62 needs multi-word rows; use has_edge or \
+        iter_neighbors")
+    (fun () -> ignore (Kernel.neighbors ws 0));
+  Alcotest.check_raises "Bfs.reachable past one word"
+    (Invalid_argument "Bfs.reachable: order 70 > 62 (one-word bitset result)")
+    (fun () -> ignore (Bfs.reachable (Graph.empty 70) 0));
+  Alcotest.check_raises "Graph.neighbors past one word"
+    (Invalid_argument
+       "Graph.neighbors: order 70 > 62 needs multi-word rows; use iter_neighbors or \
+        row_word")
+    (fun () -> ignore (Graph.neighbors (Graph.empty 70) 0))
+
+(* QCheck: random boundary-order gnp graphs, kernel vs Apsp persistent path *)
+let prop_multiword_apsp_parity =
+  QCheck.Test.make ~name:"kernel sums = Apsp.distance_sums at 60 <= n <= 140" ~count:40
+    QCheck.(pair (int_range 60 140) (int_bound 1000))
+    (fun (n, seed) ->
+      let rng = Prng.create (seed + (n * 100003)) in
+      let g = Random_graph.gnp rng n (1.5 /. float_of_int n) in
+      let apsp = Apsp.distance_sums g in
+      Kernel.with_loaded g (fun ws ->
+          let sums = Kernel.all_distance_sums ws in
+          let ok = ref true in
+          for v = 0 to n - 1 do
+            if ext_of_kernel sums.(v) <> apsp.(v) then ok := false
+          done;
+          !ok))
+
 let () =
   Alcotest.run "nf_kernel"
     ([
@@ -437,6 +574,15 @@ let () =
         [
           Alcotest.test_case "nested borrow" `Quick test_nested_borrow;
           Alcotest.test_case "load rows" `Quick test_load_rows;
+        ] );
+      ( "multiword",
+        [
+          Alcotest.test_case "boundary zoo vs queue BFS" `Quick test_multiword_vs_bfs;
+          Alcotest.test_case "forced words = one-word path" `Quick
+            test_forced_multiword_parity;
+          Alcotest.test_case "toggle deltas past 62" `Quick test_multiword_toggle_deltas;
+          Alcotest.test_case "range messages" `Quick test_multiword_range_messages;
+          QCheck_alcotest.to_alcotest prop_multiword_apsp_parity;
         ] );
     ]
     @ registry_suites)

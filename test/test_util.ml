@@ -212,6 +212,95 @@ let test_bitset_algebra () =
   check_bool "subset" true (Bitset.subset (Bitset.of_list [ 1; 3 ]) a);
   check_bool "not subset" false (Bitset.subset b a)
 
+let test_bitset_range_message () =
+  Alcotest.check_raises "element 62 names the actual limit"
+    (Invalid_argument
+       "Bitset: element 62 out of range 0..61 (one-word bitset; use Bitset_w rows \
+        beyond 62 elements)") (fun () -> ignore (Bitset.singleton 62));
+  Alcotest.check_raises "negative element"
+    (Invalid_argument
+       "Bitset: element -1 out of range 0..61 (one-word bitset; use Bitset_w rows \
+        beyond 62 elements)") (fun () -> ignore (Bitset.singleton (-1)))
+
+(* ---------------- Bitset_w ---------------- *)
+
+let test_bitset_w_layout () =
+  check_int "62 usable bits per word" 62 Bitset_w.bits_per_word;
+  check_int "words_for 0" 1 (Bitset_w.words_for 0);
+  check_int "words_for 62" 1 (Bitset_w.words_for 62);
+  check_int "words_for 63" 2 (Bitset_w.words_for 63);
+  check_int "words_for 124" 2 (Bitset_w.words_for 124);
+  check_int "words_for 125" 3 (Bitset_w.words_for 125);
+  (* one-word rows are bit-for-bit the old Bitset *)
+  let a = Array.make 1 0 in
+  Bitset_w.set a 0 5;
+  Bitset_w.set a 0 61;
+  check_int "one-word row = Bitset int" (Bitset.of_list [ 5; 61 ] :> int) a.(0)
+
+let test_bitset_w_ops () =
+  let words = 3 in
+  let off = words in
+  (* work in the middle row of a 3-row slab to exercise offsets *)
+  let a = Array.make (3 * words) 0 in
+  List.iter (fun j -> Bitset_w.set a off j) [ 0; 61; 62; 63; 123; 124; 170 ];
+  check_bool "get across boundary" true (Bitset_w.get a off 62);
+  check_bool "absent" false (Bitset_w.get a off 64);
+  check_int "cardinal" 7 (Bitset_w.cardinal a off words);
+  Bitset_w.clear a off 62;
+  check_bool "cleared" false (Bitset_w.get a off 62);
+  Bitset_w.toggle a off 62;
+  Bitset_w.toggle a off 1;
+  check_int "after toggles" 8 (Bitset_w.cardinal a off words);
+  let seen = ref [] in
+  Bitset_w.iter (fun j -> seen := j :: !seen) a off words;
+  check (Alcotest.list Alcotest.int) "iter ascending"
+    [ 0; 1; 61; 62; 63; 123; 124; 170 ]
+    (List.rev !seen);
+  (* neighbouring rows untouched *)
+  check_bool "row 0 empty" true (Bitset_w.is_empty_row a 0 words);
+  check_bool "row 2 empty" true (Bitset_w.is_empty_row a (2 * words) words)
+
+let test_bitset_w_row_algebra () =
+  let words = 2 in
+  let a = Array.make (2 * words) 0 in
+  List.iter (fun j -> Bitset_w.set a 0 j) [ 3; 70 ];
+  List.iter (fun j -> Bitset_w.set a words j) [ 3; 70 ];
+  check_bool "equal rows" true (Bitset_w.equal_rows a 0 a words words);
+  Bitset_w.set a words 100;
+  check_bool "unequal rows" false (Bitset_w.equal_rows a 0 a words words);
+  Bitset_w.union_into a 0 a words words;
+  check_bool "union picked up 100" true (Bitset_w.get a 0 100);
+  check_int "union cardinal" 3 (Bitset_w.cardinal a 0 words)
+
+let test_bitset_w_full_mask () =
+  check_int "full_word 0" 0 (Bitset_w.full_word 0);
+  check_int "full_word 62 is the one-word full set" (Bitset.full 62 :> int)
+    (Bitset_w.full_word 62);
+  let words = Bitset_w.words_for 100 in
+  let a = Array.make words 0 in
+  Bitset_w.blit_full_mask a 0 100 words;
+  check_int "blit_full_mask cardinal" 100 (Bitset_w.cardinal a 0 words);
+  check_bool "element 99 present" true (Bitset_w.get a 0 99);
+  check_bool "no stray high bit" false (Bitset_w.get a 0 100);
+  (* bit_index on isolated bits over the full word range *)
+  for k = 0 to 61 do
+    check_int "bit_index" k (Bitset_w.bit_index (1 lsl k))
+  done
+
+let prop_bitset_w_matches_bitset =
+  QCheck.Test.make ~name:"one-word Bitset_w row mirrors Bitset ops" ~count:200
+    QCheck.(list (int_bound 61))
+    (fun elts ->
+      let s = List.fold_left (fun acc k -> Bitset.add k acc) Bitset.empty elts in
+      let a = Array.make 1 0 in
+      List.iter (fun k -> Bitset_w.set a 0 k) elts;
+      a.(0) = (s :> int)
+      && Bitset_w.cardinal a 0 1 = Bitset.cardinal s
+      &&
+      let seen = ref [] in
+      Bitset_w.iter (fun j -> seen := j :: !seen) a 0 1;
+      List.rev !seen = Bitset.elements s)
+
 (* ---------------- Subset ---------------- *)
 
 let test_subset_count () =
@@ -239,6 +328,18 @@ let test_exists_subset () =
   let ground = Bitset.full 4 in
   check_bool "finds" true (Subset.exists_subset ground (fun s -> Bitset.cardinal s = 3));
   check_bool "not found" false (Subset.exists_subset ground (fun s -> Bitset.cardinal s > 4))
+
+let test_count_subsets_overflow () =
+  (* regression: [1 lsl 62] lands in the sign bit of a 63-bit int, so a
+     full 62-element ground set used to return a negative "count" *)
+  check_int "2^10" 1024 (Subset.count_subsets (Bitset.full 10));
+  check_int "2^61 stays positive" (1 lsl 61) (Subset.count_subsets (Bitset.full 61));
+  Alcotest.check_raises "2^62 refuses instead of overflowing"
+    (Invalid_argument
+       (Printf.sprintf
+          "Subset.count_subsets: 2^62 exceeds the native int range (cardinal must be \
+           < %d)" (Sys.int_size - 1)))
+    (fun () -> ignore (Subset.count_subsets (Bitset.full 62)))
 
 (* ---------------- Prng ---------------- *)
 
@@ -454,6 +555,15 @@ let () =
         [
           Alcotest.test_case "basics" `Quick test_bitset_basics;
           Alcotest.test_case "algebra" `Quick test_bitset_algebra;
+          Alcotest.test_case "range message" `Quick test_bitset_range_message;
+        ] );
+      ( "bitset_w",
+        [
+          Alcotest.test_case "layout" `Quick test_bitset_w_layout;
+          Alcotest.test_case "ops across words" `Quick test_bitset_w_ops;
+          Alcotest.test_case "row algebra" `Quick test_bitset_w_row_algebra;
+          Alcotest.test_case "full masks / bit_index" `Quick test_bitset_w_full_mask;
+          qcheck prop_bitset_w_matches_bitset;
         ] );
       ( "subset",
         [
@@ -461,6 +571,7 @@ let () =
           Alcotest.test_case "by size" `Quick test_subset_by_size;
           Alcotest.test_case "iter_pairs" `Quick test_iter_pairs;
           Alcotest.test_case "exists" `Quick test_exists_subset;
+          Alcotest.test_case "count overflow guard" `Quick test_count_subsets_overflow;
         ] );
       ( "prng",
         [
